@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: int8 quantization what-if. Re-traces suite models with
+ * int8 weights/activations (halved HBM traffic, doubled tensor-core
+ * rate on Ampere/Hopper) and reports the latency and capacity
+ * implications — a what-if the simulation substrate makes cheap.
+ */
+
+#include <iostream>
+
+#include "analytics/inference_footprint.hh"
+#include "models/model_suite.hh"
+#include "profiler/engine.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Ablation: fp16 vs int8 inference ===\n\n";
+
+    profiler::Profiler prof;
+    TextTable table({"Model", "fp16 latency", "int8 latency",
+                     "Speedup", "fp16 weights", "int8 weights"});
+    for (models::ModelId id :
+         {models::ModelId::StableDiffusion, models::ModelId::Muse,
+          models::ModelId::Parti, models::ModelId::LLaMA}) {
+        graph::Pipeline p = models::buildModel(id);
+        const profiler::ProfileResult f16 = prof.profile(p);
+        p.dtype = DType::I8;
+        const profiler::ProfileResult i8 = prof.profile(p);
+        const analytics::InferenceFootprint fp16_mem =
+            analytics::estimateFootprint(
+                models::buildModel(id), graph::AttentionBackend::Flash,
+                DType::F16);
+        const analytics::InferenceFootprint i8_mem =
+            analytics::estimateFootprint(
+                p, graph::AttentionBackend::Flash, DType::I8);
+        table.addRow(
+            {p.name, formatTime(f16.totalSeconds),
+             formatTime(i8.totalSeconds),
+             formatFixed(f16.totalSeconds / i8.totalSeconds, 2) + "x",
+             formatBytes(fp16_mem.weightBytes),
+             formatBytes(i8_mem.weightBytes)});
+    }
+    std::cout << table.render();
+    std::cout << "\n(int8 helps the memory-bound decoders most — "
+                 "weight reads halve — while\n launch-overhead-bound "
+                 "segments cap the gain below the ideal 2x)\n";
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Fig. 2 (structural): the multi-component inference
+ * pipelines of the suite. TTI/TTV models are several independently
+ * trained components stitched together at inference time, unlike the
+ * single-stack LLM.
+ */
+
+#include <iostream>
+
+#include "models/model_suite.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Fig. 2: inference pipeline structure ===\n\n";
+
+    for (models::ModelId id : models::allModels()) {
+        const graph::Pipeline p = models::buildModel(id);
+        std::cout << p.name << "  [" << graph::modelClassName(p.klass)
+                  << ", " << formatCount(double(p.totalParams()))
+                  << " params]\n";
+        for (std::size_t si = 0; si < p.stages.size(); ++si) {
+            const graph::Stage& s = p.stages[si];
+            const graph::Trace t = p.traceStage(si, 0);
+            std::cout << "  -> " << padRight(s.name, 24) << " x"
+                      << padLeft(std::to_string(s.iterations), 5)
+                      << (s.perIterationShapes ? " (autoregressive)"
+                                               : " (fixed shape)")
+                      << "  " << t.size() << " ops/iter, "
+                      << formatCount(double(t.totalParams()))
+                      << " params\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

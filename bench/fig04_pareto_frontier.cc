@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: the quality-vs-size Pareto frontier of TTI
+ * models (published COCO FID against trainable parameters).
+ *
+ * Expected frontier membership includes Imagen (pixel diffusion),
+ * Stable Diffusion (latent diffusion) and Parti (transformer, best
+ * FID at 4x the parameters) — the architectural diversity that
+ * motivates the paper's suite.
+ */
+
+#include <iostream>
+#include <set>
+
+#include "analytics/pareto.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Fig. 4: TTI quality vs size Pareto frontier ===\n\n";
+
+    const auto& points = analytics::publishedTtiQualityPoints();
+    const std::vector<std::size_t> front =
+        analytics::paretoFront(points);
+    const std::set<std::size_t> front_set(front.begin(), front.end());
+
+    TextTable table(
+        {"Model", "Family", "FID (COCO)", "Params (B)", "Pareto"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& p = points[i];
+        table.addRow({p.name, p.family, formatFixed(p.fid, 1),
+                      formatFixed(p.paramsB, 2),
+                      front_set.count(i) ? "optimal" : "-"});
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "Pareto-optimal frontier (by increasing FID):\n";
+    for (std::size_t idx : front) {
+        std::cout << "  " << points[idx].name << "  (fid "
+                  << formatFixed(points[idx].fid, 1) << ", "
+                  << formatFixed(points[idx].paramsB, 2) << "B params, "
+                  << points[idx].family << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5: the model suite on an A100 roofline.
+ *
+ * Arithmetic intensity follows the paper's definition — total
+ * inference FLOPs over the bytes of model capacity (parameters) they
+ * reuse. Diffusion models iterate tens of denoising steps over a
+ * small parameter set, so their intensity is orders of magnitude
+ * higher (compute-bound); transformer TTI decode touches every weight
+ * for one token of work (memory-bound at low batch).
+ */
+
+#include <iostream>
+
+#include "core/reports.hh"
+#include "core/suite.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Fig. 5: roofline on "
+              << hw::GpuSpec::a100_80gb().name << " ===\n\n";
+
+    core::CharacterizationSuite suite;
+    const std::vector<core::ModelRunResult> results =
+        suite.runAll(models::allModels());
+
+    const hw::Roofline roofline(suite.gpu(), DType::F16);
+    std::cout << "Peak compute: "
+              << formatFlopRate(roofline.peakFlops())
+              << ", HBM bandwidth: "
+              << formatBytes(roofline.bandwidth()) << "/s, ridge at "
+              << formatFixed(roofline.ridgePoint(), 1)
+              << " FLOP/byte\n\n";
+
+    std::cout << core::rooflineTable(results, suite.gpu()).render()
+              << "\n";
+
+    // The paper's headline: diffusion arithmetic intensity exceeds the
+    // LLM's decode-dominated intensity by up to ~100x.
+    double llm_ai = 0.0, max_diff_ai = 0.0;
+    for (const auto& r : results) {
+        const graph::ModelClass klass = models::buildModel(r.id).klass;
+        const double ai = r.flash.modelArithmeticIntensity();
+        if (klass == graph::ModelClass::LLM)
+            llm_ai = ai;
+        else if (graph::isDiffusionClass(klass))
+            max_diff_ai = std::max(max_diff_ai, ai);
+    }
+    std::cout << "Max diffusion AI / LLM AI: "
+              << formatFixed(max_diff_ai / llm_ai, 1)
+              << "x  (paper: up to ~100x)\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Fig. 6: operator time breakdown across the TTI/TTV
+ * model suite, with baseline attention (first bar) and Flash Attention
+ * (second bar, normalized to the model's baseline total).
+ *
+ * Paper claims to check against:
+ *  - Attention averages ~41% of baseline time across the TTI/TTV suite.
+ *  - After Flash, Attention still takes 37-45% of LLaMA / transformer
+ *    TTI time, but only 13-25% in diffusion models, where Convolution
+ *    (up to 44%) becomes the largest operator block.
+ *  - Pixel-based diffusion spends ~15% more time on convolution than
+ *    latent-based diffusion.
+ */
+
+#include <iostream>
+
+#include "core/reports.hh"
+#include "core/suite.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Fig. 6: operator time breakdown (baseline vs "
+                 "Flash Attention) ===\n\n";
+
+    core::CharacterizationSuite suite;
+    const std::vector<core::ModelRunResult> results =
+        suite.runAll(models::allModels());
+
+    std::cout << core::operatorBreakdownTable(results).render() << "\n";
+
+    // Headline statistics the paper quotes from this figure.
+    double attn_frac_sum = 0.0;
+    int tti_ttv = 0;
+    double conv_pixel = 0.0, conv_latent = 0.0;
+    int n_pixel = 0, n_latent = 0;
+    for (const auto& r : results) {
+        const graph::ModelClass klass = models::buildModel(r.id).klass;
+        if (klass != graph::ModelClass::LLM) {
+            attn_frac_sum += r.baselineAttentionFraction();
+            ++tti_ttv;
+        }
+        const double conv = r.baseline.breakdown.categoryFraction(
+            graph::OpCategory::Convolution);
+        if (klass == graph::ModelClass::DiffusionPixel) {
+            conv_pixel += conv;
+            ++n_pixel;
+        } else if (klass == graph::ModelClass::DiffusionLatent) {
+            conv_latent += conv;
+            ++n_latent;
+        }
+    }
+    std::cout << "Mean baseline Attention share over TTI/TTV suite: "
+              << formatPercent(attn_frac_sum / tti_ttv)
+              << "  (paper: ~41.3%)\n";
+    std::cout << "Baseline Convolution share, pixel diffusion:      "
+              << formatPercent(conv_pixel / n_pixel) << "\n";
+    std::cout << "Baseline Convolution share, latent diffusion:     "
+              << formatPercent(conv_latent / n_latent)
+              << "  (paper: pixel ~15 points higher)\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: sequence length profiled over the course of
+ * inference for Stable Diffusion, Imagen, Muse, and Parti.
+ *
+ * Expected shapes:
+ *  - Stable Diffusion / Imagen: cyclic U-shape from the UNet's
+ *    downsampling/upsampling ladder (one fundamental period shown).
+ *  - Muse: constant (parallel decoding processes the full grid).
+ *  - Parti: linear ramp (each emitted token joins the KV context).
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "core/suite.hh"
+#include "util/csv.hh"
+#include "util/format.hh"
+
+namespace {
+
+using namespace mmgen;
+
+/** Print the first `limit` points of a model's attention-call series. */
+void
+printSeries(const core::CharacterizationSuite& suite, models::ModelId id,
+            std::size_t limit)
+{
+    const graph::Pipeline p = models::buildModel(id);
+    const profiler::ProfileResult res =
+        suite.profileOne(p, graph::AttentionBackend::Flash);
+    const std::vector<std::int64_t>& s = res.seqLens.series();
+    std::cout << p.name << " (" << s.size()
+              << " attention calls traced, min "
+              << res.seqLens.minSeqLen() << ", max "
+              << res.seqLens.maxSeqLen() << ")\n  ";
+    const std::size_t n = std::min(limit, s.size());
+    for (std::size_t i = 0; i < n; ++i)
+        std::cout << s[i] << (i + 1 < n ? " " : "");
+    if (s.size() > n)
+        std::cout << " ...";
+    std::cout << "\n\n";
+}
+
+/**
+ * For the autoregressive Parti decode, show the self-attention KV
+ * growth subsampled across decode steps.
+ */
+void
+printPartiRamp(const core::CharacterizationSuite& suite)
+{
+    const profiler::ProfileResult res = suite.profileOne(
+        models::buildModel(models::ModelId::Parti),
+        graph::AttentionBackend::Flash);
+    const std::vector<std::int64_t>& s = res.seqLens.series();
+    std::cout << "Parti self-attention attended length (every 4096th "
+                 "traced call):\n  ";
+    for (std::size_t i = 0; i < s.size(); i += 4096)
+        std::cout << s[i] << " ";
+    std::cout << "... max " << res.seqLens.maxSeqLen()
+              << " (linear ramp; seq_q stays 1 during decode)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::cout << "=== Fig. 7: sequence length over the course of "
+                 "inference ===\n\n";
+
+    core::CharacterizationSuite suite;
+    printSeries(suite, models::ModelId::StableDiffusion, 64);
+    printSeries(suite, models::ModelId::Imagen, 64);
+    printSeries(suite, models::ModelId::Muse, 80);
+    printPartiRamp(suite);
+
+    // Optional machine-readable dump: fig07 <out.csv> writes every
+    // model's full per-call series.
+    if (argc > 1) {
+        std::ofstream csv_out(argv[1]);
+        if (csv_out) {
+            CsvWriter csv(csv_out);
+            csv.writeRow({"model", "call_index", "sequence_length"});
+            for (models::ModelId id :
+                 {models::ModelId::StableDiffusion,
+                  models::ModelId::Imagen, models::ModelId::Muse,
+                  models::ModelId::Parti}) {
+                const profiler::ProfileResult res = suite.profileOne(
+                    models::buildModel(id),
+                    graph::AttentionBackend::Flash);
+                const auto& s = res.seqLens.series();
+                for (std::size_t i = 0; i < s.size(); ++i) {
+                    csv.writeRow({res.model, std::to_string(i),
+                                  std::to_string(s[i])});
+                }
+            }
+            std::cout << "(wrote " << argv[1] << ")\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: how Attention and Convolution execution
+ * time scale with image size for the Stable Diffusion UNet, before
+ * and after Flash Attention.
+ *
+ * Expected: with baseline attention, Attention time scales faster
+ * than Convolution as the image grows (O(L^4) similarity traffic);
+ * after Flash Attention, Convolution becomes the limiting operator at
+ * large image sizes.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "analytics/memory_model.hh"
+#include "util/csv.hh"
+#include "core/suite.hh"
+#include "models/stable_diffusion.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace mmgen;
+
+/** A pipeline containing only the SD denoising UNet. */
+graph::Pipeline
+unetOnly(const models::StableDiffusionConfig& cfg)
+{
+    graph::Pipeline p;
+    p.name = "sd_unet";
+    p.klass = graph::ModelClass::DiffusionLatent;
+    graph::Stage s;
+    s.name = "unet";
+    s.iterations = cfg.denoiseSteps;
+    const std::int64_t latent = cfg.latentSize();
+    const models::UNetConfig unet = cfg.unet;
+    s.emit = [unet, latent](graph::GraphBuilder& b, std::int64_t) {
+        models::unetForward(b, unet, latent, latent);
+    };
+    p.stages.push_back(std::move(s));
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::cout << "=== Fig. 9: Attention vs Convolution scaling with "
+                 "image size (SD UNet) ===\n\n";
+
+    core::CharacterizationSuite suite;
+    const std::vector<std::int64_t> image_sizes = {64, 128, 256, 512};
+
+    TextTable table({"Image", "Backend", "Attention (ms)",
+                     "Convolution (ms)", "Attn / Conv"});
+    std::vector<double> sizes_d, base_attn, base_conv, flash_attn,
+        flash_conv;
+    for (std::int64_t size : image_sizes) {
+        models::StableDiffusionConfig cfg;
+        cfg.imageSize = size;
+        const graph::Pipeline p = unetOnly(cfg);
+        for (graph::AttentionBackend backend :
+             {graph::AttentionBackend::Baseline,
+              graph::AttentionBackend::Flash}) {
+            const profiler::ProfileResult res =
+                suite.profileOne(p, backend);
+            const double attn = res.breakdown.categorySeconds(
+                graph::OpCategory::Attention);
+            const double conv = res.breakdown.categorySeconds(
+                graph::OpCategory::Convolution);
+            table.addRow({std::to_string(size) + "x" +
+                              std::to_string(size),
+                          graph::attentionBackendName(backend),
+                          formatFixed(attn * 1e3, 2),
+                          formatFixed(conv * 1e3, 2),
+                          formatFixed(attn / conv, 2)});
+            if (backend == graph::AttentionBackend::Baseline) {
+                base_attn.push_back(attn);
+                base_conv.push_back(conv);
+            } else {
+                flash_attn.push_back(attn);
+                flash_conv.push_back(conv);
+            }
+        }
+        sizes_d.push_back(static_cast<double>(size));
+        table.addSeparator();
+    }
+    std::cout << table.render() << "\n";
+
+    // Optional machine-readable dump: fig09 <out.csv>.
+    if (argc > 1) {
+        std::ofstream csv_out(argv[1]);
+        if (csv_out) {
+            CsvWriter csv(csv_out);
+            csv.writeRow({"image_size", "baseline_attention_s",
+                          "flash_attention_s", "convolution_s"});
+            for (std::size_t i = 0; i < sizes_d.size(); ++i) {
+                csv.writeRow({formatFixed(sizes_d[i], 0),
+                              formatFixed(base_attn[i], 6),
+                              formatFixed(flash_attn[i], 6),
+                              formatFixed(base_conv[i], 6)});
+            }
+            std::cout << "(wrote " << argv[1] << ")\n\n";
+        }
+    }
+
+    std::cout << "Log-log scaling exponents vs image size:\n";
+    std::cout << "  baseline attention:  "
+              << formatFixed(
+                     analytics::scalingExponent(sizes_d, base_attn), 2)
+              << "\n";
+    std::cout << "  flash attention:     "
+              << formatFixed(
+                     analytics::scalingExponent(sizes_d, flash_attn), 2)
+              << "\n";
+    std::cout << "  convolution:         "
+              << formatFixed(
+                     analytics::scalingExponent(sizes_d, base_conv), 2)
+              << "\n\n";
+
+    std::cout << "Per-doubling growth factors (time[i+1] / time[i]):\n";
+    auto growth = [](const std::vector<double>& v, std::size_t i) {
+        return v[i + 1] / v[i];
+    };
+    for (std::size_t i = 0; i + 1 < sizes_d.size(); ++i) {
+        std::cout << "  " << sizes_d[i] << " -> " << sizes_d[i + 1]
+                  << ": baseline attn "
+                  << formatFixed(growth(base_attn, i), 2) << "x, flash "
+                  << formatFixed(growth(flash_attn, i), 2) << "x, conv "
+                  << formatFixed(growth(base_conv, i), 2) << "x\n";
+    }
+    std::cout << "(paper: before Flash, attention scales faster than "
+                 "convolution; after Flash,\n convolution is the "
+                 "limiting operator at large sizes)\n";
+    return 0;
+}

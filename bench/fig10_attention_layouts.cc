@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10 (structural): how tensor dimensions are
+ * rearranged between Spatial and Temporal attention, and what that
+ * does to effective sequence length and memory layout.
+ */
+
+#include <iostream>
+
+#include "cache/attention_study.hh"
+#include "graph/op.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Fig. 10: spatial vs temporal attention tensor "
+                 "layouts ===\n\n";
+
+    // A Make-A-Video-like video tensor: [B=1, C=512, F=16, H=16, W=16].
+    const std::int64_t c = 512, f = 16, h = 16, w = 16, heads = 8;
+    const std::int64_t hw = h * w;
+    const std::int64_t head_dim = c / heads;
+
+    graph::AttentionAttrs spatial;
+    spatial.kind = graph::AttentionKind::SelfSpatial;
+    spatial.batch = f;
+    spatial.heads = heads;
+    spatial.seqQ = spatial.seqKv = hw;
+    spatial.headDim = head_dim;
+    spatial.seqStrideElems = c;
+    spatial.featureStrideElems = 1;
+
+    graph::AttentionAttrs temporal;
+    temporal.kind = graph::AttentionKind::Temporal;
+    temporal.batch = hw;
+    temporal.heads = heads;
+    temporal.seqQ = temporal.seqKv = f;
+    temporal.headDim = head_dim;
+    temporal.seqStrideElems = hw;
+    temporal.featureStrideElems = f * hw;
+
+    auto describe = [&](const char* name,
+                        const graph::AttentionAttrs& a) {
+        std::cout << name << ":\n";
+        std::cout << "  Q/K/V shape: [batch=" << a.batch << ", heads="
+                  << a.heads << ", seq=" << a.seqQ << ", head_dim="
+                  << a.headDim << "]\n";
+        std::cout << "  effective sequence length = "
+                  << (a.kind == graph::AttentionKind::Temporal
+                          ? "number of frames"
+                          : "image positions (H*W)")
+                  << " = " << a.seqQ << "\n";
+        std::cout << "  seq stride: " << a.seqStrideElems
+                  << " elems, feature stride: " << a.featureStrideElems
+                  << " elems\n";
+        std::cout << "  DRAM over-fetch factor (32 B sectors, fp16): "
+                  << formatFixed(a.strideWasteFactor(32, 2), 1)
+                  << "x\n\n";
+    };
+    describe("Spatial attention (attends over H*W per frame)", spatial);
+    describe("Temporal attention (attends over frames per position)",
+             temporal);
+
+    std::cout << "Sequence length is proportional to image size in "
+                 "spatial attention\nand to the number of frames in "
+                 "temporal attention (paper Fig. 10).\n";
+    return 0;
+}

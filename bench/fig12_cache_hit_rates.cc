@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: L1 and L2 cache hit ratios for the GEMM,
+ * softmax and elementwise kernels of Spatial versus Temporal
+ * attention, via trace-driven cache simulation of Make-A-Video-shaped
+ * attention calls.
+ *
+ * Expected: temporal attention shows ~10x lower L1 hit rates for GEMM
+ * and softmax; GEMM L2 hit rate is also ~10x lower, while elementwise
+ * and softmax L2 hit rates stay the same or higher.
+ */
+
+#include <iostream>
+
+#include "cache/attention_study.hh"
+#include "hw/gpu_spec.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+    using kernels::KernelClass;
+
+    std::cout << "=== Fig. 12: cache hit ratios, spatial vs temporal "
+                 "attention (Make-A-Video shapes) ===\n\n";
+
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+
+    // Make-A-Video UNet attention site at the 16x16 level: C=1280,
+    // F=16 frames.
+    const std::int64_t c = 1280, f = 16, hw_pos = 256, heads = 8;
+    const std::int64_t head_dim = c / heads;
+
+    graph::AttentionAttrs spatial;
+    spatial.kind = graph::AttentionKind::SelfSpatial;
+    spatial.batch = f;
+    spatial.heads = heads;
+    spatial.seqQ = spatial.seqKv = hw_pos;
+    spatial.headDim = head_dim;
+    spatial.seqStrideElems = c;
+    spatial.featureStrideElems = 1;
+
+    graph::AttentionAttrs temporal;
+    temporal.kind = graph::AttentionKind::Temporal;
+    temporal.batch = hw_pos;
+    temporal.heads = heads;
+    temporal.seqQ = temporal.seqKv = f;
+    temporal.headDim = head_dim;
+    temporal.seqStrideElems = hw_pos;
+    temporal.featureStrideElems = f * hw_pos;
+
+    const cache::AttentionCacheReport sp =
+        cache::runAttentionCacheStudy(gpu, spatial, DType::F16);
+    const cache::AttentionCacheReport tp =
+        cache::runAttentionCacheStudy(gpu, temporal, DType::F16);
+
+    TextTable table({"Kernel", "L1 spatial", "L1 temporal",
+                     "L1 ratio", "L2 spatial", "L2 temporal"});
+    for (KernelClass k : {KernelClass::Gemm, KernelClass::Softmax,
+                          KernelClass::Elementwise}) {
+        const double l1s = sp.l1HitRate(k);
+        const double l1t = tp.l1HitRate(k);
+        std::string ratio;
+        if (l1s < 0.005 && l1t < 0.005)
+            ratio = "~equal";
+        else if (l1t < 0.005)
+            ratio = ">100x";
+        else
+            ratio = formatFixed(l1s / l1t, 1) + "x";
+        table.addRow({kernels::kernelClassName(k), formatPercent(l1s),
+                      formatPercent(l1t), ratio,
+                      formatPercent(sp.l2HitRate(k)),
+                      formatPercent(tp.l2HitRate(k))});
+    }
+    std::cout << table.render();
+    std::cout << "\n(paper: temporal attention has ~10x lower L1 hit "
+                 "rate for gemm and softmax;\n gemm L2 ~10x lower; "
+                 "elementwise/softmax L2 same or higher)\n\n";
+
+    // Extension: the same study under the Flash backend — no
+    // similarity-matrix kernels at all, so the locality contrast
+    // lives entirely in the fused GEMM-class kernel.
+    const cache::AttentionCacheReport sp_flash =
+        cache::runAttentionCacheStudy(gpu, spatial, DType::F16, 0,
+                                      graph::AttentionBackend::Flash);
+    const cache::AttentionCacheReport tp_flash =
+        cache::runAttentionCacheStudy(gpu, temporal, DType::F16, 0,
+                                      graph::AttentionBackend::Flash);
+    std::cout << "Flash backend (fused kernel): no similarity-matrix "
+                 "kernels at all;\n  spatial  L1 "
+              << formatPercent(sp_flash.l1HitRate(KernelClass::Gemm))
+              << ", L2 "
+              << formatPercent(sp_flash.l2HitRate(KernelClass::Gemm))
+              << " (K/V re-reads across query tiles land in L2)\n"
+              << "  temporal L1 "
+              << formatPercent(tp_flash.l1HitRate(KernelClass::Gemm))
+              << ", L2 "
+              << formatPercent(tp_flash.l2HitRate(KernelClass::Gemm))
+              << " (only the strided view's sector sharing remains)\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: FLOP count of Spatial versus Temporal
+ * attention as the number of generated frames grows, at several
+ * resolutions.
+ *
+ * Expected: spatial attention FLOPs grow linearly with frame count;
+ * temporal attention FLOPs grow quadratically (frames are its
+ * effective sequence length); the crossover point moves right as
+ * resolution increases.
+ */
+
+#include <iostream>
+
+#include "analytics/temporal_scaling.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Fig. 13: attention FLOPs vs number of frames ===\n\n";
+
+    const std::int64_t dim = 1280;
+    const std::vector<std::int64_t> frame_counts = {4,  8,   16,  32,
+                                                    64, 128, 256, 512};
+    const std::vector<std::int64_t> resolutions = {8, 16, 32};
+
+    for (std::int64_t res : resolutions) {
+        const std::int64_t hw = res * res;
+        std::cout << "resolution " << res << "x" << res
+                  << " (crossover at F = HW = "
+                  << analytics::temporalCrossoverFrames(hw)
+                  << " frames):\n";
+        TextTable table({"Frames", "Spatial FLOPs", "Temporal FLOPs",
+                         "Temporal / Spatial"});
+        for (std::int64_t frames : frame_counts) {
+            const double s =
+                analytics::spatialAttentionFlops(frames, hw, dim);
+            const double t =
+                analytics::temporalAttentionFlops(frames, hw, dim);
+            table.addRow({std::to_string(frames), formatFlops(s),
+                          formatFlops(t), formatFixed(t / s, 3)});
+        }
+        std::cout << table.render() << "\n";
+    }
+    std::cout << "(spatial grows linearly in frames, temporal "
+                 "quadratically; higher resolution\n pushes the "
+                 "crossover to larger frame counts)\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Peak inference memory footprint of the suite (the paper's Section
+ * III single-GPU claim, and the capacity side of Table I's Memory
+ * axis): weights + KV-cache high-water mark + peak activation, per
+ * model, against the A100's 80 GB.
+ */
+
+#include <iostream>
+
+#include "analytics/inference_footprint.hh"
+#include "models/model_suite.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Peak inference memory footprint (single "
+                 "A100-80GB) ===\n\n";
+
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    TextTable table({"Model", "Weights", "KV cache", "Peak activation",
+                     "Total", "HBM util", "Fits"});
+    for (models::ModelId id : models::allModels()) {
+        const graph::Pipeline p = models::buildModel(id);
+        const analytics::InferenceFootprint fp =
+            analytics::estimateFootprint(p);
+        table.addRow({p.name, formatBytes(fp.weightBytes),
+                      formatBytes(fp.kvCacheBytes),
+                      formatBytes(fp.peakActivationBytes),
+                      formatBytes(fp.totalBytes()),
+                      formatPercent(fp.utilization(gpu)),
+                      fp.fits(gpu) ? "yes" : "NO"});
+    }
+    std::cout << table.render();
+    std::cout << "\n(paper Section III: every suite model fits a "
+                 "single 80 GB GPU at inference;\n Parti's 20B weights "
+                 "dominate, matching its Table I Memory = High)\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: cost-model
+ * throughput, cache-simulation throughput, and full-pipeline profiling
+ * latency. These guard the usability of the harness (the figure
+ * benches re-profile models many times).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/attention_study.hh"
+#include "kernels/cost_model.hh"
+#include "models/model_suite.hh"
+#include "profiler/engine.hh"
+
+namespace {
+
+using namespace mmgen;
+
+void
+BM_CostModelAttention(benchmark::State& state)
+{
+    const kernels::CostModel model(hw::GpuSpec::a100_80gb(),
+                                   graph::AttentionBackend::Baseline);
+    graph::Op op;
+    op.kind = graph::OpKind::Attention;
+    graph::AttentionAttrs a;
+    a.batch = 16;
+    a.heads = 8;
+    a.seqQ = a.seqKv = static_cast<std::int64_t>(state.range(0));
+    a.headDim = 64;
+    op.attrs = a;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.time(op));
+    }
+}
+BENCHMARK(BM_CostModelAttention)->Arg(256)->Arg(4096);
+
+void
+BM_ProfileStableDiffusion(benchmark::State& state)
+{
+    const graph::Pipeline p =
+        models::buildModel(models::ModelId::StableDiffusion);
+    profiler::Profiler prof;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prof.profile(p));
+    }
+}
+BENCHMARK(BM_ProfileStableDiffusion);
+
+void
+BM_CacheSimSmallAttention(benchmark::State& state)
+{
+    graph::AttentionAttrs a;
+    a.batch = 64;
+    a.heads = 4;
+    a.seqQ = a.seqKv = 64;
+    a.headDim = 32;
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache::runAttentionCacheStudy(gpu, a, DType::F16));
+    }
+}
+BENCHMARK(BM_CacheSimSmallAttention);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quantifies the paper's Section II-B design statement: Temporal
+ * Attention layers are inserted after Spatial Attention "since adding
+ * an additional temporal dimension to the existing Attention call is
+ * not feasible from a memory perspective". Compares joint
+ * spatio-temporal attention against the factorized pair, and shows
+ * the windowed-temporal extension that linearizes the Fig. 13 curve.
+ */
+
+#include <iostream>
+
+#include "analytics/temporal_scaling.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Section II-B: joint vs factorized "
+                 "spatio-temporal attention ===\n\n";
+
+    const std::int64_t dim = 1280, hw = 1024; // 32x32 latents
+
+    TextTable table({"Frames", "Joint S-matrix", "Factorized S-matrix",
+                     "Memory ratio", "Joint FLOPs",
+                     "Factorized FLOPs"});
+    for (std::int64_t frames : {4, 8, 16, 32, 64}) {
+        const double joint_b =
+            analytics::jointSimilarityBytes(frames, hw);
+        const double fact_b =
+            analytics::factorizedSimilarityBytes(frames, hw);
+        const double joint_f =
+            analytics::jointSpatioTemporalFlops(frames, hw, dim);
+        const double fact_f =
+            analytics::spatialAttentionFlops(frames, hw, dim) +
+            analytics::temporalAttentionFlops(frames, hw, dim);
+        table.addRow({std::to_string(frames), formatBytes(joint_b),
+                      formatBytes(fact_b),
+                      formatFixed(joint_b / fact_b, 1) + "x",
+                      formatFlops(joint_f), formatFlops(fact_f)});
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout << "Windowed temporal attention (window = 8) vs full, "
+                 "32x32 latents:\n";
+    TextTable wt({"Frames", "Full temporal", "Windowed",
+                  "Reduction"});
+    for (std::int64_t frames : {16, 64, 256, 1024}) {
+        const double full =
+            analytics::temporalAttentionFlops(frames, hw, dim);
+        const double windowed =
+            analytics::windowedTemporalFlops(frames, hw, dim, 8);
+        wt.addRow({std::to_string(frames), formatFlops(full),
+                   formatFlops(windowed),
+                   formatFixed(full / windowed, 1) + "x"});
+    }
+    std::cout << wt.render();
+    std::cout << "\n(the joint similarity matrix grows ~(F*HW)^2 — a "
+                 "16-frame 32x32 clip already\n needs tens of GiB per "
+                 "head — so TTV models factorize; windowing restores\n"
+                 " linear scaling for movie-length generation)\n";
+    return 0;
+}

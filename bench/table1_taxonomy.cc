@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces paper Table I: taxonomy of the four Pareto-optimal TTI
+ * models along the compute / memory / latency axes.
+ *
+ * Paper reference labels:
+ *   Imagen:          Compute High,   Memory Medium, Latency High
+ *   StableDiffusion: Compute Medium, Memory Low,    Latency High
+ *   Muse:            Compute Low,    Memory Low,    Latency Low
+ *   Parti:           Compute Low,    Memory High,   Latency Medium
+ */
+
+#include <iostream>
+
+#include "core/taxonomy.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Table I: taxonomy of text-to-image models ===\n\n";
+
+    core::CharacterizationSuite suite;
+    const std::vector<models::ModelId> table1_models = {
+        models::ModelId::Imagen,
+        models::ModelId::StableDiffusion,
+        models::ModelId::Muse,
+        models::ModelId::Parti,
+    };
+    const std::vector<core::ModelRunResult> results =
+        suite.runAll(table1_models);
+    const std::vector<core::TaxonomyRow> rows =
+        core::buildTaxonomy(results);
+    std::cout << core::taxonomyTable(rows).render();
+
+    std::cout << "\n(paper: Imagen High/Medium/High, "
+                 "StableDiffusion Medium/Low/High, Muse Low/Low/Low, "
+                 "Parti Low/High/Medium)\n";
+    return 0;
+}

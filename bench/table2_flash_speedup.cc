@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Reproduces paper Table II: end-to-end speedup of Flash Attention
+ * over baseline attention across the eight-model suite.
+ *
+ * Paper reference values:
+ *   LLaMA 1.52x, Imagen 1.22x, StableDiffusion 1.67x, Muse 1.11x,
+ *   Parti 1.17x, ProdImage 1.04x, MakeAVideo 1.06x, Phenaki 1.15x.
+ */
+
+#include <iostream>
+
+#include "core/reports.hh"
+#include "core/suite.hh"
+#include "util/format.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Table II: end-to-end Flash Attention speedup ===\n";
+    std::cout << "(paper: LLaMA 1.52x | Imagen 1.22x | StableDiffusion "
+                 "1.67x | Muse 1.11x |\n"
+                 " Parti 1.17x | ProdImage 1.04x | MakeAVideo 1.06x | "
+                 "Phenaki 1.15x)\n\n";
+
+    core::CharacterizationSuite suite;
+    const std::vector<core::ModelRunResult> results =
+        suite.runAll(models::allModels());
+
+    std::cout << core::flashSpeedupTable(results).render() << "\n";
+    std::cout << "Attention detail (Amdahl decomposition):\n";
+    std::cout << core::attentionSpeedupTable(results).render();
+    return 0;
+}

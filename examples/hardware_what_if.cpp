@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hardware what-if analysis: re-run the paper's suite on different GPU
+ * generations and see which findings are hardware-dependent. Because
+ * mmgen's GPU is a parameterized model, the same workloads can be
+ * replayed on V100-, A100- and H100-class devices — something the
+ * paper's single-platform methodology could not do.
+ */
+
+#include <iostream>
+
+#include "core/suite.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace mmgen;
+
+int
+main()
+{
+    std::cout << "=== What if the paper had used a different GPU? ===\n\n";
+
+    const std::vector<hw::GpuSpec> gpus = {
+        hw::GpuSpec::v100_32gb(),
+        hw::GpuSpec::a100_80gb(),
+        hw::GpuSpec::h100_80gb(),
+    };
+    const std::vector<models::ModelId> picks = {
+        models::ModelId::StableDiffusion,
+        models::ModelId::Muse,
+        models::ModelId::MakeAVideo,
+    };
+
+    TextTable table({"GPU", "Model", "Latency (flash)",
+                     "Flash speedup", "Attn % (baseline)"});
+    for (const hw::GpuSpec& gpu : gpus) {
+        core::CharacterizationSuite suite(gpu);
+        for (models::ModelId id : picks) {
+            const core::ModelRunResult r = suite.run(id);
+            table.addRow({gpu.name, r.flash.model,
+                          formatTime(r.flash.totalSeconds),
+                          formatFixed(r.endToEndSpeedup(), 2) + "x",
+                          formatPercent(r.baselineAttentionFraction())});
+        }
+        table.addSeparator();
+    }
+    std::cout << table.render() << "\n";
+
+    std::cout
+        << "Observations:\n"
+        << "  - The paper's qualitative findings (diffusion gains most "
+           "from Flash, the\n"
+        << "    transformer TTI and TTV models barely move) hold "
+           "across generations.\n"
+        << "  - H100's compute grows faster than its bandwidth, so the "
+           "memory-bound\n"
+        << "    baseline attention hurts relatively more and the Flash "
+           "win widens —\n"
+        << "    eliminating similarity-matrix traffic keeps paying off "
+           "on new hardware.\n";
+    return 0;
+}

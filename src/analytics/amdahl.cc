@@ -1,0 +1,39 @@
+#include "amdahl.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+
+double
+amdahlSpeedup(double fraction, double module_speedup)
+{
+    MMGEN_CHECK(fraction >= 0.0 && fraction <= 1.0,
+                "fraction " << fraction << " out of [0, 1]");
+    MMGEN_CHECK(module_speedup > 0.0, "module speedup must be positive");
+    return 1.0 / ((1.0 - fraction) + fraction / module_speedup);
+}
+
+double
+impliedModuleSpeedup(double fraction, double end_to_end_speedup)
+{
+    MMGEN_CHECK(fraction > 0.0 && fraction <= 1.0,
+                "fraction " << fraction << " out of (0, 1]");
+    MMGEN_CHECK(end_to_end_speedup > 0.0,
+                "end-to-end speedup must be positive");
+    const double denom = 1.0 / end_to_end_speedup - (1.0 - fraction);
+    MMGEN_CHECK(denom > 0.0,
+                "end-to-end speedup " << end_to_end_speedup
+                    << " exceeds the Amdahl ceiling for fraction "
+                    << fraction);
+    return fraction / denom;
+}
+
+double
+amdahlCeiling(double fraction)
+{
+    MMGEN_CHECK(fraction >= 0.0 && fraction < 1.0,
+                "fraction " << fraction << " out of [0, 1)");
+    return 1.0 / (1.0 - fraction);
+}
+
+} // namespace mmgen::analytics

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Amdahl's-law decomposition of end-to-end speedups.
+ *
+ * The paper explains end-to-end Flash Attention gains (Table II) via
+ * two factors: the fraction of time spent in Attention and the speedup
+ * of the Attention module itself (Section IV-B). These helpers move
+ * between the three quantities.
+ */
+
+#ifndef MMGEN_ANALYTICS_AMDAHL_HH
+#define MMGEN_ANALYTICS_AMDAHL_HH
+
+namespace mmgen::analytics {
+
+/**
+ * End-to-end speedup when a fraction f of the baseline time is
+ * accelerated by module_speedup.
+ */
+double amdahlSpeedup(double fraction, double module_speedup);
+
+/**
+ * Module speedup implied by an observed end-to-end speedup when the
+ * accelerated fraction of baseline time is f.
+ */
+double impliedModuleSpeedup(double fraction, double end_to_end_speedup);
+
+/** Maximum attainable end-to-end speedup as module speedup -> inf. */
+double amdahlCeiling(double fraction);
+
+} // namespace mmgen::analytics
+
+#endif // MMGEN_ANALYTICS_AMDAHL_HH

@@ -1,0 +1,66 @@
+#include "inference_footprint.hh"
+
+#include <algorithm>
+
+#include "kernels/cost_model.hh"
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+
+double
+InferenceFootprint::totalBytes() const
+{
+    return weightBytes + kvCacheBytes + peakActivationBytes;
+}
+
+bool
+InferenceFootprint::fits(const hw::GpuSpec& gpu) const
+{
+    return totalBytes() <= gpu.hbmBytes;
+}
+
+double
+InferenceFootprint::utilization(const hw::GpuSpec& gpu) const
+{
+    MMGEN_CHECK(gpu.hbmBytes > 0.0, "GPU has no HBM");
+    return totalBytes() / gpu.hbmBytes;
+}
+
+InferenceFootprint
+estimateFootprint(const graph::Pipeline& pipeline,
+                  graph::AttentionBackend backend, DType dtype)
+{
+    InferenceFootprint fp;
+    fp.weightBytes =
+        static_cast<double>(pipeline.totalParams()) *
+        static_cast<double>(dtypeBytes(dtype));
+
+    for (std::size_t si = 0; si < pipeline.stages.size(); ++si) {
+        const graph::Stage& stage = pipeline.stages[si];
+        const graph::Trace trace =
+            pipeline.traceStage(si, stage.iterations - 1);
+
+        double stage_kv = 0.0;
+        for (const auto& op : trace.ops()) {
+            fp.peakActivationBytes =
+                std::max(fp.peakActivationBytes,
+                         kernels::opWorkingSetBytes(op, backend));
+            if (op.kind != graph::OpKind::Attention)
+                continue;
+            const auto& a = op.as<graph::AttentionAttrs>();
+            // Cached keys and values exist only when the stage decodes
+            // incrementally (query shorter than the attended context).
+            if (stage.perIterationShapes && a.seqQ < a.seqKv) {
+                stage_kv += 2.0 * static_cast<double>(a.batch) *
+                            static_cast<double>(a.heads) *
+                            static_cast<double>(a.seqKv) *
+                            static_cast<double>(a.headDim) *
+                            static_cast<double>(dtypeBytes(dtype));
+            }
+        }
+        fp.kvCacheBytes = std::max(fp.kvCacheBytes, stage_kv);
+    }
+    return fp;
+}
+
+} // namespace mmgen::analytics

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Peak HBM footprint of one inference (weights + KV cache + peak
+ * activation working set).
+ *
+ * The paper profiles every model on a single A100-80GB "since the
+ * model parameters can fit within the 80 GB memory constraints"
+ * (Section III); this module makes that check quantitative, and
+ * supplies the Memory axis of the Table I taxonomy with a
+ * capacity-style number (Parti's 20B parameters plus a growing KV
+ * cache are what make its memory requirement High).
+ */
+
+#ifndef MMGEN_ANALYTICS_INFERENCE_FOOTPRINT_HH
+#define MMGEN_ANALYTICS_INFERENCE_FOOTPRINT_HH
+
+#include "graph/pipeline.hh"
+#include "hw/gpu_spec.hh"
+
+namespace mmgen::analytics {
+
+/** Peak-memory decomposition of one inference. */
+struct InferenceFootprint
+{
+    /** Model weights resident for the whole run. */
+    double weightBytes = 0.0;
+    /** KV-cache high-water mark across decode stages. */
+    double kvCacheBytes = 0.0;
+    /** Largest single-operator working set (activations). */
+    double peakActivationBytes = 0.0;
+
+    double totalBytes() const;
+
+    /** Does the inference fit in the GPU's HBM? */
+    bool fits(const hw::GpuSpec& gpu) const;
+
+    /** Fraction of the GPU's HBM the peak footprint occupies. */
+    double utilization(const hw::GpuSpec& gpu) const;
+};
+
+/**
+ * Estimate the inference footprint of a pipeline.
+ *
+ * Weights come from the pipeline's parameter count; the KV cache from
+ * the final-iteration attention shapes of autoregressive stages (each
+ * causal/cross attention op contributes one layer's K and V at their
+ * final extent); activations from the largest single-op working set
+ * under the given backend.
+ */
+InferenceFootprint
+estimateFootprint(const graph::Pipeline& pipeline,
+                  graph::AttentionBackend backend =
+                      graph::AttentionBackend::Flash,
+                  DType dtype = DType::F16);
+
+} // namespace mmgen::analytics
+
+#endif // MMGEN_ANALYTICS_INFERENCE_FOOTPRINT_HH

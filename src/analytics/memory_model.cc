@@ -1,0 +1,81 @@
+#include "memory_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+
+std::int64_t
+DiffusionMemoryModel::positionsAtStage(int n) const
+{
+    MMGEN_CHECK(n >= 0 && n <= unetDepth,
+                "stage " << n << " out of [0, " << unetDepth << "]");
+    std::int64_t h = latentH;
+    std::int64_t w = latentW;
+    for (int i = 0; i < n; ++i) {
+        MMGEN_CHECK(h % downFactor == 0 && w % downFactor == 0,
+                    "latent not divisible by down factor at stage " << i);
+        h /= downFactor;
+        w /= downFactor;
+    }
+    return h * w;
+}
+
+double
+DiffusionMemoryModel::selfSimilarityEntries(int n) const
+{
+    const double hw = static_cast<double>(positionsAtStage(n));
+    return hw * hw;
+}
+
+double
+DiffusionMemoryModel::crossSimilarityEntries(int n) const
+{
+    const double hw = static_cast<double>(positionsAtStage(n));
+    return hw * static_cast<double>(textEncode);
+}
+
+double
+DiffusionMemoryModel::similarityBytesAtStage(int n) const
+{
+    // 2 bytes/elem * HW * [HW + text_encode], the paper's expression
+    // with batch size 1 and one head.
+    const double hw = static_cast<double>(positionsAtStage(n));
+    return static_cast<double>(bytesPerParam) * hw *
+           (hw + static_cast<double>(textEncode));
+}
+
+double
+DiffusionMemoryModel::cumulativeSimilarityBytes() const
+{
+    double total = 0.0;
+    for (int n = 0; n < unetDepth; ++n)
+        total += 2.0 * similarityBytesAtStage(n);
+    total += similarityBytesAtStage(unetDepth);
+    return total;
+}
+
+double
+scalingExponent(const std::vector<double>& x, const std::vector<double>& y)
+{
+    MMGEN_CHECK(x.size() == y.size(), "x/y size mismatch");
+    MMGEN_CHECK(x.size() >= 2, "need at least two points");
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    const double n = static_cast<double>(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        MMGEN_CHECK(x[i] > 0.0 && y[i] > 0.0,
+                    "log-log fit needs positive values");
+        const double lx = std::log(x[i]);
+        const double ly = std::log(y[i]);
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    const double denom = n * sxx - sx * sx;
+    MMGEN_CHECK(std::fabs(denom) > 1e-12, "degenerate fit (equal x)");
+    return (n * sxy - sx * sy) / denom;
+}
+
+} // namespace mmgen::analytics

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytical memory/sequence-length model of diffusion inference
+ * (paper Section V).
+ *
+ * Implements the closed-form expressions the paper derives for the
+ * sequence length and similarity-matrix memory of the Self- and
+ * Cross-Attention blocks over the UNet stages, including the
+ * cumulative sum across the downsampling ladder and the O(L^4)
+ * image-size scaling law.
+ */
+
+#ifndef MMGEN_ANALYTICS_MEMORY_MODEL_HH
+#define MMGEN_ANALYTICS_MEMORY_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mmgen::analytics {
+
+/** Parameters of the paper's Section V analytical model. */
+struct DiffusionMemoryModel
+{
+    /** Latent (or pixel) extent fed to the UNet. */
+    std::int64_t latentH = 64;
+    std::int64_t latentW = 64;
+    /** Encoded text prompt length. */
+    std::int64_t textEncode = 77;
+    /** Downsampling factor between UNet stages (paper's d). */
+    std::int64_t downFactor = 2;
+    /** Number of downsampling stages (paper's unetdepth). */
+    int unetDepth = 3;
+    /** Bytes per element (paper assumes FP16 = 2). */
+    std::int64_t bytesPerParam = 2;
+
+    /** Spatial positions at stage n: (HL * WL) / d^(2n). */
+    std::int64_t positionsAtStage(int n) const;
+
+    /** Self-attention similarity matrix entries at stage n. */
+    double selfSimilarityEntries(int n) const;
+
+    /** Cross-attention similarity matrix entries at stage n. */
+    double crossSimilarityEntries(int n) const;
+
+    /**
+     * Memory of one attention calculation's similarity matrices at
+     * stage n (paper's 2*HW*[HW + text_encode] expression, in bytes).
+     */
+    double similarityBytesAtStage(int n) const;
+
+    /**
+     * Cumulative similarity-matrix bytes over one UNet pass: twice the
+     * per-stage term for every stage above the bottleneck (down and up
+     * paths) plus the bottleneck itself (the paper's summation).
+     */
+    double cumulativeSimilarityBytes() const;
+};
+
+/**
+ * Fit the scaling exponent of y against x on a log-log scale
+ * (least-squares slope). The paper's claim that attention memory
+ * scales as O(L^4) corresponds to an exponent of ~4 when x is the
+ * latent extent.
+ */
+double scalingExponent(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+} // namespace mmgen::analytics
+
+#endif // MMGEN_ANALYTICS_MEMORY_MODEL_HH

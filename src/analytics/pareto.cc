@@ -1,0 +1,64 @@
+#include "pareto.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+
+const std::vector<QualityPoint>&
+publishedTtiQualityPoints()
+{
+    // Published zero-shot COCO FID and parameter counts, as collated
+    // by the paper's Fig. 4 (values from the cited publications).
+    static const std::vector<QualityPoint> points = {
+        {"StableDiffusion", 12.6, 1.45, "diffusion"},
+        {"Imagen", 7.3, 3.0, "diffusion"},
+        {"Parti", 7.2, 20.0, "transformer"},
+        {"Muse", 7.9, 3.0, "transformer"},
+        {"DALL-E", 27.5, 12.0, "transformer"},
+        {"DALL-E 2", 10.4, 5.5, "diffusion"},
+        {"GLIDE", 12.2, 5.0, "diffusion"},
+        {"Make-A-Scene", 11.8, 4.0, "transformer"},
+        {"CogView", 27.1, 4.0, "transformer"},
+        {"CogView2", 24.0, 6.0, "transformer"},
+        {"VQ-Diffusion", 19.8, 0.37, "diffusion"},
+        {"ERNIE-ViLG", 7.9, 10.0, "diffusion"},
+        {"RA-CM3", 15.7, 2.7, "transformer"},
+        {"NUWA", 12.9, 0.87, "transformer"},
+    };
+    return points;
+}
+
+bool
+dominates(const QualityPoint& a, const QualityPoint& b)
+{
+    const bool no_worse = a.fid <= b.fid && a.paramsB <= b.paramsB;
+    const bool strictly_better = a.fid < b.fid || a.paramsB < b.paramsB;
+    return no_worse && strictly_better;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<QualityPoint>& points)
+{
+    MMGEN_CHECK(!points.empty(), "empty point set");
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (i != j && dominates(points[j], points[i])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    std::sort(front.begin(), front.end(),
+              [&points](std::size_t a, std::size_t b) {
+                  return points[a].fid < points[b].fid;
+              });
+    return front;
+}
+
+} // namespace mmgen::analytics

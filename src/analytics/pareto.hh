@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quality-vs-size Pareto analysis of TTI models (paper Fig. 4).
+ *
+ * The paper plots published COCO FID scores against trainable
+ * parameter counts and identifies the Pareto-optimal frontier (lower
+ * is better on both axes). The published data points are embedded
+ * here as a static dataset; the analysis (dominance and frontier
+ * extraction) is what this module implements.
+ */
+
+#ifndef MMGEN_ANALYTICS_PARETO_HH
+#define MMGEN_ANALYTICS_PARETO_HH
+
+#include <string>
+#include <vector>
+
+namespace mmgen::analytics {
+
+/** One model's published quality/size point. */
+struct QualityPoint
+{
+    std::string name;
+    /** COCO FID score (lower is better). */
+    double fid = 0.0;
+    /** Trainable parameters, billions (lower is better here). */
+    double paramsB = 0.0;
+    /** "diffusion" or "transformer". */
+    std::string family;
+};
+
+/** Published TTI quality/size dataset used by the paper's Fig. 4. */
+const std::vector<QualityPoint>& publishedTtiQualityPoints();
+
+/**
+ * True if a dominates b: a is no worse on both axes and strictly
+ * better on at least one.
+ */
+bool dominates(const QualityPoint& a, const QualityPoint& b);
+
+/**
+ * Indices of the Pareto-optimal points (not dominated by any other),
+ * sorted by increasing FID.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<QualityPoint>& points);
+
+} // namespace mmgen::analytics
+
+#endif // MMGEN_ANALYTICS_PARETO_HH

@@ -1,0 +1,64 @@
+#include "phase_classifier.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+
+std::string
+phaseKindName(PhaseKind k)
+{
+    switch (k) {
+      case PhaseKind::PrefillLike:
+        return "prefill-like";
+      case PhaseKind::DecodeLike:
+        return "decode-like";
+      case PhaseKind::Mixed:
+        return "mixed";
+    }
+    MMGEN_ASSERT(false, "unknown phase kind");
+}
+
+PhaseKind
+PhaseProfile::verdict() const
+{
+    const double f = blockFraction();
+    if (f >= 0.9)
+        return PhaseKind::PrefillLike;
+    if (f <= 0.1)
+        return PhaseKind::DecodeLike;
+    return PhaseKind::Mixed;
+}
+
+double
+PhaseProfile::blockFraction() const
+{
+    const std::int64_t total = blockQueryCalls + tokenQueryCalls;
+    return total == 0 ? 0.0
+                      : static_cast<double>(blockQueryCalls) /
+                            static_cast<double>(total);
+}
+
+PhaseProfile
+classifyPipeline(const graph::Pipeline& pipeline)
+{
+    PhaseProfile profile;
+    for (std::size_t si = 0; si < pipeline.stages.size(); ++si) {
+        const graph::Stage& stage = pipeline.stages[si];
+        // Per-iteration stages have shape drift only in seq_kv; one
+        // iteration suffices for the seq_q census, scaled by count.
+        const graph::Trace trace =
+            pipeline.traceStage(si, stage.iterations - 1);
+        for (const auto& op : trace.ops()) {
+            if (op.kind != graph::OpKind::Attention)
+                continue;
+            const auto& a = op.as<graph::AttentionAttrs>();
+            if (a.seqQ > 1)
+                profile.blockQueryCalls += stage.iterations;
+            else
+                profile.tokenQueryCalls += stage.iterations;
+        }
+    }
+    return profile;
+}
+
+} // namespace mmgen::analytics

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Prefill/decode correspondence of TTI/TTV workloads (paper Table III).
+ *
+ * LLM inference has two phases with very different attention shapes:
+ * Prefill processes an NxD query block (large N^2 similarity matrix,
+ * big Flash Attention wins) and Decode processes 1xD queries (small
+ * matrices, little win). The classifier inspects the attention-call
+ * shapes of a profiled run and reports which phase the workload
+ * resembles.
+ */
+
+#ifndef MMGEN_ANALYTICS_PHASE_CLASSIFIER_HH
+#define MMGEN_ANALYTICS_PHASE_CLASSIFIER_HH
+
+#include <string>
+
+#include "graph/pipeline.hh"
+
+namespace mmgen::analytics {
+
+/** The LLM phase an attention workload resembles. */
+enum class PhaseKind {
+    PrefillLike,
+    DecodeLike,
+    Mixed,
+};
+
+/** Human-readable phase name. */
+std::string phaseKindName(PhaseKind k);
+
+/** Attention-shape census of a pipeline's inference. */
+struct PhaseProfile
+{
+    /** Attention call executions with seq_q > 1 (block queries). */
+    std::int64_t blockQueryCalls = 0;
+    /** Attention call executions with seq_q == 1 (token queries). */
+    std::int64_t tokenQueryCalls = 0;
+
+    PhaseKind verdict() const;
+
+    /** Fraction of calls that are block (prefill-shaped) queries. */
+    double blockFraction() const;
+};
+
+/** Classify a pipeline by tracing every stage's attention shapes. */
+PhaseProfile classifyPipeline(const graph::Pipeline& pipeline);
+
+} // namespace mmgen::analytics
+
+#endif // MMGEN_ANALYTICS_PHASE_CLASSIFIER_HH

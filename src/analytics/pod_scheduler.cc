@@ -1,0 +1,139 @@
+#include "pod_scheduler.hh"
+
+#include <algorithm>
+
+#include "kernels/cost_model.hh"
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+
+double
+DemandSlice::bandwidth() const
+{
+    return seconds > 0.0 ? hbmBytes / seconds : 0.0;
+}
+
+double
+PodSchedule::peakToAverage() const
+{
+    return meanBandwidth > 0.0 ? peakBandwidth / meanBandwidth : 0.0;
+}
+
+std::vector<DemandSlice>
+stageDemandProfile(const graph::Pipeline& pipeline,
+                   std::size_t stage_idx, const hw::GpuSpec& gpu)
+{
+    const graph::Trace trace = pipeline.traceStage(stage_idx, 0);
+    const kernels::CostModel model(gpu, graph::AttentionBackend::Flash);
+    std::vector<DemandSlice> demand;
+    demand.reserve(trace.size());
+    for (const auto& op : trace.ops()) {
+        const kernels::OpCost cost = model.cost(op);
+        DemandSlice slice;
+        slice.seconds = model.time(cost, op.dtype).seconds;
+        slice.hbmBytes = cost.totalBytes();
+        demand.push_back(slice);
+    }
+    return demand;
+}
+
+namespace {
+
+/**
+ * Resample the demand series onto a uniform grid of bandwidth values
+ * over one period.
+ */
+std::vector<double>
+resample(const std::vector<DemandSlice>& demand, std::size_t grid)
+{
+    MMGEN_CHECK(!demand.empty(), "empty demand profile");
+    MMGEN_CHECK(grid >= 2, "grid too small");
+    double period = 0.0;
+    for (const auto& s : demand)
+        period += s.seconds;
+    MMGEN_CHECK(period > 0.0, "demand profile has zero duration");
+
+    std::vector<double> curve(grid, 0.0);
+    const double dt = period / static_cast<double>(grid);
+    std::size_t slice = 0;
+    double slice_end = demand[0].seconds;
+    for (std::size_t g = 0; g < grid; ++g) {
+        const double t = (static_cast<double>(g) + 0.5) * dt;
+        while (t > slice_end && slice + 1 < demand.size()) {
+            ++slice;
+            slice_end += demand[slice].seconds;
+        }
+        curve[g] = demand[slice].bandwidth();
+    }
+    return curve;
+}
+
+PodSchedule
+evaluateCurve(const std::vector<double>& curve,
+              const std::vector<std::size_t>& offsets)
+{
+    const std::size_t grid = curve.size();
+    PodSchedule result;
+    result.pods = static_cast<int>(offsets.size());
+    result.offsets = offsets;
+    double peak = 0.0;
+    double sum = 0.0;
+    for (std::size_t g = 0; g < grid; ++g) {
+        double total = 0.0;
+        for (std::size_t off : offsets)
+            total += curve[(g + off) % grid];
+        peak = std::max(peak, total);
+        sum += total;
+    }
+    result.peakBandwidth = peak;
+    result.meanBandwidth = sum / static_cast<double>(grid);
+    return result;
+}
+
+} // namespace
+
+PodSchedule
+evaluateOffsets(const std::vector<DemandSlice>& demand,
+                const std::vector<std::size_t>& offsets,
+                std::size_t grid)
+{
+    MMGEN_CHECK(!offsets.empty(), "need at least one pod");
+    return evaluateCurve(resample(demand, grid), offsets);
+}
+
+PodSchedule
+schedulePods(const std::vector<DemandSlice>& demand, int pods,
+             std::size_t grid)
+{
+    MMGEN_CHECK(pods >= 1, "need at least one pod");
+    const std::vector<double> curve = resample(demand, grid);
+    std::vector<std::size_t> offsets = {0};
+    // Greedy: place each next pod at the offset minimizing the peak.
+    for (int pod = 1; pod < pods; ++pod) {
+        std::size_t best_off = 0;
+        double best_peak = -1.0;
+        for (std::size_t cand = 0; cand < grid; ++cand) {
+            std::vector<std::size_t> trial = offsets;
+            trial.push_back(cand);
+            const PodSchedule s = evaluateCurve(curve, trial);
+            if (best_peak < 0.0 || s.peakBandwidth < best_peak) {
+                best_peak = s.peakBandwidth;
+                best_off = cand;
+            }
+        }
+        offsets.push_back(best_off);
+    }
+    return evaluateCurve(curve, offsets);
+}
+
+PodSchedule
+inPhaseSchedule(const std::vector<DemandSlice>& demand, int pods,
+                std::size_t grid)
+{
+    MMGEN_CHECK(pods >= 1, "need at least one pod");
+    const std::vector<std::size_t> offsets(
+        static_cast<std::size_t>(pods), 0);
+    return evaluateCurve(resample(demand, grid), offsets);
+}
+
+} // namespace mmgen::analytics

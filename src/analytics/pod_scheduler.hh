@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Denoising-pod scheduler (the system optimization the paper sketches
+ * in Section V-A).
+ *
+ * A diffusion UNet pass alternates between phases of very different
+ * memory-bandwidth demand as sequence lengths cycle through the
+ * downsampling ladder. The paper observes that "different denoising
+ * steps of the diffusion process could be staggered to allow for
+ * maximum memory bandwidth utilization at any one time": running P
+ * images (or step groups) phase-shifted against each other flattens
+ * the aggregate demand. This module implements that scheduler over a
+ * profiled op-time/bandwidth series and quantifies the benefit.
+ */
+
+#ifndef MMGEN_ANALYTICS_POD_SCHEDULER_HH
+#define MMGEN_ANALYTICS_POD_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/pipeline.hh"
+#include "hw/gpu_spec.hh"
+
+namespace mmgen::analytics {
+
+/** Bandwidth demand of one time slice of a UNet pass. */
+struct DemandSlice
+{
+    /** Duration of the slice, seconds. */
+    double seconds = 0.0;
+    /** HBM bytes the slice moves. */
+    double hbmBytes = 0.0;
+
+    /** Average bandwidth demand over the slice, bytes/s. */
+    double bandwidth() const;
+};
+
+/** Result of scheduling P phase-shifted streams of one demand curve. */
+struct PodSchedule
+{
+    int pods = 1;
+    /** Phase offsets (slice indices) chosen per pod. */
+    std::vector<std::size_t> offsets;
+    /** Peak aggregate bandwidth across the period, bytes/s. */
+    double peakBandwidth = 0.0;
+    /** Mean aggregate bandwidth across the period, bytes/s. */
+    double meanBandwidth = 0.0;
+
+    /** Peak-to-average ratio; 1.0 is a perfectly flat schedule. */
+    double peakToAverage() const;
+};
+
+/**
+ * Extract the per-op bandwidth-demand series of one pipeline stage
+ * iteration (the fundamental period of Fig. 7).
+ */
+std::vector<DemandSlice>
+stageDemandProfile(const graph::Pipeline& pipeline,
+                   std::size_t stage_idx, const hw::GpuSpec& gpu);
+
+/**
+ * Aggregate bandwidth when `pods` copies of the demand curve run
+ * phase-shifted by the given offsets (wrapping around the period).
+ * Slices are resampled on a uniform time grid of `grid` points.
+ */
+PodSchedule
+evaluateOffsets(const std::vector<DemandSlice>& demand,
+                const std::vector<std::size_t>& offsets,
+                std::size_t grid = 256);
+
+/**
+ * Greedily choose phase offsets for `pods` streams to minimize the
+ * peak aggregate bandwidth (offsets are chosen one pod at a time on
+ * the uniform grid).
+ */
+PodSchedule schedulePods(const std::vector<DemandSlice>& demand,
+                         int pods, std::size_t grid = 256);
+
+/** Baseline for comparison: all pods in phase (offset 0). */
+PodSchedule inPhaseSchedule(const std::vector<DemandSlice>& demand,
+                            int pods, std::size_t grid = 256);
+
+} // namespace mmgen::analytics
+
+#endif // MMGEN_ANALYTICS_POD_SCHEDULER_HH

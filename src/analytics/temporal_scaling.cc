@@ -1,0 +1,102 @@
+#include "temporal_scaling.hh"
+
+#include "graph/op.hh"
+#include "kernels/attention.hh"
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+
+namespace {
+
+graph::AttentionAttrs
+videoAttention(std::int64_t batch, std::int64_t seq, std::int64_t dim)
+{
+    graph::AttentionAttrs a;
+    a.batch = batch;
+    a.heads = 1;
+    a.seqQ = seq;
+    a.seqKv = seq;
+    a.headDim = dim;
+    return a;
+}
+
+} // namespace
+
+double
+spatialAttentionFlops(std::int64_t frames, std::int64_t spatial_positions,
+                      std::int64_t model_dim)
+{
+    MMGEN_CHECK(frames > 0 && spatial_positions > 0 && model_dim > 0,
+                "dims must be positive");
+    // Batch = frames, sequence = spatial positions.
+    return kernels::attentionMatmulFlops(
+        videoAttention(frames, spatial_positions, model_dim));
+}
+
+double
+temporalAttentionFlops(std::int64_t frames,
+                       std::int64_t spatial_positions,
+                       std::int64_t model_dim)
+{
+    MMGEN_CHECK(frames > 0 && spatial_positions > 0 && model_dim > 0,
+                "dims must be positive");
+    // Batch = spatial positions, sequence = frames (paper Fig. 10).
+    return kernels::attentionMatmulFlops(
+        videoAttention(spatial_positions, frames, model_dim));
+}
+
+std::int64_t
+temporalCrossoverFrames(std::int64_t spatial_positions)
+{
+    MMGEN_CHECK(spatial_positions > 0, "positions must be positive");
+    // F * HW^2 = HW * F^2  =>  F = HW.
+    return spatial_positions;
+}
+
+double
+jointSpatioTemporalFlops(std::int64_t frames,
+                         std::int64_t spatial_positions,
+                         std::int64_t model_dim)
+{
+    MMGEN_CHECK(frames > 0 && spatial_positions > 0 && model_dim > 0,
+                "dims must be positive");
+    return kernels::attentionMatmulFlops(
+        videoAttention(1, frames * spatial_positions, model_dim));
+}
+
+double
+jointSimilarityBytes(std::int64_t frames,
+                     std::int64_t spatial_positions)
+{
+    const double seq =
+        static_cast<double>(frames * spatial_positions);
+    return 2.0 * seq * seq;
+}
+
+double
+factorizedSimilarityBytes(std::int64_t frames,
+                          std::int64_t spatial_positions)
+{
+    const double f = static_cast<double>(frames);
+    const double hw = static_cast<double>(spatial_positions);
+    // Spatial: F matrices of HW^2; temporal: HW matrices of F^2.
+    return 2.0 * (f * hw * hw + hw * f * f);
+}
+
+double
+windowedTemporalFlops(std::int64_t frames,
+                      std::int64_t spatial_positions,
+                      std::int64_t model_dim, std::int64_t window)
+{
+    MMGEN_CHECK(window > 0, "window must be positive");
+    const std::int64_t w = window < frames ? window : frames;
+    graph::AttentionAttrs a;
+    a.batch = spatial_positions;
+    a.heads = 1;
+    a.seqQ = frames;
+    a.seqKv = w;
+    a.headDim = model_dim;
+    return kernels::attentionMatmulFlops(a);
+}
+
+} // namespace mmgen::analytics

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Spatial- vs temporal-attention FLOP scaling with frame count
+ * (paper Fig. 13, benchmark modeled on space-time attention).
+ *
+ * For a video of F frames with HW spatial positions and model width D:
+ *   spatial attention  FLOPs ~ F * HW^2 * D   (linear in F)
+ *   temporal attention FLOPs ~ HW * F^2 * D   (quadratic in F)
+ * so temporal attention overtakes spatial at F = HW, and raising the
+ * resolution pushes the crossover right.
+ */
+
+#ifndef MMGEN_ANALYTICS_TEMPORAL_SCALING_HH
+#define MMGEN_ANALYTICS_TEMPORAL_SCALING_HH
+
+#include <cstdint>
+
+namespace mmgen::analytics {
+
+/** FLOPs of one spatial attention layer over a video tensor. */
+double spatialAttentionFlops(std::int64_t frames,
+                             std::int64_t spatial_positions,
+                             std::int64_t model_dim);
+
+/** FLOPs of one temporal attention layer over a video tensor. */
+double temporalAttentionFlops(std::int64_t frames,
+                              std::int64_t spatial_positions,
+                              std::int64_t model_dim);
+
+/**
+ * Frame count at which temporal attention FLOPs first exceed spatial
+ * attention FLOPs for the given geometry (the Fig. 13 crossover).
+ */
+std::int64_t temporalCrossoverFrames(std::int64_t spatial_positions);
+
+/**
+ * FLOPs of one *joint* spatio-temporal attention layer (sequence =
+ * frames * positions). This is the design TTV models avoid: the paper
+ * notes that adding the temporal dimension to the existing attention
+ * call "is not feasible from a memory perspective" (Section II-B).
+ */
+double jointSpatioTemporalFlops(std::int64_t frames,
+                                std::int64_t spatial_positions,
+                                std::int64_t model_dim);
+
+/** Similarity-matrix bytes of the joint layer (fp16). */
+double jointSimilarityBytes(std::int64_t frames,
+                            std::int64_t spatial_positions);
+
+/** Similarity-matrix bytes of the factorized pair (fp16). */
+double factorizedSimilarityBytes(std::int64_t frames,
+                                 std::int64_t spatial_positions);
+
+/**
+ * FLOPs of a *windowed* temporal attention layer: each frame attends
+ * only to a window of `window` frames. Linearizes the Fig. 13
+ * quadratic and is the kind of optimization the paper's conclusion
+ * calls for to enable long, coherent video.
+ */
+double windowedTemporalFlops(std::int64_t frames,
+                             std::int64_t spatial_positions,
+                             std::int64_t model_dim,
+                             std::int64_t window);
+
+} // namespace mmgen::analytics
+
+#endif // MMGEN_ANALYTICS_TEMPORAL_SCALING_HH

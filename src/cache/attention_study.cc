@@ -1,0 +1,173 @@
+#include "attention_study.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mmgen::cache {
+
+using kernels::KernelClass;
+
+double
+AttentionCacheReport::l1HitRate(KernelClass klass) const
+{
+    auto it = stats.find(klass);
+    return it == stats.end() ? 0.0 : it->second.l1.hitRate();
+}
+
+double
+AttentionCacheReport::l2HitRate(KernelClass klass) const
+{
+    auto it = stats.find(klass);
+    return it == stats.end() ? 0.0 : it->second.l2.hitRate();
+}
+
+MatrixLayout
+attentionOperandLayout(const graph::AttentionAttrs& attrs,
+                       std::uint64_t base_bytes, std::int64_t rows,
+                       std::size_t elem_bytes)
+{
+    MatrixLayout m;
+    m.baseBytes = base_bytes;
+    m.elemBytes = elem_bytes;
+    if (attrs.featureStrideElems == 1) {
+        // Contiguous channels-last [batch, rows, heads * headDim]:
+        // matrix (b, h) has row stride heads*headDim, head offset
+        // h*headDim.
+        m.rowStrideElems = attrs.heads * attrs.headDim;
+        m.elemStrideElems = 1;
+        m.batchDims = {
+            {attrs.heads, attrs.headDim},
+            {attrs.batch, rows * attrs.heads * attrs.headDim},
+        };
+    } else {
+        // Conv-native [vb, C, rows, inner] viewed with the attended
+        // axis as sequence: the batch decomposes into the spatial
+        // positions (inner, stride 1), the heads (stride
+        // headDim * featureStride), and the outer video batch.
+        const std::int64_t inner = attrs.seqStrideElems;
+        MMGEN_CHECK(inner > 0 && attrs.batch % inner == 0,
+                    "strided attention batch " << attrs.batch
+                        << " not divisible by inner extent " << inner);
+        const std::int64_t head_stride =
+            attrs.headDim * attrs.featureStrideElems;
+        m.rowStrideElems = attrs.seqStrideElems;
+        m.elemStrideElems = attrs.featureStrideElems;
+        m.batchDims = {
+            {inner, 1},
+            {attrs.heads, head_stride},
+            {attrs.batch / inner, attrs.heads * head_stride},
+        };
+    }
+    return m;
+}
+
+AttentionCacheReport
+runAttentionCacheStudy(const hw::GpuSpec& gpu,
+                       const graph::AttentionAttrs& attrs, DType dtype,
+                       std::int64_t max_batches,
+                       graph::AttentionBackend backend)
+{
+    MMGEN_CHECK(backend == graph::AttentionBackend::Baseline ||
+                    backend == graph::AttentionBackend::Flash,
+                "cache study supports baseline and flash backends");
+    const std::size_t eb = dtypeBytes(dtype);
+    // Well-separated buffer bases (addresses are symbolic).
+    const std::uint64_t gib = 1ULL << 30;
+    const MatrixLayout q =
+        attentionOperandLayout(attrs, 1 * gib, attrs.seqQ, eb);
+    const MatrixLayout k =
+        attentionOperandLayout(attrs, 32 * gib, attrs.seqKv, eb);
+    const MatrixLayout v =
+        attentionOperandLayout(attrs, 64 * gib, attrs.seqKv, eb);
+    const std::int64_t bh = attrs.batch * attrs.heads;
+    const MatrixLayout s = MatrixLayout::contiguous(
+        96 * gib, bh, attrs.seqQ, attrs.seqKv, eb);
+    const MatrixLayout o =
+        attentionOperandLayout(attrs, 128 * gib, attrs.seqQ, eb);
+
+    // Transposed view of V: the AV GEMM's B operand is indexed
+    // [headDim rows x seqKv elems].
+    MatrixLayout v_t = v;
+    std::swap(v_t.rowStrideElems, v_t.elemStrideElems);
+
+    GpuCacheModel model(gpu);
+    const std::int64_t max_rows =
+        max_batches > 0 ? max_batches * attrs.seqQ : 0;
+
+    if (backend == graph::AttentionBackend::Flash) {
+        // One fused kernel: each query-tile CTA reads its Q tile,
+        // streams every K and V tile, and writes its O tile. The
+        // whole-K/V stream per CTA is the same algorithmic reuse the
+        // baseline QK GEMM has, with no similarity-matrix traffic.
+        GemmTraceParams p;
+        p.m = attrs.seqQ;
+        p.n = attrs.seqKv;
+        p.k = attrs.headDim;
+        p.a = q;
+        p.b = k; // K streamed per CTA
+        p.c = o; // O written per query tile
+        p.maxBatches = max_batches;
+        runGemmTrace(model, p);
+        // V streams through the same kernel (second operand pass).
+        GemmTraceParams pv = p;
+        pv.b = v;
+        pv.c = o;
+        runGemmTrace(model, pv);
+        AttentionCacheReport report;
+        report.stats = model.stats();
+        return report;
+    }
+
+    // 1. S = Q K^T
+    {
+        GemmTraceParams p;
+        p.m = attrs.seqQ;
+        p.n = attrs.seqKv;
+        p.k = attrs.headDim;
+        p.a = q;
+        p.b = k;
+        p.c = s;
+        p.maxBatches = max_batches;
+        runGemmTrace(model, p);
+    }
+    model.invalidateL1s();
+    // 2. scale S
+    {
+        ElementwiseTraceParams p;
+        p.rows = attrs.seqQ;
+        p.cols = attrs.seqKv;
+        p.mat = s;
+        p.maxRows = max_rows;
+        runElementwiseTrace(model, p);
+    }
+    model.invalidateL1s();
+    // 3. softmax rows of S
+    {
+        SoftmaxTraceParams p;
+        p.rows = attrs.seqQ;
+        p.cols = attrs.seqKv;
+        p.mat = s;
+        p.maxRows = max_rows;
+        runSoftmaxTrace(model, p);
+    }
+    model.invalidateL1s();
+    // 4. O = S V
+    {
+        GemmTraceParams p;
+        p.m = attrs.seqQ;
+        p.n = attrs.headDim;
+        p.k = attrs.seqKv;
+        p.a = s;
+        p.b = v_t;
+        p.c = o;
+        p.maxBatches = max_batches;
+        runGemmTrace(model, p);
+    }
+
+    AttentionCacheReport report;
+    report.stats = model.stats();
+    return report;
+}
+
+} // namespace mmgen::cache

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cache-behaviour study of one attention call (paper Fig. 12).
+ *
+ * Replays the attention kernel sequence (QK^T GEMM, scale, softmax,
+ * AV GEMM) as address traces over the layouts implied by the attention
+ * attributes, and reports L1/L2 hit rates per kernel class. Spatial
+ * attention enjoys query-tile reuse of K/V and multi-pass softmax rows;
+ * temporal attention's tiny, strided matrices exhibit neither, which
+ * is the ~10x L1 hit-rate gap the paper measures with Nsight.
+ */
+
+#ifndef MMGEN_CACHE_ATTENTION_STUDY_HH
+#define MMGEN_CACHE_ATTENTION_STUDY_HH
+
+#include <map>
+
+#include "cache/hierarchy.hh"
+#include "cache/trace_gen.hh"
+#include "graph/op.hh"
+
+namespace mmgen::cache {
+
+/** Hit rates per kernel class for one attention configuration. */
+struct AttentionCacheReport
+{
+    std::map<kernels::KernelClass, LevelStats> stats;
+
+    double l1HitRate(kernels::KernelClass klass) const;
+    double l2HitRate(kernels::KernelClass klass) const;
+};
+
+/**
+ * Build the Q/K/V/S/O layouts for an attention call and replay its
+ * kernels against a fresh cache hierarchy.
+ *
+ * @param gpu          simulated device (cache geometry source)
+ * @param attrs        attention shapes and layout strides
+ * @param dtype        element type
+ * @param max_batches  cap on simulated (batch) entries per kernel to
+ *                     bound trace length; 0 = simulate everything
+ * @param backend      Baseline replays the 4-kernel eager sequence;
+ *                     Flash replays one fused kernel that streams K/V
+ *                     per query tile and never touches an S matrix
+ */
+AttentionCacheReport
+runAttentionCacheStudy(const hw::GpuSpec& gpu,
+                       const graph::AttentionAttrs& attrs, DType dtype,
+                       std::int64_t max_batches = 0,
+                       graph::AttentionBackend backend =
+                           graph::AttentionBackend::Baseline);
+
+/**
+ * Layout of one attention operand under the attrs' stride model
+ * (exposed for tests).
+ */
+MatrixLayout attentionOperandLayout(const graph::AttentionAttrs& attrs,
+                                    std::uint64_t base_bytes,
+                                    std::int64_t rows,
+                                    std::size_t elem_bytes);
+
+} // namespace mmgen::cache
+
+#endif // MMGEN_CACHE_ATTENTION_STUDY_HH

@@ -1,0 +1,75 @@
+#include "hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::cache {
+
+GpuCacheModel::GpuCacheModel(const hw::GpuSpec& gpu,
+                             std::int64_t l1_data_bytes)
+    : line(gpu.cacheLineBytes)
+{
+    const std::int64_t l1_bytes =
+        l1_data_bytes > 0 ? l1_data_bytes : 128LL * 1024;
+    MMGEN_CHECK(gpu.numSms > 0, "GPU spec has no SMs");
+    l1s.reserve(static_cast<std::size_t>(gpu.numSms));
+    for (int i = 0; i < gpu.numSms; ++i) {
+        l1s.push_back(std::make_unique<SetAssocCache>(
+            "l1." + std::to_string(i), l1_bytes, 4, line));
+    }
+    l2 = std::make_unique<SetAssocCache>("l2", gpu.l2Bytes, 16, line);
+}
+
+void
+GpuCacheModel::access(int sm, std::uint64_t addr,
+                      kernels::KernelClass klass, bool is_write)
+{
+    MMGEN_ASSERT(sm >= 0 && sm < numSms(), "SM index " << sm
+                                               << " out of range");
+    LevelStats& st = stats_[klass];
+    if (is_write) {
+        // Write-through, no-write-allocate L1: stores go straight to
+        // the L2 and do not perturb (or count toward) L1 statistics.
+        const bool l2_hit = l2->access(addr);
+        ++st.l2.accesses;
+        if (l2_hit)
+            ++st.l2.hits;
+        return;
+    }
+    const bool l1_hit = l1s[static_cast<std::size_t>(sm)]->access(addr);
+    ++st.l1.accesses;
+    if (l1_hit) {
+        ++st.l1.hits;
+        return;
+    }
+    const bool l2_hit = l2->access(addr);
+    ++st.l2.accesses;
+    if (l2_hit)
+        ++st.l2.hits;
+}
+
+LevelStats
+GpuCacheModel::statsFor(kernels::KernelClass klass) const
+{
+    auto it = stats_.find(klass);
+    return it == stats_.end() ? LevelStats{} : it->second;
+}
+
+void
+GpuCacheModel::invalidateL1s()
+{
+    // Reporting counters live in the per-class stats_ map, so dropping
+    // the L1 contents (and their internal counters) is sufficient.
+    for (auto& l1 : l1s)
+        l1->reset();
+}
+
+void
+GpuCacheModel::reset()
+{
+    for (auto& l1 : l1s)
+        l1->reset();
+    l2->reset();
+    stats_.clear();
+}
+
+} // namespace mmgen::cache

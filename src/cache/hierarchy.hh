@@ -1,0 +1,94 @@
+/**
+ * @file
+ * GPU cache hierarchy: per-SM private L1s in front of a shared L2.
+ *
+ * Accesses are attributed to a kernel class so hit rates can be
+ * reported per class, matching how the paper groups Nsight counters
+ * into gemm / softmax / elementwise kernels (Fig. 12).
+ */
+
+#ifndef MMGEN_CACHE_HIERARCHY_HH
+#define MMGEN_CACHE_HIERARCHY_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "hw/gpu_spec.hh"
+#include "kernels/kernel_cost.hh"
+
+namespace mmgen::cache {
+
+/** L1 + L2 hit statistics for one kernel class. */
+struct LevelStats
+{
+    CacheStats l1;
+    CacheStats l2;
+};
+
+/**
+ * Private-L1 / shared-L2 hierarchy driven by kernel traces.
+ */
+class GpuCacheModel
+{
+  public:
+    /**
+     * Build a hierarchy sized from the GPU spec.
+     *
+     * @param gpu            simulated device
+     * @param l1_data_bytes  modeled L1 data capacity per SM (the
+     *                       remainder of the 192 KiB is shared memory);
+     *                       0 picks a default of 128 KiB
+     */
+    explicit GpuCacheModel(const hw::GpuSpec& gpu,
+                           std::int64_t l1_data_bytes = 0);
+
+    /**
+     * One sector access from a given SM, attributed to a kernel class.
+     *
+     * Loads consult the L1 first and fill it on a miss; the L2 is only
+     * consulted on an L1 miss. Stores model the write-through,
+     * no-write-allocate policy of GPU L1s: they bypass the L1 (and its
+     * statistics) and allocate directly in the L2, which is what lets
+     * a later kernel re-read its producer's output from L2.
+     */
+    void access(int sm, std::uint64_t addr, kernels::KernelClass klass,
+                bool is_write = false);
+
+    /** Number of modeled SMs (L1 instances). */
+    int numSms() const { return static_cast<int>(l1s.size()); }
+
+    /** Sector size in bytes. */
+    int lineBytes() const { return line; }
+
+    /** Per-kernel-class statistics. */
+    const std::map<kernels::KernelClass, LevelStats>& stats() const
+    {
+        return stats_;
+    }
+
+    /** Statistics for one class (zeros if the class never ran). */
+    LevelStats statsFor(kernels::KernelClass klass) const;
+
+    /**
+     * Invalidate the (non-coherent) private L1s, as real GPUs do at
+     * kernel boundaries. L2 contents and all statistics survive —
+     * which is exactly what lets a small similarity matrix written by
+     * one kernel be re-read from L2 by the next.
+     */
+    void invalidateL1s();
+
+    /** Clear all cache contents and counters. */
+    void reset();
+
+  private:
+    int line;
+    std::vector<std::unique_ptr<SetAssocCache>> l1s;
+    std::unique_ptr<SetAssocCache> l2;
+    std::map<kernels::KernelClass, LevelStats> stats_;
+};
+
+} // namespace mmgen::cache
+
+#endif // MMGEN_CACHE_HIERARCHY_HH

@@ -1,0 +1,95 @@
+#include "set_assoc_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mmgen::cache {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+int
+log2OfPowerOfTwo(std::uint64_t x)
+{
+    int n = 0;
+    while ((x >>= 1) != 0)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+CacheStats&
+CacheStats::operator+=(const CacheStats& other)
+{
+    accesses += other.accesses;
+    hits += other.hits;
+    return *this;
+}
+
+SetAssocCache::SetAssocCache(std::string name, std::int64_t capacity_bytes,
+                             int associativity, int line_bytes)
+    : name_(std::move(name)), assoc(associativity), line(line_bytes)
+{
+    MMGEN_CHECK(capacity_bytes > 0, "capacity must be positive");
+    MMGEN_CHECK(associativity > 0, "associativity must be positive");
+    MMGEN_CHECK(isPowerOfTwo(static_cast<std::uint64_t>(line_bytes)),
+                "line size " << line_bytes << " not a power of two");
+    const std::int64_t set_bytes =
+        static_cast<std::int64_t>(line_bytes) * associativity;
+    MMGEN_CHECK(capacity_bytes % set_bytes == 0,
+                "capacity " << capacity_bytes
+                            << " not a multiple of way size " << set_bytes);
+    lineShift = log2OfPowerOfTwo(static_cast<std::uint64_t>(line_bytes));
+    numSets = static_cast<std::uint64_t>(capacity_bytes / set_bytes);
+    MMGEN_CHECK(numSets > 0, "cache has zero sets");
+    tags.assign(numSets * static_cast<std::uint64_t>(assoc), 0);
+}
+
+bool
+SetAssocCache::access(std::uint64_t addr)
+{
+    ++stats_.accesses;
+    const std::uint64_t line_addr = addr >> lineShift;
+    // Tag 0 marks an invalid way; offset stored tags by 1.
+    const std::uint64_t tag = line_addr + 1;
+    const std::uint64_t set = line_addr % numSets;
+    std::uint64_t* ways = &tags[set * static_cast<std::uint64_t>(assoc)];
+
+    for (int w = 0; w < assoc; ++w) {
+        if (ways[w] == tag) {
+            // Move to front (MRU).
+            for (int i = w; i > 0; --i)
+                ways[i] = ways[i - 1];
+            ways[0] = tag;
+            ++stats_.hits;
+            return true;
+        }
+    }
+    // Miss: evict LRU (back), insert at front.
+    for (int i = assoc - 1; i > 0; --i)
+        ways[i] = ways[i - 1];
+    ways[0] = tag;
+    return false;
+}
+
+void
+SetAssocCache::reset()
+{
+    stats_ = CacheStats();
+    std::fill(tags.begin(), tags.end(), 0);
+}
+
+std::int64_t
+SetAssocCache::capacityBytes() const
+{
+    return static_cast<std::int64_t>(numSets) * assoc * line;
+}
+
+} // namespace mmgen::cache

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used to replay kernel address traces and report hit rates, standing
+ * in for the Nsight Compute cache counters the paper reads (Fig. 12).
+ * Lines are sector-sized (32 B on A100-class parts): hit rates then
+ * reflect genuine data reuse rather than intra-line streaming.
+ */
+
+#ifndef MMGEN_CACHE_SET_ASSOC_CACHE_HH
+#define MMGEN_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmgen::cache {
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+
+    std::uint64_t misses() const { return accesses - hits; }
+
+    double
+    hitRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(accesses);
+    }
+
+    CacheStats& operator+=(const CacheStats& other);
+};
+
+/**
+ * A single set-associative, allocate-on-miss, LRU cache.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name           label for reports
+     * @param capacity_bytes total capacity; must be a multiple of
+     *                       line_bytes * associativity
+     * @param associativity  ways per set
+     * @param line_bytes     line (sector) size; power of two
+     */
+    SetAssocCache(std::string name, std::int64_t capacity_bytes,
+                  int associativity, int line_bytes);
+
+    /** Access a byte address; returns true on hit, allocates on miss. */
+    bool access(std::uint64_t addr);
+
+    /** Counters since construction or last reset. */
+    const CacheStats& stats() const { return stats_; }
+
+    /** Clear counters and contents. */
+    void reset();
+
+    std::int64_t capacityBytes() const;
+    int associativity() const { return assoc; }
+    int lineBytes() const { return line; }
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    int assoc;
+    int line;
+    int lineShift;
+    std::uint64_t numSets;
+    /** ways per set, LRU-ordered front = most recent; 0 = invalid. */
+    std::vector<std::uint64_t> tags;
+    CacheStats stats_;
+};
+
+} // namespace mmgen::cache
+
+#endif // MMGEN_CACHE_SET_ASSOC_CACHE_HH

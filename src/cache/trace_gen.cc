@@ -1,0 +1,193 @@
+#include "trace_gen.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mmgen::cache {
+
+namespace {
+
+/**
+ * Emits sector accesses with consecutive-duplicate elimination, so a
+ * run of contiguous elements costs one access per sector.
+ */
+class SectorEmitter
+{
+  public:
+    SectorEmitter(GpuCacheModel& model, int sm,
+                  kernels::KernelClass klass)
+        : model_(model), sm_(sm), klass_(klass),
+          shift_(0)
+    {
+        int line = model.lineBytes();
+        while ((line >>= 1) != 0)
+            ++shift_;
+    }
+
+    void
+    touch(std::uint64_t addr, bool is_write = false)
+    {
+        const std::uint64_t sector = addr >> shift_;
+        if (have_ && sector == last_)
+            return;
+        have_ = true;
+        last_ = sector;
+        model_.access(sm_, addr, klass_, is_write);
+    }
+
+    /** Forget the last sector (between logically separate streams). */
+    void flush() { have_ = false; }
+
+  private:
+    GpuCacheModel& model_;
+    int sm_;
+    kernels::KernelClass klass_;
+    int shift_;
+    bool have_ = false;
+    std::uint64_t last_ = 0;
+};
+
+/** Block assignment of work items to SMs (persistent-CTA style). */
+int
+smFor(std::int64_t item, std::int64_t total_items, int num_sms)
+{
+    const std::int64_t per =
+        (total_items + num_sms - 1) / static_cast<std::int64_t>(num_sms);
+    const std::int64_t sm = item / per;
+    return static_cast<int>(std::min<std::int64_t>(sm, num_sms - 1));
+}
+
+/** Emit all elements of rows [row_lo, row_hi) of matrix layout m. */
+void
+emitRows(SectorEmitter& em, const MatrixLayout& m, std::int64_t batch,
+         std::int64_t row_lo, std::int64_t row_hi, std::int64_t elems,
+         bool is_write = false)
+{
+    for (std::int64_t r = row_lo; r < row_hi; ++r) {
+        for (std::int64_t e = 0; e < elems; ++e)
+            em.touch(m.addr(batch, r, e), is_write);
+        em.flush();
+    }
+}
+
+} // namespace
+
+std::int64_t
+MatrixLayout::batchCount() const
+{
+    std::int64_t n = 1;
+    for (const auto& [size, stride] : batchDims)
+        n *= size;
+    return n;
+}
+
+std::uint64_t
+MatrixLayout::addr(std::int64_t b, std::int64_t r, std::int64_t e) const
+{
+    std::int64_t off = 0;
+    std::int64_t rem = b;
+    for (const auto& [size, stride] : batchDims) {
+        off += (rem % size) * stride;
+        rem /= size;
+    }
+    MMGEN_ASSERT(rem == 0, "batch index " << b << " out of range");
+    off += r * rowStrideElems + e * elemStrideElems;
+    return baseBytes + static_cast<std::uint64_t>(off) * elemBytes;
+}
+
+MatrixLayout
+MatrixLayout::contiguous(std::uint64_t base_bytes, std::int64_t batch,
+                         std::int64_t rows, std::int64_t elems,
+                         std::size_t elem_bytes)
+{
+    MatrixLayout m;
+    m.baseBytes = base_bytes;
+    m.rowStrideElems = elems;
+    m.elemStrideElems = 1;
+    m.batchDims = {{batch, rows * elems}};
+    m.elemBytes = elem_bytes;
+    return m;
+}
+
+void
+runGemmTrace(GpuCacheModel& model, const GemmTraceParams& p)
+{
+    MMGEN_CHECK(p.m > 0 && p.n > 0 && p.k > 0, "GEMM dims must be positive");
+    const std::int64_t batches_avail = p.a.batchCount();
+    MMGEN_CHECK(batches_avail == p.b.batchCount() &&
+                    batches_avail == p.c.batchCount(),
+                "A/B/C batch counts differ");
+    const std::int64_t batches =
+        p.maxBatches > 0 ? std::min(p.maxBatches, batches_avail)
+                         : batches_avail;
+    const std::int64_t m_tiles = (p.m + p.tileM - 1) / p.tileM;
+    const std::int64_t total_ctas = batches * m_tiles;
+
+    for (std::int64_t b = 0; b < batches; ++b) {
+        for (std::int64_t mt = 0; mt < m_tiles; ++mt) {
+            const std::int64_t cta = b * m_tiles + mt;
+            const int sm = smFor(cta, total_ctas, model.numSms());
+            SectorEmitter em(model, sm, p.klass);
+            const std::int64_t row_lo = mt * p.tileM;
+            const std::int64_t row_hi = std::min(p.m, row_lo + p.tileM);
+            // A tile: read once per CTA.
+            emitRows(em, p.a, b, row_lo, row_hi, p.k);
+            // B: the whole (n x k) operand streams through every CTA.
+            emitRows(em, p.b, b, 0, p.n, p.k);
+            // C tile: written once.
+            emitRows(em, p.c, b, row_lo, row_hi, p.n, true);
+        }
+    }
+}
+
+void
+runSoftmaxTrace(GpuCacheModel& model, const SoftmaxTraceParams& p)
+{
+    MMGEN_CHECK(p.rows > 0 && p.cols > 0,
+                "softmax dims must be positive");
+    const std::int64_t batches = p.mat.batchCount();
+    const std::int64_t total_rows_all = batches * p.rows;
+    const std::int64_t limit =
+        p.maxRows > 0 ? std::min(p.maxRows, total_rows_all)
+                      : total_rows_all;
+    const std::int64_t row_bytes =
+        p.cols * static_cast<std::int64_t>(p.mat.elemBytes);
+    const int read_passes = row_bytes > p.registerBytes ? 2 : 1;
+
+    for (std::int64_t idx = 0; idx < limit; ++idx) {
+        const std::int64_t b = idx / p.rows;
+        const std::int64_t r = idx % p.rows;
+        const int sm = smFor(idx, limit, model.numSms());
+        SectorEmitter em(model, sm, p.klass);
+        for (int pass = 0; pass < read_passes; ++pass) {
+            emitRows(em, p.mat, b, r, r + 1, p.cols);
+        }
+        // Normalize + write back.
+        emitRows(em, p.mat, b, r, r + 1, p.cols, true);
+    }
+}
+
+void
+runElementwiseTrace(GpuCacheModel& model, const ElementwiseTraceParams& p)
+{
+    MMGEN_CHECK(p.rows > 0 && p.cols > 0,
+                "elementwise dims must be positive");
+    const std::int64_t batches = p.mat.batchCount();
+    const std::int64_t total_rows_all = batches * p.rows;
+    const std::int64_t limit =
+        p.maxRows > 0 ? std::min(p.maxRows, total_rows_all)
+                      : total_rows_all;
+
+    for (std::int64_t idx = 0; idx < limit; ++idx) {
+        const std::int64_t b = idx / p.rows;
+        const std::int64_t r = idx % p.rows;
+        const int sm = smFor(idx, limit, model.numSms());
+        SectorEmitter em(model, sm, p.klass);
+        // Read, then write the same row.
+        emitRows(em, p.mat, b, r, r + 1, p.cols);
+        emitRows(em, p.mat, b, r, r + 1, p.cols, true);
+    }
+}
+
+} // namespace mmgen::cache

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Kernel address-trace generators.
+ *
+ * Each generator replays the memory access pattern of one device
+ * kernel class against the cache hierarchy, at sector granularity with
+ * consecutive-sector deduplication (a warp's coalesced accesses to one
+ * sector count once). CTAs are block-assigned to SMs, modeling the
+ * persistent-CTA rasterization of library GEMM kernels, which is what
+ * lets a tile re-read hit in a private L1.
+ */
+
+#ifndef MMGEN_CACHE_TRACE_GEN_HH
+#define MMGEN_CACHE_TRACE_GEN_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+
+namespace mmgen::cache {
+
+/**
+ * Element-address map of one batched logical matrix.
+ *
+ * addr(b, r, e) = base + (offset of batch b + r * rowStride +
+ * e * elemStride) * elemBytes, where batch b is decomposed over
+ * batchDims (innermost first) as mixed-radix digits.
+ */
+struct MatrixLayout
+{
+    std::uint64_t baseBytes = 0;
+    std::int64_t rowStrideElems = 0;
+    std::int64_t elemStrideElems = 1;
+    /** (size, strideElems) pairs, innermost first; product = batch. */
+    std::vector<std::pair<std::int64_t, std::int64_t>> batchDims;
+    std::size_t elemBytes = 2;
+
+    /** Total batch count (product of batchDims sizes). */
+    std::int64_t batchCount() const;
+
+    /** Byte address of element (b, r, e). */
+    std::uint64_t addr(std::int64_t b, std::int64_t r,
+                       std::int64_t e) const;
+
+    /** Dense row-major [batch, rows, elems] layout. */
+    static MatrixLayout contiguous(std::uint64_t base_bytes,
+                                   std::int64_t batch, std::int64_t rows,
+                                   std::int64_t elems,
+                                   std::size_t elem_bytes);
+};
+
+/**
+ * Batched GEMM trace: C[b] (m x n) = A[b] (m x k) * B[b]^T (n x k).
+ *
+ * B is stored row-major over n (the K/V convention in attention);
+ * every M-tile CTA re-reads all of B, which is the algorithmic reuse
+ * a long query sequence enjoys and a short one does not.
+ */
+struct GemmTraceParams
+{
+    std::int64_t m = 0;
+    std::int64_t n = 0;
+    std::int64_t k = 0;
+    MatrixLayout a;
+    MatrixLayout b;
+    MatrixLayout c;
+    std::int64_t tileM = 64;
+    /** Simulate only the first maxBatches batch entries (0 = all). */
+    std::int64_t maxBatches = 0;
+    kernels::KernelClass klass = kernels::KernelClass::Gemm;
+};
+
+/** Replay a batched GEMM against the hierarchy. */
+void runGemmTrace(GpuCacheModel& model, const GemmTraceParams& p);
+
+/**
+ * Softmax trace over a dense [batch*rows, cols] matrix. Rows longer
+ * than registerBytes take two read passes (online max/sum, then
+ * normalize); short rows fit in registers and are read once — which is
+ * why tiny temporal-attention softmaxes show no L1 reuse.
+ */
+struct SoftmaxTraceParams
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    MatrixLayout mat;
+    std::int64_t registerBytes = 256;
+    std::int64_t maxRows = 0;
+    kernels::KernelClass klass = kernels::KernelClass::Softmax;
+};
+
+/** Replay a row softmax against the hierarchy. */
+void runSoftmaxTrace(GpuCacheModel& model, const SoftmaxTraceParams& p);
+
+/**
+ * Streaming elementwise trace (read + write over the same layout).
+ */
+struct ElementwiseTraceParams
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    MatrixLayout mat;
+    std::int64_t maxRows = 0;
+    kernels::KernelClass klass = kernels::KernelClass::Elementwise;
+};
+
+/** Replay a streaming elementwise kernel against the hierarchy. */
+void runElementwiseTrace(GpuCacheModel& model,
+                         const ElementwiseTraceParams& p);
+
+} // namespace mmgen::cache
+
+#endif // MMGEN_CACHE_TRACE_GEN_HH

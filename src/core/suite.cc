@@ -1,0 +1,80 @@
+#include "suite.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::core {
+
+double
+ModelRunResult::endToEndSpeedup() const
+{
+    MMGEN_CHECK(flash.totalSeconds > 0.0, "flash run has zero time");
+    return baseline.totalSeconds / flash.totalSeconds;
+}
+
+double
+ModelRunResult::attentionModuleSpeedup() const
+{
+    const double flash_s = flash.attentionSeconds();
+    MMGEN_CHECK(flash_s > 0.0,
+                "model " << baseline.model << " has no attention time");
+    return baseline.attentionSeconds() / flash_s;
+}
+
+double
+ModelRunResult::baselineAttentionFraction() const
+{
+    return baseline.breakdown.categoryFraction(
+        graph::OpCategory::Attention);
+}
+
+double
+ModelRunResult::flashAttentionFraction() const
+{
+    return flash.breakdown.categoryFraction(graph::OpCategory::Attention);
+}
+
+CharacterizationSuite::CharacterizationSuite(hw::GpuSpec gpu)
+    : gpu_(std::move(gpu))
+{}
+
+ModelRunResult
+CharacterizationSuite::run(models::ModelId id) const
+{
+    return run(id, models::buildModel(id));
+}
+
+ModelRunResult
+CharacterizationSuite::run(models::ModelId id,
+                           const graph::Pipeline& pipeline) const
+{
+    ModelRunResult result;
+    result.id = id;
+    result.baseline =
+        profileOne(pipeline, graph::AttentionBackend::Baseline);
+    result.flash = profileOne(pipeline, graph::AttentionBackend::Flash);
+    return result;
+}
+
+std::vector<ModelRunResult>
+CharacterizationSuite::runAll(
+    const std::vector<models::ModelId>& ids) const
+{
+    std::vector<ModelRunResult> results;
+    results.reserve(ids.size());
+    for (models::ModelId id : ids)
+        results.push_back(run(id));
+    return results;
+}
+
+profiler::ProfileResult
+CharacterizationSuite::profileOne(const graph::Pipeline& pipeline,
+                                  graph::AttentionBackend backend) const
+{
+    profiler::ProfileOptions opts;
+    opts.gpu = gpu_;
+    opts.backend = backend;
+    profiler::Profiler prof(opts);
+    return prof.profile(pipeline);
+}
+
+} // namespace mmgen::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * CharacterizationSuite: the top-level facade of mmgen.
+ *
+ * Runs the paper's eight-model suite (plus LLaMA) under both the
+ * baseline and Flash attention backends on a simulated GPU and exposes
+ * the per-model results every experiment consumes.
+ */
+
+#ifndef MMGEN_CORE_SUITE_HH
+#define MMGEN_CORE_SUITE_HH
+
+#include <vector>
+
+#include "models/model_suite.hh"
+#include "profiler/engine.hh"
+
+namespace mmgen::core {
+
+/** Both-backend profile of one model. */
+struct ModelRunResult
+{
+    models::ModelId id = models::ModelId::LLaMA;
+    profiler::ProfileResult baseline;
+    profiler::ProfileResult flash;
+
+    /** End-to-end Flash-over-baseline speedup (paper Table II). */
+    double endToEndSpeedup() const;
+
+    /** Speedup of the Attention module itself (Fig. 6 red bar). */
+    double attentionModuleSpeedup() const;
+
+    /** Fraction of baseline time spent in Attention. */
+    double baselineAttentionFraction() const;
+
+    /** Fraction of flash time spent in Attention. */
+    double flashAttentionFraction() const;
+};
+
+/**
+ * Profiles suite models under both attention backends.
+ */
+class CharacterizationSuite
+{
+  public:
+    explicit CharacterizationSuite(
+        hw::GpuSpec gpu = hw::GpuSpec::a100_80gb());
+
+    /** Profile one model under both backends. */
+    ModelRunResult run(models::ModelId id) const;
+
+    /** Profile a caller-supplied pipeline under both backends. */
+    ModelRunResult run(models::ModelId id,
+                       const graph::Pipeline& pipeline) const;
+
+    /** Profile every model in the list. */
+    std::vector<ModelRunResult>
+    runAll(const std::vector<models::ModelId>& ids) const;
+
+    /** Profile one pipeline under one backend. */
+    profiler::ProfileResult
+    profileOne(const graph::Pipeline& pipeline,
+               graph::AttentionBackend backend) const;
+
+    const hw::GpuSpec& gpu() const { return gpu_; }
+
+  private:
+    hw::GpuSpec gpu_;
+};
+
+} // namespace mmgen::core
+
+#endif // MMGEN_CORE_SUITE_HH

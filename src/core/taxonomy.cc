@@ -1,0 +1,110 @@
+#include "taxonomy.hh"
+
+#include <algorithm>
+
+#include "kernels/cost_model.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace mmgen::core {
+
+std::string
+resourceLevelName(ResourceLevel level)
+{
+    switch (level) {
+      case ResourceLevel::Low:
+        return "Low";
+      case ResourceLevel::Medium:
+        return "Medium";
+      case ResourceLevel::High:
+        return "High";
+    }
+    MMGEN_ASSERT(false, "unknown resource level");
+}
+
+double
+peakOpWorkingSetBytes(const graph::Pipeline& pipeline)
+{
+    double peak = 0.0;
+    for (std::size_t si = 0; si < pipeline.stages.size(); ++si) {
+        const graph::Trace trace = pipeline.traceStage(
+            si, pipeline.stages[si].iterations - 1);
+        for (const auto& op : trace.ops())
+            peak = std::max(peak, kernels::opWorkingSetBytes(op));
+    }
+    return peak;
+}
+
+namespace {
+
+/** Tercile rank of values[i] within values. */
+ResourceLevel
+tercile(const std::vector<double>& values, std::size_t i)
+{
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    const double v = values[i];
+    const std::size_t rank = static_cast<std::size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), v) -
+        sorted.begin());
+    if (rank * 3 < n)
+        return ResourceLevel::Low;
+    if (rank * 3 < 2 * n)
+        return ResourceLevel::Medium;
+    return ResourceLevel::High;
+}
+
+} // namespace
+
+std::vector<TaxonomyRow>
+buildTaxonomy(const std::vector<ModelRunResult>& results)
+{
+    MMGEN_CHECK(!results.empty(), "empty result set");
+    std::vector<TaxonomyRow> rows;
+    std::vector<double> flops, memory, latency;
+
+    for (const auto& r : results) {
+        TaxonomyRow row;
+        row.id = r.id;
+        row.name = r.flash.model;
+        const graph::Pipeline pipeline = models::buildModel(r.id);
+        row.architecture = graph::modelClassName(pipeline.klass);
+        row.params = r.flash.params;
+        row.flops = r.flash.totalFlops;
+        row.memoryBytes = static_cast<double>(r.flash.params) * 2.0 +
+                          8.0 * peakOpWorkingSetBytes(pipeline);
+        row.latencySeconds = r.flash.totalSeconds;
+        rows.push_back(std::move(row));
+        flops.push_back(rows.back().flops);
+        memory.push_back(rows.back().memoryBytes);
+        latency.push_back(rows.back().latencySeconds);
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i].compute = tercile(flops, i);
+        rows[i].memory = tercile(memory, i);
+        rows[i].latency = tercile(latency, i);
+    }
+    return rows;
+}
+
+TextTable
+taxonomyTable(const std::vector<TaxonomyRow>& rows)
+{
+    TextTable table({"Model", "Architecture", "Num Params", "FLOPs",
+                     "Memory req.", "Latency", "Compute", "Memory",
+                     "Latency class"});
+    for (const auto& row : rows) {
+        table.addRow({row.name, row.architecture,
+                      formatCount(double(row.params)),
+                      formatFlops(row.flops),
+                      formatBytes(row.memoryBytes),
+                      formatTime(row.latencySeconds),
+                      resourceLevelName(row.compute),
+                      resourceLevelName(row.memory),
+                      resourceLevelName(row.latency)});
+    }
+    return table;
+}
+
+} // namespace mmgen::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Model taxonomy along the compute/memory/latency axes (paper Table I).
+ */
+
+#ifndef MMGEN_CORE_TAXONOMY_HH
+#define MMGEN_CORE_TAXONOMY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/suite.hh"
+#include "util/table.hh"
+
+namespace mmgen::core {
+
+/** Qualitative resource level used by the paper's Table I. */
+enum class ResourceLevel {
+    Low,
+    Medium,
+    High,
+};
+
+/** Human-readable level name. */
+std::string resourceLevelName(ResourceLevel level);
+
+/** One taxonomy row. */
+struct TaxonomyRow
+{
+    models::ModelId id = models::ModelId::LLaMA;
+    std::string name;
+    std::string architecture;
+    std::int64_t params = 0;
+    double flops = 0.0;
+    double memoryBytes = 0.0;
+    double latencySeconds = 0.0;
+    ResourceLevel compute = ResourceLevel::Low;
+    ResourceLevel memory = ResourceLevel::Low;
+    ResourceLevel latency = ResourceLevel::Low;
+};
+
+/**
+ * Build taxonomy rows from suite results; levels are tercile ranks of
+ * the quantitative scores within the supplied set (so comparing the
+ * paper's four Table I models reproduces its relative labels).
+ */
+std::vector<TaxonomyRow>
+buildTaxonomy(const std::vector<ModelRunResult>& results);
+
+/** Render Table I. */
+TextTable taxonomyTable(const std::vector<TaxonomyRow>& rows);
+
+/**
+ * Peak single-operator working set (operand + result bytes) across a
+ * pipeline under baseline attention — the memory-pressure proxy used
+ * for the taxonomy's Memory axis.
+ */
+double peakOpWorkingSetBytes(const graph::Pipeline& pipeline);
+
+} // namespace mmgen::core
+
+#endif // MMGEN_CORE_TAXONOMY_HH

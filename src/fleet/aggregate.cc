@@ -1,0 +1,76 @@
+#include "aggregate.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace mmgen::fleet {
+
+namespace {
+
+const ClassAggregate&
+require(const std::map<WorkloadClass, ClassAggregate>& by_class,
+        WorkloadClass c)
+{
+    auto it = by_class.find(c);
+    MMGEN_CHECK(it != by_class.end(),
+                "fleet has no " << workloadClassName(c) << " jobs");
+    return it->second;
+}
+
+} // namespace
+
+double
+FleetReport::ttiOverLlmGpusPerParam() const
+{
+    const ClassAggregate& tti = require(byClass, WorkloadClass::TTI);
+    const ClassAggregate& llm = require(byClass, WorkloadClass::LLM);
+    MMGEN_CHECK(llm.gpusPerBParam > 0.0, "LLM class has no GPUs");
+    return tti.gpusPerBParam / llm.gpusPerBParam;
+}
+
+double
+FleetReport::ttiOverLlmMemoryUtilization() const
+{
+    const ClassAggregate& tti = require(byClass, WorkloadClass::TTI);
+    const ClassAggregate& llm = require(byClass, WorkloadClass::LLM);
+    MMGEN_CHECK(llm.meanMemoryUtilization > 0.0,
+                "LLM class has zero utilization");
+    return tti.meanMemoryUtilization / llm.meanMemoryUtilization;
+}
+
+double
+FleetReport::ttiMinusLlmUtilizationPoints() const
+{
+    const ClassAggregate& tti = require(byClass, WorkloadClass::TTI);
+    const ClassAggregate& llm = require(byClass, WorkloadClass::LLM);
+    return (tti.meanMemoryUtilization - llm.meanMemoryUtilization) *
+           100.0;
+}
+
+FleetReport
+aggregateFleet(const std::vector<TrainingJob>& jobs,
+               const hw::GpuSpec& gpu)
+{
+    MMGEN_CHECK(!jobs.empty(), "empty fleet");
+    FleetReport report;
+    std::map<WorkloadClass, std::vector<double>> utils;
+    for (const auto& job : jobs) {
+        ClassAggregate& agg = report.byClass[job.klass];
+        ++agg.jobs;
+        agg.totalGpus += job.gpus;
+        agg.totalParams += job.params;
+        utils[job.klass].push_back(job.memoryUtilization(gpu));
+    }
+    for (auto& [klass, agg] : report.byClass) {
+        MMGEN_ASSERT(agg.totalParams > 0.0,
+                     "class with jobs but zero params");
+        agg.gpusPerBParam = static_cast<double>(agg.totalGpus) /
+                            (agg.totalParams / 1e9);
+        const Summary s = summarize(utils[klass]);
+        agg.meanMemoryUtilization = s.mean;
+        agg.medianMemoryUtilization = s.median;
+    }
+    return report;
+}
+
+} // namespace mmgen::fleet

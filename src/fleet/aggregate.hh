@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fleet-level aggregation (the numbers paper Fig. 1 reports).
+ */
+
+#ifndef MMGEN_FLEET_AGGREGATE_HH
+#define MMGEN_FLEET_AGGREGATE_HH
+
+#include <map>
+#include <vector>
+
+#include "fleet/population.hh"
+
+namespace mmgen::fleet {
+
+/** Aggregates for one workload class. */
+struct ClassAggregate
+{
+    int jobs = 0;
+    std::int64_t totalGpus = 0;
+    double totalParams = 0.0;
+    /** Fleet-level GPUs per billion parameters (sum over sum). */
+    double gpusPerBParam = 0.0;
+    /** Mean per-job memory utilization. */
+    double meanMemoryUtilization = 0.0;
+    /** Median per-job memory utilization. */
+    double medianMemoryUtilization = 0.0;
+};
+
+/** Whole-fleet report with the paper's headline ratios. */
+struct FleetReport
+{
+    std::map<WorkloadClass, ClassAggregate> byClass;
+
+    /** TTI-over-LLM ratio of GPUs per parameter (paper: ~14x). */
+    double ttiOverLlmGpusPerParam() const;
+
+    /** TTI-over-LLM ratio of mean memory utilization (paper: ~1.4x). */
+    double ttiOverLlmMemoryUtilization() const;
+
+    /** TTI minus LLM mean utilization, percentage points (~10). */
+    double ttiMinusLlmUtilizationPoints() const;
+};
+
+/** Aggregate a fleet against the GPU it runs on. */
+FleetReport aggregateFleet(const std::vector<TrainingJob>& jobs,
+                           const hw::GpuSpec& gpu);
+
+} // namespace mmgen::fleet
+
+#endif // MMGEN_FLEET_AGGREGATE_HH

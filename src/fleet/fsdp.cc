@@ -1,0 +1,26 @@
+#include "fsdp.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::fleet {
+
+double
+FsdpMemoryModel::shardedStateBytes(double params, int world_size) const
+{
+    MMGEN_CHECK(params > 0.0, "params must be positive");
+    MMGEN_CHECK(world_size > 0, "world size must be positive");
+    const double per_param = weightBytes + gradBytes + optimizerBytes;
+    return params * per_param / static_cast<double>(world_size);
+}
+
+double
+FsdpMemoryModel::perGpuBytes(double params, int world_size,
+                             double activation_bytes) const
+{
+    MMGEN_CHECK(activation_bytes >= 0.0,
+                "activation bytes must be non-negative");
+    return shardedStateBytes(params, world_size) + activation_bytes +
+           frameworkOverheadBytes;
+}
+
+} // namespace mmgen::fleet

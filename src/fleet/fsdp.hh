@@ -1,0 +1,45 @@
+/**
+ * @file
+ * FSDP training memory model.
+ *
+ * The paper profiles training with Fully Sharded Data Parallelism over
+ * nodes of eight A100s (Section III). Per-GPU memory under FSDP is the
+ * sharded parameter/gradient/optimizer state plus the unsharded
+ * activation working set; activations dominate for TTI/TTV models
+ * because high-resolution feature maps do not shrink with world size,
+ * which is why image/video jobs run hotter on memory (paper Fig. 1).
+ */
+
+#ifndef MMGEN_FLEET_FSDP_HH
+#define MMGEN_FLEET_FSDP_HH
+
+#include <cstdint>
+
+namespace mmgen::fleet {
+
+/** Mixed-precision Adam training state model. */
+struct FsdpMemoryModel
+{
+    /** Bytes per parameter for fp16 weights. */
+    double weightBytes = 2.0;
+    /** Bytes per parameter for fp16 gradients. */
+    double gradBytes = 2.0;
+    /** Bytes per parameter for fp32 master weights + Adam m and v. */
+    double optimizerBytes = 12.0;
+    /** Fixed framework overhead per GPU (CUDA context, buffers). */
+    double frameworkOverheadBytes = 2.0e9;
+
+    /** Sharded parameter/gradient/optimizer bytes per GPU. */
+    double shardedStateBytes(double params, int world_size) const;
+
+    /**
+     * Total per-GPU training memory: sharded states + activations +
+     * framework overhead.
+     */
+    double perGpuBytes(double params, int world_size,
+                       double activation_bytes) const;
+};
+
+} // namespace mmgen::fleet
+
+#endif // MMGEN_FLEET_FSDP_HH

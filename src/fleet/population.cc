@@ -1,0 +1,127 @@
+#include "population.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mmgen::fleet {
+
+std::string
+workloadClassName(WorkloadClass c)
+{
+    switch (c) {
+      case WorkloadClass::LLM:
+        return "LLM";
+      case WorkloadClass::TTI:
+        return "TTI";
+      case WorkloadClass::TTV:
+        return "TTV";
+    }
+    MMGEN_ASSERT(false, "unknown workload class");
+}
+
+double
+TrainingJob::gpusPerBParam() const
+{
+    MMGEN_CHECK(params > 0.0, "job has no parameters");
+    return static_cast<double>(gpus) / (params / 1e9);
+}
+
+double
+TrainingJob::memoryUtilization(const hw::GpuSpec& gpu) const
+{
+    MMGEN_CHECK(gpu.hbmBytes > 0.0, "GPU has no HBM");
+    return std::min(1.0, perGpuBytes / gpu.hbmBytes);
+}
+
+ClassDistribution
+defaultDistribution(WorkloadClass c)
+{
+    ClassDistribution d;
+    switch (c) {
+      case WorkloadClass::LLM:
+        // 7B-175B dense LLMs; roughly one GPU per ~140M params
+        // (e.g. 70B on ~512 GPUs), checkpointed activations.
+        d.minParamsB = 7.0;
+        d.maxParamsB = 175.0;
+        d.gpusPerBParam = 7.0;
+        d.activationBytesMean = 16e9;
+        break;
+      case WorkloadClass::TTI:
+        // 0.9B-20B image generators trained on large GPU pools
+        // relative to their size; high-resolution feature maps keep
+        // per-GPU activations large.
+        d.minParamsB = 0.9;
+        d.maxParamsB = 20.0;
+        d.gpusPerBParam = 98.0;
+        d.activationBytesMean = 27e9;
+        break;
+      case WorkloadClass::TTV:
+        // Video models add the frame axis to every activation.
+        d.minParamsB = 1.0;
+        d.maxParamsB = 15.0;
+        d.gpusPerBParam = 110.0;
+        d.activationBytesMean = 31e9;
+        break;
+    }
+    return d;
+}
+
+namespace {
+
+/** Round a GPU allocation to full nodes of eight. */
+int
+roundToNodes(double gpus)
+{
+    const int whole = static_cast<int>(std::llround(gpus / 8.0)) * 8;
+    return std::max(8, whole);
+}
+
+void
+generateClass(std::vector<TrainingJob>& jobs, WorkloadClass klass,
+              int count, const PopulationConfig& cfg, Rng& rng)
+{
+    const ClassDistribution d = defaultDistribution(klass);
+    for (int i = 0; i < count; ++i) {
+        TrainingJob job;
+        job.klass = klass;
+        job.name = workloadClassName(klass) + "-" + std::to_string(i);
+
+        // Log-uniform parameter count.
+        const double log_lo = std::log(d.minParamsB);
+        const double log_hi = std::log(d.maxParamsB);
+        const double params_b =
+            std::exp(rng.uniform(log_lo, log_hi));
+        job.params = params_b * 1e9;
+
+        const double jitter =
+            rng.logNormal(0.0, d.gpuJitterSigma);
+        job.gpus = roundToNodes(params_b * d.gpusPerBParam * jitter);
+
+        const double act = d.activationBytesMean *
+                           rng.logNormal(0.0, d.activationSigma);
+        job.perGpuBytes =
+            cfg.memory.perGpuBytes(job.params, job.gpus, act);
+        jobs.push_back(std::move(job));
+    }
+}
+
+} // namespace
+
+std::vector<TrainingJob>
+generateFleet(const PopulationConfig& cfg)
+{
+    MMGEN_CHECK(cfg.llmJobs >= 0 && cfg.ttiJobs >= 0 && cfg.ttvJobs >= 0,
+                "job counts must be non-negative");
+    Rng rng(cfg.seed);
+    std::vector<TrainingJob> jobs;
+    jobs.reserve(static_cast<std::size_t>(cfg.llmJobs + cfg.ttiJobs +
+                                          cfg.ttvJobs));
+    generateClass(jobs, WorkloadClass::LLM, cfg.llmJobs, cfg, rng);
+    generateClass(jobs, WorkloadClass::TTI, cfg.ttiJobs, cfg, rng);
+    generateClass(jobs, WorkloadClass::TTV, cfg.ttvJobs, cfg, rng);
+    return jobs;
+}
+
+} // namespace mmgen::fleet

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic training-fleet population (paper Fig. 1 substrate).
+ *
+ * The paper aggregates proprietary fleet telemetry; we substitute a
+ * deterministic synthetic population whose class-level distributions
+ * (parameter counts, GPU allocations, activation working sets) are
+ * grounded in public training configurations. The aggregation pipeline
+ * over the population is the deliverable; the published ratios
+ * (14x GPUs-per-parameter, ~1.4x memory utilization) are the
+ * acceptance band.
+ */
+
+#ifndef MMGEN_FLEET_POPULATION_HH
+#define MMGEN_FLEET_POPULATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fsdp.hh"
+#include "hw/gpu_spec.hh"
+#include "util/rng.hh"
+
+namespace mmgen::fleet {
+
+/** Fleet-level workload classes (paper Fig. 1 compares LLM vs TTI). */
+enum class WorkloadClass : std::uint8_t {
+    LLM,
+    TTI,
+    TTV,
+};
+
+/** Human-readable class name. */
+std::string workloadClassName(WorkloadClass c);
+
+/** One training job in the fleet. */
+struct TrainingJob
+{
+    std::string name;
+    WorkloadClass klass = WorkloadClass::LLM;
+    /** Trainable parameters. */
+    double params = 0.0;
+    /** GPUs allocated to the job. */
+    int gpus = 0;
+    /** Per-GPU memory in use, bytes. */
+    double perGpuBytes = 0.0;
+
+    /** GPUs per billion parameters. */
+    double gpusPerBParam() const;
+
+    /** Memory utilization against a GPU's HBM capacity. */
+    double memoryUtilization(const hw::GpuSpec& gpu) const;
+};
+
+/** Class-level distribution knobs of the generator. */
+struct ClassDistribution
+{
+    /** Log-uniform parameter range, billions. */
+    double minParamsB = 1.0;
+    double maxParamsB = 100.0;
+    /** Mean GPUs allocated per billion parameters. */
+    double gpusPerBParam = 7.0;
+    /** Log-normal sigma of the GPU allocation jitter. */
+    double gpuJitterSigma = 0.25;
+    /** Mean activation working set per GPU, bytes. */
+    double activationBytesMean = 15e9;
+    /** Log-normal sigma of the activation jitter. */
+    double activationSigma = 0.2;
+};
+
+/** Defaults grounded in public training configurations. */
+ClassDistribution defaultDistribution(WorkloadClass c);
+
+/** Population generator configuration. */
+struct PopulationConfig
+{
+    int llmJobs = 40;
+    int ttiJobs = 60;
+    int ttvJobs = 20;
+    std::uint64_t seed = 2024;
+    hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    FsdpMemoryModel memory;
+};
+
+/** Generate a deterministic synthetic fleet. */
+std::vector<TrainingJob> generateFleet(const PopulationConfig& cfg);
+
+} // namespace mmgen::fleet
+
+#endif // MMGEN_FLEET_POPULATION_HH

@@ -1,0 +1,88 @@
+#include "training_step.hh"
+
+#include <algorithm>
+
+#include "kernels/cost_model.hh"
+#include "util/logging.hh"
+
+namespace mmgen::fleet {
+
+InterconnectSpec
+InterconnectSpec::a100Cluster()
+{
+    return InterconnectSpec{};
+}
+
+double
+InterconnectSpec::effectiveBandwidth(int world_size,
+                                     int gpus_per_node) const
+{
+    MMGEN_CHECK(world_size >= 1, "world size must be positive");
+    MMGEN_CHECK(gpus_per_node >= 1, "gpus per node must be positive");
+    // Single node: NVLink only. Multi-node: the inter-node links are
+    // the bottleneck of ring-style collectives.
+    return world_size <= gpus_per_node ? intraNodeBandwidth
+                                       : interNodeBandwidth;
+}
+
+TrainingStepEstimate
+estimateTrainingStep(const hw::GpuSpec& gpu, const InterconnectSpec& net,
+                     const TrainingStepInputs& in)
+{
+    MMGEN_CHECK(in.params > 0.0, "params must be positive");
+    MMGEN_CHECK(in.forwardFlopsPerSample > 0.0,
+                "forward FLOPs must be positive");
+    MMGEN_CHECK(in.microBatch >= 1, "micro batch must be positive");
+    MMGEN_CHECK(in.worldSize >= 1, "world size must be positive");
+    MMGEN_CHECK(in.overlapFraction >= 0.0 && in.overlapFraction < 1.0,
+                "overlap fraction out of [0, 1)");
+    MMGEN_CHECK(in.computeEfficiency > 0.0 &&
+                    in.computeEfficiency <= 1.0,
+                "compute efficiency out of (0, 1]");
+
+    TrainingStepEstimate out;
+    // Backward is ~2x forward; one step processes microBatch samples.
+    const double step_flops = 3.0 * in.forwardFlopsPerSample *
+                              static_cast<double>(in.microBatch);
+    const double peak = gpu.peakFlops(DType::F16);
+    out.computeSeconds = step_flops / (peak * in.computeEfficiency);
+
+    // FSDP collectives per step: all-gather weights twice (forward and
+    // backward) and reduce-scatter gradients once — ~3x the fp16
+    // parameter bytes per GPU over the effective bandwidth.
+    const double param_bytes = in.params * 2.0;
+    const double comm_bytes = 3.0 * param_bytes;
+    const double bw =
+        net.effectiveBandwidth(in.worldSize, in.gpusPerNode);
+    const double comm_seconds =
+        in.worldSize == 1
+            ? 0.0
+            : comm_bytes / bw + 3.0 * net.collectiveLatency;
+    out.exposedCommSeconds =
+        comm_seconds * (1.0 - in.overlapFraction);
+
+    out.stepSeconds = out.computeSeconds + out.exposedCommSeconds;
+    out.mfu = step_flops / (out.stepSeconds * peak);
+    out.throughput = static_cast<double>(in.microBatch) *
+                     static_cast<double>(in.worldSize) /
+                     out.stepSeconds;
+    return out;
+}
+
+double
+forwardFlopsPerSample(const graph::Pipeline& pipeline,
+                      const hw::GpuSpec& gpu)
+{
+    const kernels::CostModel model(gpu, graph::AttentionBackend::Flash);
+    double flops = 0.0;
+    for (std::size_t si = 0; si < pipeline.stages.size(); ++si) {
+        if (pipeline.stages[si].reusesWeights)
+            continue;
+        const graph::Trace trace = pipeline.traceStage(si, 0);
+        for (const auto& op : trace.ops())
+            flops += model.cost(op).totalFlops();
+    }
+    return flops;
+}
+
+} // namespace mmgen::fleet

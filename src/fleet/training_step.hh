@@ -1,0 +1,84 @@
+/**
+ * @file
+ * FSDP training-step time model.
+ *
+ * Complements the Fig. 1 memory model with a throughput model: one
+ * training step is the forward+backward compute of the model plus the
+ * FSDP collectives (all-gather of sharded weights in forward and
+ * backward, reduce-scatter of gradients), overlapped imperfectly with
+ * compute. Used to compare the GPU efficiency (MFU) of LLM versus
+ * TTI/TTV training jobs — the reason the paper's 14x GPUs-per-param
+ * ratio matters.
+ */
+
+#ifndef MMGEN_FLEET_TRAINING_STEP_HH
+#define MMGEN_FLEET_TRAINING_STEP_HH
+
+#include <cstdint>
+
+#include "graph/pipeline.hh"
+#include "hw/gpu_spec.hh"
+
+namespace mmgen::fleet {
+
+/** Interconnect description for the collective model. */
+struct InterconnectSpec
+{
+    /** Per-GPU intra-node bandwidth (NVLink), bytes/s. */
+    double intraNodeBandwidth = 300e9;
+    /** Per-GPU inter-node bandwidth (IB/RoCE), bytes/s. */
+    double interNodeBandwidth = 25e9;
+    /** Per-collective latency floor, seconds. */
+    double collectiveLatency = 30e-6;
+
+    static InterconnectSpec a100Cluster();
+
+    /** Effective per-GPU algorithm bandwidth for a given world size. */
+    double effectiveBandwidth(int world_size, int gpus_per_node) const;
+};
+
+/** Inputs of one training-step estimate. */
+struct TrainingStepInputs
+{
+    /** Trainable parameters of the model. */
+    double params = 0.0;
+    /** Forward-pass FLOPs of one sample (simulated or analytic). */
+    double forwardFlopsPerSample = 0.0;
+    /** Per-GPU micro-batch size. */
+    int microBatch = 1;
+    int worldSize = 8;
+    int gpusPerNode = 8;
+    /** Fraction of communication hidden under compute [0, 1). */
+    double overlapFraction = 0.7;
+    /** Attained fraction of peak compute during training. */
+    double computeEfficiency = 0.45;
+};
+
+/** Output decomposition of one step. */
+struct TrainingStepEstimate
+{
+    double computeSeconds = 0.0;
+    double exposedCommSeconds = 0.0;
+    double stepSeconds = 0.0;
+    /** Model FLOPs utilization: useful FLOPs / peak FLOPs. */
+    double mfu = 0.0;
+    /** Samples per second across the whole job. */
+    double throughput = 0.0;
+};
+
+/** Estimate one FSDP training step on the given GPU. */
+TrainingStepEstimate estimateTrainingStep(const hw::GpuSpec& gpu,
+                                          const InterconnectSpec& net,
+                                          const TrainingStepInputs& in);
+
+/**
+ * Forward FLOPs of one sample of a pipeline, taking each stage once
+ * (training runs a single pass, not a denoising loop: diffusion
+ * training samples one timestep per image).
+ */
+double forwardFlopsPerSample(const graph::Pipeline& pipeline,
+                             const hw::GpuSpec& gpu);
+
+} // namespace mmgen::fleet
+
+#endif // MMGEN_FLEET_TRAINING_STEP_HH

@@ -1,0 +1,176 @@
+#include "op.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::graph {
+
+OpCategory
+opCategory(const Op& op)
+{
+    switch (op.kind) {
+      case OpKind::Attention:
+        return OpCategory::Attention;
+      case OpKind::Conv2D:
+      case OpKind::Conv3D:
+        return OpCategory::Convolution;
+      case OpKind::Linear:
+      case OpKind::Matmul:
+        return OpCategory::Linear;
+      case OpKind::GroupNorm:
+        return OpCategory::GroupNorm;
+      case OpKind::LayerNorm:
+        return OpCategory::OtherNorm;
+      case OpKind::Softmax:
+      case OpKind::Elementwise:
+        return OpCategory::Elementwise;
+      case OpKind::Embedding:
+      case OpKind::Upsample:
+      case OpKind::Downsample:
+      case OpKind::Copy:
+        return OpCategory::Memory;
+    }
+    MMGEN_ASSERT(false, "unknown op kind");
+}
+
+std::string
+opCategoryName(OpCategory c)
+{
+    switch (c) {
+      case OpCategory::Attention:
+        return "Attention";
+      case OpCategory::Convolution:
+        return "Convolution";
+      case OpCategory::Linear:
+        return "Linear";
+      case OpCategory::GroupNorm:
+        return "GroupNorm";
+      case OpCategory::OtherNorm:
+        return "LayerNorm";
+      case OpCategory::Elementwise:
+        return "Elementwise";
+      case OpCategory::Memory:
+        return "Memory";
+    }
+    MMGEN_ASSERT(false, "unknown category");
+}
+
+std::string
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Conv2D:
+        return "conv2d";
+      case OpKind::Conv3D:
+        return "conv3d";
+      case OpKind::Linear:
+        return "linear";
+      case OpKind::Matmul:
+        return "matmul";
+      case OpKind::Attention:
+        return "attention";
+      case OpKind::GroupNorm:
+        return "group_norm";
+      case OpKind::LayerNorm:
+        return "layer_norm";
+      case OpKind::Softmax:
+        return "softmax";
+      case OpKind::Elementwise:
+        return "elementwise";
+      case OpKind::Embedding:
+        return "embedding";
+      case OpKind::Upsample:
+        return "upsample";
+      case OpKind::Downsample:
+        return "downsample";
+      case OpKind::Copy:
+        return "copy";
+    }
+    MMGEN_ASSERT(false, "unknown op kind");
+}
+
+std::string
+attentionKindName(AttentionKind k)
+{
+    switch (k) {
+      case AttentionKind::SelfSpatial:
+        return "self_spatial";
+      case AttentionKind::CrossText:
+        return "cross_text";
+      case AttentionKind::Temporal:
+        return "temporal";
+      case AttentionKind::CausalSelf:
+        return "causal_self";
+    }
+    MMGEN_ASSERT(false, "unknown attention kind");
+}
+
+std::string
+attentionBackendName(AttentionBackend b)
+{
+    switch (b) {
+      case AttentionBackend::Baseline:
+        return "baseline";
+      case AttentionBackend::Flash:
+        return "flash";
+      case AttentionBackend::FlashDecode:
+        return "flash_decode";
+      case AttentionBackend::Auto:
+        return "auto";
+    }
+    MMGEN_ASSERT(false, "unknown attention backend");
+}
+
+std::int64_t
+opParamCount(const Op& op)
+{
+    switch (op.kind) {
+      case OpKind::Conv2D:
+      case OpKind::Conv3D: {
+        const auto& a = op.as<ConvAttrs>();
+        std::int64_t w = a.kernelH * a.kernelW * a.kernelD *
+                         (a.inChannels / a.groups) * a.outChannels;
+        if (a.hasBias)
+            w += a.outChannels;
+        return w;
+      }
+      case OpKind::Linear: {
+        const auto& a = op.as<LinearAttrs>();
+        std::int64_t w = a.inFeatures * a.outFeatures;
+        if (a.hasBias)
+            w += a.outFeatures;
+        return w;
+      }
+      case OpKind::GroupNorm:
+      case OpKind::LayerNorm: {
+        const auto& a = op.as<NormAttrs>();
+        return 2 * a.channels;
+      }
+      case OpKind::Embedding: {
+        const auto& a = op.as<EmbeddingAttrs>();
+        return a.vocab * a.dim;
+      }
+      case OpKind::Matmul:
+      case OpKind::Attention:
+      case OpKind::Softmax:
+      case OpKind::Elementwise:
+      case OpKind::Upsample:
+      case OpKind::Downsample:
+      case OpKind::Copy:
+        return 0;
+    }
+    MMGEN_ASSERT(false, "unknown op kind");
+}
+
+const std::vector<OpCategory>&
+allCategories()
+{
+    static const std::vector<OpCategory> cats = {
+        OpCategory::Attention,   OpCategory::Convolution,
+        OpCategory::Linear,      OpCategory::GroupNorm,
+        OpCategory::OtherNorm,   OpCategory::Elementwise,
+        OpCategory::Memory,
+    };
+    return cats;
+}
+
+} // namespace mmgen::graph

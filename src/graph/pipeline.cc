@@ -1,0 +1,73 @@
+#include "pipeline.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::graph {
+
+std::string
+modelClassName(ModelClass c)
+{
+    switch (c) {
+      case ModelClass::LLM:
+        return "LLM";
+      case ModelClass::DiffusionPixel:
+        return "Diffusion (Pixel)";
+      case ModelClass::DiffusionLatent:
+        return "Diffusion (Latent)";
+      case ModelClass::TransformerTTI:
+        return "Transformer TTI";
+      case ModelClass::DiffusionTTV:
+        return "Diffusion TTV";
+      case ModelClass::TransformerTTV:
+        return "Transformer TTV";
+    }
+    MMGEN_ASSERT(false, "unknown model class");
+}
+
+bool
+isDiffusionClass(ModelClass c)
+{
+    return c == ModelClass::DiffusionPixel ||
+           c == ModelClass::DiffusionLatent ||
+           c == ModelClass::DiffusionTTV;
+}
+
+bool
+isVideoClass(ModelClass c)
+{
+    return c == ModelClass::DiffusionTTV ||
+           c == ModelClass::TransformerTTV;
+}
+
+std::int64_t
+Pipeline::totalParams() const
+{
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        if (stages[i].reusesWeights)
+            continue;
+        const Trace t = traceStage(i, stages[i].iterations - 1);
+        total += t.totalParams();
+    }
+    return total;
+}
+
+Trace
+Pipeline::traceStage(std::size_t stage_idx, std::int64_t iter) const
+{
+    MMGEN_CHECK(stage_idx < stages.size(),
+                "stage index " << stage_idx << " out of range");
+    const Stage& stage = stages[stage_idx];
+    MMGEN_CHECK(iter >= 0 && iter < stage.iterations,
+                "iteration " << iter << " out of [0, "
+                             << stage.iterations << ")");
+    MMGEN_CHECK(static_cast<bool>(stage.emit),
+                "stage '" << stage.name << "' has no emitter");
+    Trace trace;
+    GraphBuilder builder(trace, dtype);
+    auto s = builder.scope(stage.name);
+    stage.emit(builder, iter);
+    return trace;
+}
+
+} // namespace mmgen::graph

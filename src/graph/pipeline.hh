@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-stage inference pipelines.
+ *
+ * Unlike LLMs, TTI/TTV models are several independently trained
+ * components stitched together at inference time (paper Fig. 2):
+ * text encoder -> diffusion UNet (looped over denoising steps) ->
+ * super-resolution / VAE decoder, or encoder -> autoregressive decoder
+ * -> image detokenizer. A Pipeline captures that structure: an ordered
+ * list of stages, each with an iteration count and an emitter that
+ * appends one iteration's operators to a trace.
+ */
+
+#ifndef MMGEN_GRAPH_PIPELINE_HH
+#define MMGEN_GRAPH_PIPELINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hh"
+
+namespace mmgen::graph {
+
+/** Architectural family of a model (paper Section II taxonomy). */
+enum class ModelClass : std::uint8_t {
+    LLM,
+    DiffusionPixel,
+    DiffusionLatent,
+    TransformerTTI,
+    DiffusionTTV,
+    TransformerTTV,
+};
+
+/** Human-readable model class name. */
+std::string modelClassName(ModelClass c);
+
+/** True for pixel- or latent-space diffusion TTI/TTV models. */
+bool isDiffusionClass(ModelClass c);
+
+/** True for TTV model classes. */
+bool isVideoClass(ModelClass c);
+
+/**
+ * One pipeline stage, e.g. "text_encoder" or "unet".
+ */
+struct Stage
+{
+    std::string name;
+
+    /** How many times the stage body executes (denoise/decode steps). */
+    std::int64_t iterations = 1;
+
+    /**
+     * When false, every iteration has identical shapes and the engine
+     * may trace once and scale costs (diffusion denoising). When true,
+     * shapes depend on the iteration index (autoregressive decode) and
+     * the engine traces every iteration.
+     */
+    bool perIterationShapes = false;
+
+    /**
+     * True when this stage executes weights already owned by an
+     * earlier stage (an LLM's decode phase re-runs the prefill
+     * stack); such stages are skipped when counting parameters.
+     */
+    bool reusesWeights = false;
+
+    /** Emit one iteration's operators; iter is in [0, iterations). */
+    std::function<void(GraphBuilder&, std::int64_t iter)> emit;
+};
+
+/**
+ * A complete model inference pipeline.
+ */
+struct Pipeline
+{
+    std::string name;
+    ModelClass klass = ModelClass::LLM;
+    std::vector<Stage> stages;
+
+    /** Element type every stage is traced with (weights/activations). */
+    DType dtype = DType::F16;
+
+    /**
+     * Total trainable parameters of the model: each stage is traced
+     * exactly once (at its final iteration, which for autoregressive
+     * decoders exercises every layer) and weight-owning ops summed.
+     */
+    std::int64_t totalParams() const;
+
+    /** Trace one iteration of one stage (by index) into a fresh trace. */
+    Trace traceStage(std::size_t stage_idx, std::int64_t iter) const;
+};
+
+} // namespace mmgen::graph
+
+#endif // MMGEN_GRAPH_PIPELINE_HH

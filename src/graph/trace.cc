@@ -1,0 +1,26 @@
+#include "trace.hh"
+
+namespace mmgen::graph {
+
+void
+Trace::append(Op op)
+{
+    ops_.push_back(std::move(op));
+}
+
+std::int64_t
+Trace::totalParams() const
+{
+    std::int64_t total = 0;
+    for (const auto& op : ops_)
+        total += opParamCount(op);
+    return total;
+}
+
+void
+Trace::clear()
+{
+    ops_.clear();
+}
+
+} // namespace mmgen::graph

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Execution traces: ordered operator instances from one forward pass.
+ */
+
+#ifndef MMGEN_GRAPH_TRACE_HH
+#define MMGEN_GRAPH_TRACE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/op.hh"
+
+namespace mmgen::graph {
+
+/**
+ * An ordered list of executed operators.
+ *
+ * The trace is what the profiler costs and what the analytics modules
+ * mine (e.g. the per-attention-call sequence-length series of Fig. 7
+ * follows trace order).
+ */
+class Trace
+{
+  public:
+    /** Append one operator instance. */
+    void append(Op op);
+
+    /** All operators in execution order. */
+    std::span<const Op> ops() const { return ops_; }
+
+    /** Number of operator instances (repeat counts not expanded). */
+    std::size_t size() const { return ops_.size(); }
+
+    bool empty() const { return ops_.empty(); }
+
+    /**
+     * Total trainable parameters across the trace. Each op instance
+     * contributes its own weights; callers must trace each weight-owning
+     * module exactly once (see Pipeline::totalParams).
+     */
+    std::int64_t totalParams() const;
+
+    /** Remove all ops. */
+    void clear();
+
+  private:
+    std::vector<Op> ops_;
+};
+
+} // namespace mmgen::graph
+
+#endif // MMGEN_GRAPH_TRACE_HH

@@ -1,0 +1,92 @@
+#include "gpu_spec.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::hw {
+
+double
+GpuSpec::peakFlops(DType t) const
+{
+    switch (t) {
+      case DType::F16:
+      case DType::BF16:
+        return peakF16Flops;
+      case DType::I8:
+        return peakI8Flops > 0.0 ? peakI8Flops : peakF16Flops;
+      case DType::F32:
+      case DType::I32:
+        return peakF32Flops;
+    }
+    MMGEN_ASSERT(false, "unknown dtype");
+}
+
+GpuSpec
+GpuSpec::a100_80gb()
+{
+    GpuSpec s;
+    s.name = "A100-SXM4-80GB";
+    s.numSms = 108;
+    s.peakF16Flops = 312e12;
+    s.peakI8Flops = 624e12;
+    s.peakF32Flops = 19.5e12;
+    s.hbmBytes = 80e9;
+    s.hbmBandwidth = 2.039e12;
+    s.l2Bytes = 40LL * 1024 * 1024;
+    s.l1BytesPerSm = 192LL * 1024;
+    s.cacheLineBytes = 32;
+    s.kernelLaunchOverhead = 4e-6;
+    return s;
+}
+
+GpuSpec
+GpuSpec::v100_32gb()
+{
+    GpuSpec s;
+    s.name = "V100-SXM2-32GB";
+    s.numSms = 80;
+    s.peakF16Flops = 125e12;
+    s.peakI8Flops = 125e12; // no int8 tensor cores; DP4A-class rate
+    s.peakF32Flops = 15.7e12;
+    s.hbmBytes = 32e9;
+    s.hbmBandwidth = 0.9e12;
+    s.l2Bytes = 6LL * 1024 * 1024;
+    s.l1BytesPerSm = 128LL * 1024;
+    s.cacheLineBytes = 32;
+    s.kernelLaunchOverhead = 5e-6;
+    return s;
+}
+
+GpuSpec
+GpuSpec::h100_80gb()
+{
+    GpuSpec s;
+    s.name = "H100-SXM5-80GB";
+    s.numSms = 132;
+    s.peakF16Flops = 989e12;
+    s.peakI8Flops = 1979e12;
+    s.peakF32Flops = 67e12;
+    s.hbmBytes = 80e9;
+    s.hbmBandwidth = 3.35e12;
+    s.l2Bytes = 50LL * 1024 * 1024;
+    s.l1BytesPerSm = 256LL * 1024;
+    s.cacheLineBytes = 32;
+    s.kernelLaunchOverhead = 4e-6;
+    return s;
+}
+
+double
+NodeSpec::totalHbmBytes() const
+{
+    return gpu.hbmBytes * gpusPerNode;
+}
+
+NodeSpec
+NodeSpec::a100Node()
+{
+    NodeSpec n;
+    n.gpu = GpuSpec::a100_80gb();
+    n.gpusPerNode = 8;
+    return n;
+}
+
+} // namespace mmgen::hw

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hardware description of the simulated GPU.
+ *
+ * mmgen substitutes the paper's physical A100-80GB GPUs with a
+ * parameterized hardware model. All experiments report relative
+ * quantities (breakdowns, speedups, scaling shapes), which depend on
+ * the ratios below rather than on cycle-accurate behaviour.
+ */
+
+#ifndef MMGEN_HW_GPU_SPEC_HH
+#define MMGEN_HW_GPU_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/dtype.hh"
+
+namespace mmgen::hw {
+
+/**
+ * Static datasheet-level description of one GPU.
+ */
+struct GpuSpec
+{
+    std::string name;
+
+    /** Number of streaming multiprocessors. */
+    int numSms = 0;
+
+    /** Peak dense tensor-core throughput for f16/bf16 inputs, FLOP/s. */
+    double peakF16Flops = 0.0;
+
+    /** Peak dense tensor-core throughput for int8 inputs, OP/s. */
+    double peakI8Flops = 0.0;
+
+    /** Peak FP32 (CUDA core) throughput, FLOP/s. */
+    double peakF32Flops = 0.0;
+
+    /** HBM capacity in bytes. */
+    double hbmBytes = 0.0;
+
+    /** HBM bandwidth in bytes/s. */
+    double hbmBandwidth = 0.0;
+
+    /** L2 cache capacity in bytes (device-wide, shared). */
+    std::int64_t l2Bytes = 0;
+
+    /** L1/shared-memory capacity per SM in bytes. */
+    std::int64_t l1BytesPerSm = 0;
+
+    /** Cache sector (transaction) size in bytes. */
+    int cacheLineBytes = 32;
+
+    /** Fixed host-side cost to launch one kernel, seconds. */
+    double kernelLaunchOverhead = 0.0;
+
+    /** Peak throughput for the given element type, FLOP/s. */
+    double peakFlops(DType t) const;
+
+    /** NVIDIA A100-SXM4-80GB (the paper's evaluation platform). */
+    static GpuSpec a100_80gb();
+
+    /** NVIDIA V100-SXM2-32GB (for sensitivity studies). */
+    static GpuSpec v100_32gb();
+
+    /** NVIDIA H100-SXM5-80GB (for forward-looking sweeps). */
+    static GpuSpec h100_80gb();
+};
+
+/**
+ * A multi-GPU training node (the paper trains with FSDP on nodes of
+ * eight A100s).
+ */
+struct NodeSpec
+{
+    GpuSpec gpu;
+    int gpusPerNode = 8;
+
+    /** Total HBM available on the node in bytes. */
+    double totalHbmBytes() const;
+
+    static NodeSpec a100Node();
+};
+
+} // namespace mmgen::hw
+
+#endif // MMGEN_HW_GPU_SPEC_HH

@@ -1,0 +1,83 @@
+#include "roofline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mmgen::hw {
+
+std::string
+boundKindName(BoundKind k)
+{
+    return k == BoundKind::ComputeBound ? "compute" : "memory";
+}
+
+Roofline::Roofline(const GpuSpec& gpu, DType dtype)
+    : peak(gpu.peakFlops(dtype)), bw(gpu.hbmBandwidth)
+{
+    MMGEN_CHECK(peak > 0.0 && bw > 0.0,
+                "GPU spec has non-positive peak or bandwidth");
+}
+
+double
+Roofline::ridgePoint() const
+{
+    return peak / bw;
+}
+
+double
+Roofline::attainableFlops(double arithmetic_intensity) const
+{
+    MMGEN_CHECK(arithmetic_intensity > 0.0,
+                "arithmetic intensity must be positive, got "
+                    << arithmetic_intensity);
+    return std::min(peak, arithmetic_intensity * bw);
+}
+
+BoundKind
+Roofline::classify(double arithmetic_intensity) const
+{
+    return arithmetic_intensity >= ridgePoint() ? BoundKind::ComputeBound
+                                                : BoundKind::MemoryBound;
+}
+
+RooflinePoint
+Roofline::point(const std::string& label,
+                double arithmetic_intensity) const
+{
+    RooflinePoint p;
+    p.label = label;
+    p.arithmeticIntensity = arithmetic_intensity;
+    p.flopsPerSecond = attainableFlops(arithmetic_intensity);
+    p.bound = classify(arithmetic_intensity);
+    return p;
+}
+
+TimeEstimate
+estimateTime(const GpuSpec& gpu, const TimeEstimateInputs& in)
+{
+    MMGEN_CHECK(in.flops >= 0.0 && in.hbmBytes >= 0.0,
+                "negative work amounts");
+    MMGEN_CHECK(in.computeEfficiency > 0.0 && in.computeEfficiency <= 1.0,
+                "compute efficiency " << in.computeEfficiency
+                                      << " out of (0, 1]");
+    MMGEN_CHECK(in.memoryEfficiency > 0.0 && in.memoryEfficiency <= 1.0,
+                "memory efficiency " << in.memoryEfficiency
+                                     << " out of (0, 1]");
+    MMGEN_CHECK(in.launches >= 0, "negative launch count");
+
+    TimeEstimate out;
+    const double peak = gpu.peakFlops(in.dtype);
+    out.computeSeconds = in.flops / (peak * in.computeEfficiency);
+    out.memorySeconds =
+        in.hbmBytes / (gpu.hbmBandwidth * in.memoryEfficiency);
+    out.overheadSeconds = in.launches * gpu.kernelLaunchOverhead;
+    out.bound = out.computeSeconds >= out.memorySeconds
+                    ? BoundKind::ComputeBound
+                    : BoundKind::MemoryBound;
+    out.seconds = std::max(out.computeSeconds, out.memorySeconds) +
+                  out.overheadSeconds;
+    return out;
+}
+
+} // namespace mmgen::hw

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Roofline performance model (paper Fig. 5) and kernel time estimation.
+ *
+ * A kernel's execution time is modeled as the maximum of its compute
+ * time and its memory time, each derated by an attained-efficiency
+ * factor supplied by the kernel model, plus a fixed launch overhead.
+ * This is the standard roofline abstraction used throughout the paper
+ * to reason about compute- versus memory-bound operators.
+ */
+
+#ifndef MMGEN_HW_ROOFLINE_HH
+#define MMGEN_HW_ROOFLINE_HH
+
+#include <string>
+
+#include "hw/gpu_spec.hh"
+
+namespace mmgen::hw {
+
+/** Which roofline regime a workload point falls in. */
+enum class BoundKind {
+    ComputeBound,
+    MemoryBound,
+};
+
+/** Name of a bound kind ("compute" / "memory"). */
+std::string boundKindName(BoundKind k);
+
+/** One workload point on the roofline. */
+struct RooflinePoint
+{
+    std::string label;
+    /** Arithmetic intensity, FLOP per byte. */
+    double arithmeticIntensity = 0.0;
+    /** Attained (or attainable) FLOP/s. */
+    double flopsPerSecond = 0.0;
+    BoundKind bound = BoundKind::MemoryBound;
+};
+
+/**
+ * Roofline model for a GPU at a given element type.
+ */
+class Roofline
+{
+  public:
+    Roofline(const GpuSpec& gpu, DType dtype);
+
+    /** Intensity at which compute and memory limits intersect. */
+    double ridgePoint() const;
+
+    /** Attainable FLOP/s at the given arithmetic intensity. */
+    double attainableFlops(double arithmetic_intensity) const;
+
+    /** Classify a workload point by its arithmetic intensity. */
+    BoundKind classify(double arithmetic_intensity) const;
+
+    /** Build a labeled point at the given intensity. */
+    RooflinePoint
+    point(const std::string& label, double arithmetic_intensity) const;
+
+    /** Peak compute ceiling, FLOP/s. */
+    double peakFlops() const { return peak; }
+
+    /** Memory bandwidth, bytes/s. */
+    double bandwidth() const { return bw; }
+
+  private:
+    double peak;
+    double bw;
+};
+
+/**
+ * Kernel-time estimate inputs: work and attained-efficiency deratings.
+ */
+struct TimeEstimateInputs
+{
+    double flops = 0.0;
+    double hbmBytes = 0.0;
+    /** Fraction of peak compute the kernel attains (0, 1]. */
+    double computeEfficiency = 1.0;
+    /** Fraction of peak bandwidth the kernel attains (0, 1]. */
+    double memoryEfficiency = 1.0;
+    /** Number of device kernel launches this op issues. */
+    int launches = 1;
+    DType dtype = DType::F16;
+};
+
+/** Result of a kernel time estimate. */
+struct TimeEstimate
+{
+    double seconds = 0.0;
+    double computeSeconds = 0.0;
+    double memorySeconds = 0.0;
+    double overheadSeconds = 0.0;
+    BoundKind bound = BoundKind::MemoryBound;
+};
+
+/** Estimate the execution time of one kernel on the given GPU. */
+TimeEstimate estimateTime(const GpuSpec& gpu,
+                          const TimeEstimateInputs& in);
+
+} // namespace mmgen::hw
+
+#endif // MMGEN_HW_ROOFLINE_HH

@@ -1,0 +1,245 @@
+#include "attention.hh"
+
+#include <algorithm>
+
+#include "hw/roofline.hh"
+#include "util/logging.hh"
+
+namespace mmgen::kernels {
+
+namespace {
+
+double
+d(std::int64_t v)
+{
+    return static_cast<double>(v);
+}
+
+} // namespace
+
+double
+attentionMatmulFlops(const graph::AttentionAttrs& a)
+{
+    // QK^T: 2*b*h*Sq*Skv*d ; AV: 2*b*h*Sq*Skv*d.
+    return 4.0 * d(a.batch) * d(a.heads) * d(a.seqQ) * d(a.seqKv) *
+           d(a.headDim);
+}
+
+double
+attentionSoftmaxFlops(const graph::AttentionAttrs& a)
+{
+    // max, subtract, exp, sum, divide over each similarity element.
+    return 5.0 * d(a.batch) * d(a.heads) * d(a.seqQ) * d(a.seqKv);
+}
+
+double
+similarityMatrixBytes(const graph::AttentionAttrs& a,
+                      std::size_t dtype_bytes)
+{
+    return d(a.batch) * d(a.heads) * d(a.seqQ) * d(a.seqKv) *
+           static_cast<double>(dtype_bytes);
+}
+
+double
+qkvoBytes(const graph::AttentionAttrs& a, std::size_t dtype_bytes)
+{
+    const double q = d(a.batch) * d(a.heads) * d(a.seqQ) * d(a.headDim);
+    const double kv =
+        2.0 * d(a.batch) * d(a.heads) * d(a.seqKv) * d(a.headDim);
+    const double o = q;
+    return (q + kv + o) * static_cast<double>(dtype_bytes);
+}
+
+namespace {
+
+/** Total roofline time of a lowered attention cost. */
+double
+costSeconds(const hw::GpuSpec& gpu, const OpCost& cost, DType dtype)
+{
+    double total = 0.0;
+    for (const auto& part : cost.parts) {
+        hw::TimeEstimateInputs in;
+        in.flops = part.flops;
+        in.hbmBytes = part.hbmBytes;
+        in.computeEfficiency = part.computeEff;
+        in.memoryEfficiency = part.memEff;
+        in.launches = part.launches;
+        in.dtype = dtype;
+        total += hw::estimateTime(gpu, in).seconds;
+    }
+    return total;
+}
+
+} // namespace
+
+graph::AttentionBackend
+selectAttentionBackend(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+                       const graph::AttentionAttrs& a, DType dtype)
+{
+    graph::AttentionBackend best = graph::AttentionBackend::Flash;
+    double best_s = -1.0;
+    for (graph::AttentionBackend candidate :
+         {graph::AttentionBackend::Baseline,
+          graph::AttentionBackend::Flash,
+          graph::AttentionBackend::FlashDecode}) {
+        const double s = costSeconds(
+            gpu, lowerAttention(gpu, p, a, dtype, candidate), dtype);
+        if (best_s < 0.0 || s < best_s) {
+            best_s = s;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+OpCost
+lowerAttention(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+               const graph::AttentionAttrs& a, DType dtype,
+               graph::AttentionBackend backend)
+{
+    if (backend == graph::AttentionBackend::Auto) {
+        return lowerAttention(gpu, p, a, dtype,
+                              selectAttentionBackend(gpu, p, a, dtype));
+    }
+    const std::size_t db = dtypeBytes(dtype);
+    const std::int64_t bh = a.batch * a.heads;
+    const double matmul_flops = attentionMatmulFlops(a);
+    const double softmax_flops = attentionSoftmaxFlops(a);
+    // Eager kernels upcast the materialized similarity matrix to fp32.
+    const double s_bytes =
+        similarityMatrixBytes(a, db) * p.baselineSimilarityUpcast;
+    // Strided (non-innermost-axis) attention over-fetches every Q/K/V
+    // element by a full DRAM sector. Reads pay the full penalty;
+    // stores write-combine in the L2, so the output write does not.
+    // The similarity matrix is produced dense and is not inflated.
+    const double waste = a.strideWasteFactor(gpu.cacheLineBytes, db);
+    const double q_bytes =
+        d(a.batch) * d(a.heads) * d(a.seqQ) * d(a.headDim) * d(db);
+    const double kv_bytes =
+        2.0 * d(a.batch) * d(a.heads) * d(a.seqKv) * d(a.headDim) *
+        d(db);
+    const double o_bytes = q_bytes;
+    const double io_bytes = (q_bytes + kv_bytes) * waste + o_bytes;
+    const double mem_eff =
+        attentionMemEff(p, a.seqQ, a.seqKv, a.headDim, db);
+
+    // CTA parallelism available to the fused kernels: one CTA per
+    // (batch, head, query tile).
+    const std::int64_t query_tiles = (a.seqQ + 127) / 128;
+    const std::int64_t fused_ctas = bh * query_tiles;
+
+    OpCost cost;
+    if (backend == graph::AttentionBackend::Flash) {
+        SubKernelCost k;
+        k.klass = KernelClass::Gemm;
+        k.label = "flash_fused";
+        k.flops = matmul_flops + softmax_flops;
+        if (a.causal)
+            k.flops *= p.causalFlashFlopFraction;
+        k.hbmBytes = io_bytes;
+        k.launches = 1;
+        k.computeEff = flashComputeEff(p, a.headDim, a.seqKv);
+        k.memEff = mem_eff * attentionOccupancy(gpu, p, fused_ctas);
+        cost.parts.push_back(std::move(k));
+        return cost;
+    }
+    if (backend == graph::AttentionBackend::FlashDecode) {
+        // Split the KV sequence so the kernel fills the device even
+        // when batch * heads * query_tiles is small.
+        std::int64_t splits = 1;
+        const std::int64_t target =
+            2 * static_cast<std::int64_t>(gpu.numSms);
+        if (fused_ctas < target) {
+            splits = std::min<std::int64_t>(
+                (target + fused_ctas - 1) / fused_ctas,
+                std::max<std::int64_t>(1, a.seqKv / 256));
+        }
+        const std::int64_t ctas = fused_ctas * splits;
+        const double partial_bytes =
+            splits > 1 ? 2.0 * d(splits) * d(bh) * d(a.seqQ) *
+                             (d(a.headDim) + 2.0) * d(db)
+                       : 0.0;
+        SubKernelCost k;
+        k.klass = KernelClass::Gemm;
+        k.label = splits > 1 ? "flash_split_kv" : "flash_fused";
+        k.flops = matmul_flops + softmax_flops;
+        if (a.causal)
+            k.flops *= p.causalFlashFlopFraction;
+        k.hbmBytes = io_bytes + partial_bytes;
+        k.launches = splits > 1 ? 2 : 1; // + reduction pass
+        k.computeEff = flashComputeEff(p, a.headDim, a.seqKv);
+        k.memEff = mem_eff * attentionOccupancy(gpu, p, ctas);
+        cost.parts.push_back(std::move(k));
+        return cost;
+    }
+
+    // Baseline: QK^T GEMM writes S; scale (+ mask) and softmax stream S;
+    // AV GEMM re-reads S. Eager execution computes the full matrix even
+    // under a causal mask. Its batched GEMMs see the same occupancy
+    // limit as the fused kernels.
+    const double occ = attentionOccupancy(gpu, p, fused_ctas);
+    const double mem_eff_occ = mem_eff * occ;
+    const double qk_gemm_eff =
+        gemmComputeEff(gpu, p, bh, a.seqQ, a.seqKv, a.headDim);
+    const double av_gemm_eff =
+        gemmComputeEff(gpu, p, bh, a.seqQ, a.headDim, a.seqKv);
+
+    {
+        SubKernelCost k;
+        k.klass = KernelClass::Gemm;
+        k.label = "qk_gemm";
+        k.flops = matmul_flops / 2.0;
+        k.hbmBytes = (q_bytes + kv_bytes / 2.0) * waste + s_bytes;
+        k.launches = 1;
+        k.computeEff = qk_gemm_eff;
+        k.memEff = mem_eff_occ;
+        cost.parts.push_back(std::move(k));
+    }
+    {
+        SubKernelCost k;
+        k.klass = KernelClass::Elementwise;
+        k.label = "scale";
+        k.flops = d(bh) * d(a.seqQ) * d(a.seqKv);
+        k.hbmBytes = 2.0 * s_bytes;
+        k.launches = 1;
+        k.computeEff = 1.0;
+        k.memEff = mem_eff_occ;
+        cost.parts.push_back(std::move(k));
+    }
+    if (a.causal) {
+        SubKernelCost k;
+        k.klass = KernelClass::Elementwise;
+        k.label = "mask";
+        k.flops = d(bh) * d(a.seqQ) * d(a.seqKv);
+        k.hbmBytes = 2.0 * s_bytes;
+        k.launches = 1;
+        k.computeEff = 1.0;
+        k.memEff = mem_eff_occ;
+        cost.parts.push_back(std::move(k));
+    }
+    {
+        SubKernelCost k;
+        k.klass = KernelClass::Softmax;
+        k.label = "softmax";
+        k.flops = softmax_flops;
+        k.hbmBytes = 2.0 * s_bytes;
+        k.launches = 1;
+        k.computeEff = 1.0;
+        k.memEff = mem_eff_occ;
+        cost.parts.push_back(std::move(k));
+    }
+    {
+        SubKernelCost k;
+        k.klass = KernelClass::Gemm;
+        k.label = "av_gemm";
+        k.flops = matmul_flops / 2.0;
+        k.hbmBytes = s_bytes + (kv_bytes / 2.0) * waste + o_bytes;
+        k.launches = 1;
+        k.computeEff = av_gemm_eff;
+        k.memEff = mem_eff_occ;
+        cost.parts.push_back(std::move(k));
+    }
+    return cost;
+}
+
+} // namespace mmgen::kernels

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lowering of fused attention ops to device kernels.
+ *
+ * Baseline attention (eager PyTorch) materializes the S_q x S_kv
+ * similarity matrix in HBM and runs a separate kernel per step:
+ * QK^T GEMM, scale, (mask,) softmax, AV GEMM. FlashAttention-2 fuses
+ * everything into one kernel whose HBM traffic is only Q, K, V and O.
+ * The difference in S-matrix traffic is exactly the mechanism the
+ * paper identifies for the prefill-vs-decode speedup asymmetry
+ * (Section IV-B), and the launch-count difference is why even tiny
+ * decode-shaped attention sees a small win.
+ */
+
+#ifndef MMGEN_KERNELS_ATTENTION_HH
+#define MMGEN_KERNELS_ATTENTION_HH
+
+#include "graph/op.hh"
+#include "hw/gpu_spec.hh"
+#include "kernels/efficiency.hh"
+#include "kernels/kernel_cost.hh"
+
+namespace mmgen::kernels {
+
+/** FLOPs of the two attention matmuls (2 * b*h * Sq * Skv * d each). */
+double attentionMatmulFlops(const graph::AttentionAttrs& a);
+
+/** FLOPs of the softmax over the similarity matrix. */
+double attentionSoftmaxFlops(const graph::AttentionAttrs& a);
+
+/** Bytes of the materialized similarity matrix (one copy). */
+double similarityMatrixBytes(const graph::AttentionAttrs& a,
+                             std::size_t dtype_bytes);
+
+/** Bytes of Q, K, V and O in HBM (the Flash lower bound). */
+double qkvoBytes(const graph::AttentionAttrs& a,
+                 std::size_t dtype_bytes);
+
+/**
+ * Lower one attention op to its device kernels under a backend.
+ * AttentionBackend::Auto evaluates every concrete backend and lowers
+ * with the one the time model predicts fastest for the shape.
+ */
+OpCost lowerAttention(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+                      const graph::AttentionAttrs& a, DType dtype,
+                      graph::AttentionBackend backend);
+
+/** The concrete backend Auto dispatch would pick for a shape. */
+graph::AttentionBackend
+selectAttentionBackend(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+                       const graph::AttentionAttrs& a, DType dtype);
+
+} // namespace mmgen::kernels
+
+#endif // MMGEN_KERNELS_ATTENTION_HH

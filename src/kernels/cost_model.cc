@@ -1,0 +1,374 @@
+#include "cost_model.hh"
+
+#include <algorithm>
+
+#include "kernels/attention.hh"
+#include "util/logging.hh"
+
+namespace mmgen::kernels {
+
+using graph::Op;
+using graph::OpKind;
+
+namespace {
+
+double
+d(std::int64_t v)
+{
+    return static_cast<double>(v);
+}
+
+} // namespace
+
+double
+opWorkingSetBytes(const graph::Op& op, graph::AttentionBackend backend)
+{
+    const double db = d(dtypeBytes(op.dtype));
+    switch (op.kind) {
+      case OpKind::Conv2D:
+      case OpKind::Conv3D: {
+        const auto& a = op.as<graph::ConvAttrs>();
+        const double in =
+            d(a.batch * a.inChannels * a.inD * a.inH * a.inW);
+        const double w = d(a.kernelD * a.kernelH * a.kernelW *
+                           (a.inChannels / a.groups) * a.outChannels);
+        const double out =
+            d(a.batch * a.outChannels * a.outD() * a.outH() * a.outW());
+        return (in + w + out) * db;
+      }
+      case OpKind::Linear: {
+        const auto& a = op.as<graph::LinearAttrs>();
+        return (d(a.rows * a.inFeatures) +
+                d(a.inFeatures * a.outFeatures) +
+                d(a.rows * a.outFeatures)) *
+               db;
+      }
+      case OpKind::Matmul: {
+        const auto& a = op.as<graph::MatmulAttrs>();
+        return d(a.batch) * (d(a.m * a.k) + d(a.k * a.n) + d(a.m * a.n)) *
+               db;
+      }
+      case OpKind::Attention: {
+        const auto& a = op.as<graph::AttentionAttrs>();
+        double ws = qkvoBytes(a, dtypeBytes(op.dtype));
+        if (backend == graph::AttentionBackend::Baseline)
+            ws += similarityMatrixBytes(a, dtypeBytes(op.dtype));
+        return ws;
+      }
+      case OpKind::GroupNorm:
+      case OpKind::LayerNorm: {
+        const auto& a = op.as<graph::NormAttrs>();
+        return 2.0 * d(a.numel) * db;
+      }
+      case OpKind::Softmax: {
+        const auto& a = op.as<graph::SoftmaxAttrs>();
+        return 2.0 * d(a.rows * a.cols) * db;
+      }
+      case OpKind::Elementwise: {
+        const auto& a = op.as<graph::ElemAttrs>();
+        return (d(a.arity) + 1.0) * d(a.numel) * db;
+      }
+      case OpKind::Embedding: {
+        const auto& a = op.as<graph::EmbeddingAttrs>();
+        return (d(a.vocab * a.dim) + d(a.tokens * a.dim)) * db;
+      }
+      case OpKind::Upsample:
+      case OpKind::Downsample: {
+        const auto& a = op.as<graph::ResampleAttrs>();
+        return (d(a.numelIn) + d(a.numelOut)) * db;
+      }
+      case OpKind::Copy: {
+        const auto& a = op.as<graph::CopyAttrs>();
+        return 2.0 * d(a.bytes);
+      }
+    }
+    MMGEN_ASSERT(false, "unknown op kind");
+}
+
+CostModel::CostModel(const hw::GpuSpec& gpu,
+                     graph::AttentionBackend backend,
+                     const EfficiencyParams& params)
+    : gpu_(gpu), backend_(backend), params_(params)
+{}
+
+OpCost
+CostModel::cost(const Op& op) const
+{
+    switch (op.kind) {
+      case OpKind::Conv2D:
+      case OpKind::Conv3D:
+        return costConv(op);
+      case OpKind::Linear:
+        return costLinear(op);
+      case OpKind::Matmul:
+        return costMatmul(op);
+      case OpKind::Attention:
+        return lowerAttention(gpu_, params_,
+                              op.as<graph::AttentionAttrs>(), op.dtype,
+                              backend_);
+      case OpKind::GroupNorm:
+        return costNorm(op, true);
+      case OpKind::LayerNorm:
+        return costNorm(op, false);
+      case OpKind::Softmax:
+        return costSoftmax(op);
+      case OpKind::Elementwise:
+        return costElementwise(op);
+      case OpKind::Embedding:
+        return costEmbedding(op);
+      case OpKind::Upsample:
+        return costResample(op, true);
+      case OpKind::Downsample:
+        return costResample(op, false);
+      case OpKind::Copy:
+        return costCopy(op);
+    }
+    MMGEN_ASSERT(false, "unknown op kind");
+}
+
+OpTime
+CostModel::time(const Op& op) const
+{
+    return time(cost(op), op.dtype, op.repeat);
+}
+
+OpTime
+CostModel::time(const OpCost& cost, DType dtype, std::int64_t repeat) const
+{
+    OpTime total;
+    for (const auto& part : cost.parts) {
+        hw::TimeEstimateInputs in;
+        in.flops = part.flops;
+        in.hbmBytes = part.hbmBytes;
+        in.computeEfficiency = part.computeEff;
+        in.memoryEfficiency = part.memEff;
+        in.launches = part.launches;
+        in.dtype = dtype;
+        const hw::TimeEstimate est = hw::estimateTime(gpu_, in);
+        total.seconds += est.seconds;
+        total.computeSeconds += est.computeSeconds;
+        total.memorySeconds += est.memorySeconds;
+        total.overheadSeconds += est.overheadSeconds;
+    }
+    const double r = d(repeat);
+    total.seconds *= r;
+    total.computeSeconds *= r;
+    total.memorySeconds *= r;
+    total.overheadSeconds *= r;
+    return total;
+}
+
+std::vector<std::pair<KernelClass, double>>
+CostModel::timeByKernelClass(const OpCost& cost, DType dtype,
+                             std::int64_t repeat) const
+{
+    std::vector<std::pair<KernelClass, double>> out;
+    out.reserve(cost.parts.size());
+    for (const auto& part : cost.parts) {
+        hw::TimeEstimateInputs in;
+        in.flops = part.flops;
+        in.hbmBytes = part.hbmBytes;
+        in.computeEfficiency = part.computeEff;
+        in.memoryEfficiency = part.memEff;
+        in.launches = part.launches;
+        in.dtype = dtype;
+        out.emplace_back(part.klass,
+                         hw::estimateTime(gpu_, in).seconds *
+                             static_cast<double>(repeat));
+    }
+    return out;
+}
+
+OpCost
+CostModel::costConv(const Op& op) const
+{
+    const auto& a = op.as<graph::ConvAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    // Implicit GEMM view: M = batch * output positions, N = outC,
+    // K = (inC / groups) * kernel volume.
+    const std::int64_t m = a.batch * a.outD() * a.outH() * a.outW();
+    const std::int64_t n = a.outChannels;
+    const std::int64_t k =
+        (a.inChannels / a.groups) * a.kernelD * a.kernelH * a.kernelW;
+
+    SubKernelCost kc;
+    kc.klass = KernelClass::Conv;
+    kc.label = op.kind == OpKind::Conv3D ? "conv3d" : "conv2d";
+    kc.flops = 2.0 * d(m) * d(n) * d(k) * d(a.groups);
+    const double in_bytes =
+        d(a.batch * a.inChannels * a.inD * a.inH * a.inW) * d(db);
+    const double w_bytes =
+        d(a.kernelD * a.kernelH * a.kernelW *
+          (a.inChannels / a.groups) * a.outChannels) *
+        d(db);
+    const double out_bytes = d(m * n) * d(db);
+    kc.hbmBytes = in_bytes + w_bytes + out_bytes;
+    kc.launches = 1;
+    kc.computeEff = convComputeEff(gpu_, params_, m, n, k);
+    kc.memEff = streamMemEff(params_,
+                             static_cast<std::int64_t>(kc.hbmBytes));
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costLinear(const Op& op) const
+{
+    const auto& a = op.as<graph::LinearAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    SubKernelCost kc;
+    kc.klass = KernelClass::Gemm;
+    kc.label = "linear";
+    kc.flops = 2.0 * d(a.rows) * d(a.inFeatures) * d(a.outFeatures);
+    kc.hbmBytes = (d(a.rows * a.inFeatures) +
+                   d(a.inFeatures * a.outFeatures) +
+                   d(a.rows * a.outFeatures)) *
+                  d(db);
+    if (a.hasBias)
+        kc.hbmBytes += d(a.outFeatures) * d(db);
+    kc.launches = 1;
+    kc.computeEff =
+        gemmComputeEff(gpu_, params_, 1, a.rows, a.outFeatures,
+                       a.inFeatures);
+    kc.memEff = gemmMemEff(params_, 1, a.rows, a.outFeatures,
+                           a.inFeatures, db);
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costMatmul(const Op& op) const
+{
+    const auto& a = op.as<graph::MatmulAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    SubKernelCost kc;
+    kc.klass = KernelClass::Gemm;
+    kc.label = "matmul";
+    kc.flops = 2.0 * d(a.batch) * d(a.m) * d(a.n) * d(a.k);
+    kc.hbmBytes =
+        d(a.batch) * (d(a.m * a.k) + d(a.k * a.n) + d(a.m * a.n)) * d(db);
+    kc.launches = 1;
+    kc.computeEff = gemmComputeEff(gpu_, params_, a.batch, a.m, a.n, a.k);
+    kc.memEff = gemmMemEff(params_, a.batch, a.m, a.n, a.k, db);
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costNorm(const Op& op, bool group) const
+{
+    const auto& a = op.as<graph::NormAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    SubKernelCost kc;
+    kc.klass = KernelClass::Norm;
+    kc.label = group ? "group_norm" : "layer_norm";
+    // Two passes: statistics, then normalize + affine.
+    kc.flops = 8.0 * d(a.numel);
+    kc.hbmBytes = 3.0 * d(a.numel) * d(db);
+    kc.launches = 2;
+    kc.computeEff = 1.0;
+    kc.memEff = streamMemEff(params_,
+                             static_cast<std::int64_t>(kc.hbmBytes));
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costSoftmax(const Op& op) const
+{
+    const auto& a = op.as<graph::SoftmaxAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    SubKernelCost kc;
+    kc.klass = KernelClass::Softmax;
+    kc.label = "softmax";
+    kc.flops = 5.0 * d(a.rows) * d(a.cols);
+    kc.hbmBytes = 2.0 * d(a.rows) * d(a.cols) * d(db);
+    kc.launches = 1;
+    kc.computeEff = 1.0;
+    kc.memEff = streamMemEff(params_,
+                             static_cast<std::int64_t>(kc.hbmBytes));
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costElementwise(const Op& op) const
+{
+    const auto& a = op.as<graph::ElemAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    SubKernelCost kc;
+    kc.klass = KernelClass::Elementwise;
+    kc.label = a.label;
+    kc.flops = a.flopsPerElement * d(a.numel);
+    kc.hbmBytes = (d(a.arity) + 1.0) * d(a.numel) * d(db);
+    kc.launches = 1;
+    kc.computeEff = 1.0;
+    kc.memEff = streamMemEff(params_,
+                             static_cast<std::int64_t>(kc.hbmBytes));
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costEmbedding(const Op& op) const
+{
+    const auto& a = op.as<graph::EmbeddingAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    SubKernelCost kc;
+    kc.klass = KernelClass::Memory;
+    kc.label = "embedding";
+    kc.flops = 0.0;
+    kc.hbmBytes = 2.0 * d(a.tokens) * d(a.dim) * d(db);
+    kc.launches = 1;
+    kc.computeEff = 1.0;
+    kc.memEff = streamMemEff(params_,
+                             static_cast<std::int64_t>(kc.hbmBytes));
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costResample(const Op& op, bool up) const
+{
+    const auto& a = op.as<graph::ResampleAttrs>();
+    const std::size_t db = dtypeBytes(op.dtype);
+    SubKernelCost kc;
+    kc.klass = KernelClass::Memory;
+    kc.label = up ? "upsample" : "downsample";
+    kc.flops = d(std::max(a.numelIn, a.numelOut));
+    kc.hbmBytes = (d(a.numelIn) + d(a.numelOut)) * d(db);
+    kc.launches = 1;
+    kc.computeEff = 1.0;
+    kc.memEff = streamMemEff(params_,
+                             static_cast<std::int64_t>(kc.hbmBytes));
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+OpCost
+CostModel::costCopy(const Op& op) const
+{
+    const auto& a = op.as<graph::CopyAttrs>();
+    SubKernelCost kc;
+    kc.klass = KernelClass::Memory;
+    kc.label = "copy";
+    kc.flops = 0.0;
+    kc.hbmBytes = 2.0 * d(a.bytes);
+    kc.launches = 1;
+    kc.computeEff = 1.0;
+    kc.memEff = streamMemEff(params_,
+                             static_cast<std::int64_t>(kc.hbmBytes));
+    OpCost cost;
+    cost.parts.push_back(std::move(kc));
+    return cost;
+}
+
+} // namespace mmgen::kernels

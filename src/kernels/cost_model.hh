@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Op-level cost model: lowers graph ops to kernels and estimates time.
+ *
+ * This is the simulated counterpart of running a kernel on the GPU and
+ * reading its duration out of PyTorch Profiler. The model is purely
+ * shape-driven and deterministic.
+ */
+
+#ifndef MMGEN_KERNELS_COST_MODEL_HH
+#define MMGEN_KERNELS_COST_MODEL_HH
+
+#include <utility>
+#include <vector>
+
+#include "graph/op.hh"
+#include "hw/gpu_spec.hh"
+#include "hw/roofline.hh"
+#include "kernels/efficiency.hh"
+#include "kernels/kernel_cost.hh"
+
+namespace mmgen::kernels {
+
+/** Time breakdown of one op across its kernels. */
+struct OpTime
+{
+    double seconds = 0.0;
+    double computeSeconds = 0.0;
+    double memorySeconds = 0.0;
+    double overheadSeconds = 0.0;
+};
+
+/**
+ * Resident working set of one op: the bytes of all distinct operands
+ * and results live at once (not traffic). Used as the memory-pressure
+ * proxy of the Table I taxonomy — a baseline attention call must hold
+ * its materialized similarity matrix alongside Q/K/V/O.
+ */
+double opWorkingSetBytes(const graph::Op& op,
+                         graph::AttentionBackend backend =
+                             graph::AttentionBackend::Baseline);
+
+/**
+ * Shape-driven performance model for all op kinds.
+ */
+class CostModel
+{
+  public:
+    /**
+     * @param gpu      simulated device
+     * @param backend  attention implementation for Attention ops
+     * @param params   efficiency calibration constants
+     */
+    CostModel(const hw::GpuSpec& gpu, graph::AttentionBackend backend,
+              const EfficiencyParams& params =
+                  EfficiencyParams::defaults());
+
+    /** Lower an op to its device kernels with work estimates. */
+    OpCost cost(const graph::Op& op) const;
+
+    /** Execution-time estimate for an op (repeat count applied). */
+    OpTime time(const graph::Op& op) const;
+
+    /** Execution-time for a pre-computed cost. */
+    OpTime time(const OpCost& cost, DType dtype,
+                std::int64_t repeat = 1) const;
+
+    /**
+     * Per-device-kernel-class seconds of one op (Nsight-style view):
+     * each sub-kernel's time attributed to its KernelClass.
+     */
+    std::vector<std::pair<KernelClass, double>>
+    timeByKernelClass(const OpCost& cost, DType dtype,
+                      std::int64_t repeat = 1) const;
+
+    const hw::GpuSpec& gpu() const { return gpu_; }
+    graph::AttentionBackend backend() const { return backend_; }
+    const EfficiencyParams& params() const { return params_; }
+
+  private:
+    OpCost costConv(const graph::Op& op) const;
+    OpCost costLinear(const graph::Op& op) const;
+    OpCost costMatmul(const graph::Op& op) const;
+    OpCost costNorm(const graph::Op& op, bool group) const;
+    OpCost costSoftmax(const graph::Op& op) const;
+    OpCost costElementwise(const graph::Op& op) const;
+    OpCost costEmbedding(const graph::Op& op) const;
+    OpCost costResample(const graph::Op& op, bool up) const;
+    OpCost costCopy(const graph::Op& op) const;
+
+    hw::GpuSpec gpu_;
+    graph::AttentionBackend backend_;
+    EfficiencyParams params_;
+};
+
+} // namespace mmgen::kernels
+
+#endif // MMGEN_KERNELS_COST_MODEL_HH

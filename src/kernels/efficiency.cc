@@ -1,0 +1,164 @@
+#include "efficiency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mmgen::kernels {
+
+namespace {
+
+/** Round up to a multiple. */
+std::int64_t
+roundUp(std::int64_t x, std::int64_t to)
+{
+    return (x + to - 1) / to * to;
+}
+
+/** Smallest power of two >= x, clamped to [lo, hi]. */
+std::int64_t
+tileFor(std::int64_t extent, std::int64_t lo, std::int64_t hi)
+{
+    std::int64_t t = lo;
+    while (t < extent && t < hi)
+        t *= 2;
+    return std::min(t, hi);
+}
+
+double
+clampEff(const EfficiencyParams& p, double eff)
+{
+    return std::clamp(eff, p.efficiencyFloor, 1.0);
+}
+
+/** Wave (tail) utilization for a grid of CTAs over the SMs. */
+double
+waveUtilization(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+                std::int64_t tiles)
+{
+    const std::int64_t slots =
+        static_cast<std::int64_t>(gpu.numSms) * p.ctasPerSm;
+    if (tiles <= 0)
+        return 1.0;
+    const std::int64_t waves = (tiles + slots - 1) / slots;
+    return static_cast<double>(tiles) /
+           static_cast<double>(waves * slots);
+}
+
+} // namespace
+
+const EfficiencyParams&
+EfficiencyParams::defaults()
+{
+    static const EfficiencyParams p;
+    return p;
+}
+
+double
+gemmComputeEff(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+               std::int64_t batch, std::int64_t m, std::int64_t n,
+               std::int64_t k)
+{
+    MMGEN_CHECK(batch > 0 && m > 0 && n > 0 && k > 0,
+                "GEMM dims must be positive");
+    const std::int64_t tile_m = tileFor(m, 16, 128);
+    const std::int64_t tile_n = tileFor(n, 16, 128);
+    const double quant =
+        static_cast<double>(m) * static_cast<double>(n) /
+        (static_cast<double>(roundUp(m, tile_m)) *
+         static_cast<double>(roundUp(n, tile_n)));
+    const std::int64_t tiles =
+        batch * (roundUp(m, tile_m) / tile_m) * (roundUp(n, tile_n) / tile_n);
+    const double wave = waveUtilization(gpu, p, tiles);
+    const double kdepth =
+        static_cast<double>(k) / (static_cast<double>(k) + p.gemmKHalfDepth);
+    return clampEff(p, p.gemmPeakFraction * quant * wave * kdepth);
+}
+
+double
+gemmMemEff(const EfficiencyParams& p, std::int64_t batch, std::int64_t m,
+           std::int64_t n, std::int64_t k, std::size_t dtype_bytes)
+{
+    MMGEN_CHECK(batch > 0 && m > 0 && n > 0 && k > 0,
+                "GEMM dims must be positive");
+    const double per_matrix =
+        static_cast<double>(m * k + k * n + m * n) *
+        static_cast<double>(dtype_bytes);
+    const double footprint =
+        per_matrix / (per_matrix + p.smallMatrixOverheadBytes);
+    return clampEff(p, p.streamMemFraction * footprint);
+}
+
+double
+convComputeEff(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+               std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    MMGEN_CHECK(m > 0 && n > 0 && k > 0, "conv dims must be positive");
+    const std::int64_t tile_m = tileFor(m, 16, 128);
+    const std::int64_t tile_n = tileFor(n, 16, 64);
+    const double quant =
+        static_cast<double>(m) * static_cast<double>(n) /
+        (static_cast<double>(roundUp(m, tile_m)) *
+         static_cast<double>(roundUp(n, tile_n)));
+    const std::int64_t tiles =
+        (roundUp(m, tile_m) / tile_m) * (roundUp(n, tile_n) / tile_n);
+    const double wave = waveUtilization(gpu, p, tiles);
+    const double kdepth =
+        static_cast<double>(k) / (static_cast<double>(k) + p.gemmKHalfDepth);
+    return clampEff(p, p.convPeakFraction * quant * wave * kdepth);
+}
+
+double
+flashComputeEff(const EfficiencyParams& p, std::int64_t head_dim,
+                std::int64_t seq_kv)
+{
+    MMGEN_CHECK(head_dim > 0 && seq_kv > 0,
+                "attention dims must be positive");
+    // Tensor-core tiles are 16-wide; head dims below 128 underfill the
+    // MMA pipelines roughly proportionally.
+    const double dim_factor =
+        std::min(1.0, static_cast<double>(head_dim) / 128.0);
+    // Short KV sequences cannot hide the softmax rescaling latency.
+    const double seq_factor = static_cast<double>(seq_kv) /
+                              (static_cast<double>(seq_kv) + 64.0);
+    return std::clamp(p.flashPeakFraction * dim_factor * seq_factor,
+                      p.efficiencyFloor, 1.0);
+}
+
+double
+attentionMemEff(const EfficiencyParams& p, std::int64_t seq_q,
+                std::int64_t seq_kv, std::int64_t head_dim,
+                std::size_t dtype_bytes)
+{
+    MMGEN_CHECK(seq_q > 0 && seq_kv > 0 && head_dim > 0,
+                "attention dims must be positive");
+    const double per_matrix =
+        static_cast<double>((seq_q + 2 * seq_kv) * head_dim) *
+        static_cast<double>(dtype_bytes);
+    const double footprint =
+        per_matrix / (per_matrix + p.attentionMatrixOverheadBytes);
+    return clampEff(p, p.streamMemFraction * footprint);
+}
+
+double
+attentionOccupancy(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+                   std::int64_t ctas)
+{
+    MMGEN_CHECK(ctas > 0, "CTA count must be positive");
+    const double half_fill = static_cast<double>(gpu.numSms) / 2.0;
+    const double c = static_cast<double>(ctas);
+    return std::clamp(c / (c + half_fill), p.efficiencyFloor, 1.0);
+}
+
+double
+streamMemEff(const EfficiencyParams& p, std::int64_t bytes)
+{
+    MMGEN_CHECK(bytes >= 0, "negative byte count");
+    const double b = static_cast<double>(bytes);
+    // Very small kernels never reach steady-state bandwidth.
+    const double ramp = b / (b + 64.0 * 1024.0);
+    return clampEff(p, p.streamMemFraction * ramp);
+}
+
+} // namespace mmgen::kernels

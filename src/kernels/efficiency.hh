@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Attained-efficiency models for device kernels.
+ *
+ * Real kernels attain a fraction of datasheet peaks that depends on
+ * problem shape: tile quantization, wave (tail) effects, pipeline
+ * depth, and per-matrix footprint. These functions capture the
+ * first-order shape dependence. The constants in EfficiencyParams are
+ * the calibration surface of the whole simulator: they are chosen once
+ * against published A100 kernel behaviour and then held fixed across
+ * every experiment (no per-figure tuning).
+ */
+
+#ifndef MMGEN_KERNELS_EFFICIENCY_HH
+#define MMGEN_KERNELS_EFFICIENCY_HH
+
+#include <cstdint>
+
+#include "hw/gpu_spec.hh"
+
+namespace mmgen::kernels {
+
+/** Calibration constants for the efficiency models. */
+struct EfficiencyParams
+{
+    /** Best-case tensor-core GEMM fraction of peak (large shapes). */
+    double gemmPeakFraction = 0.75;
+
+    /** Best-case implicit-GEMM convolution fraction of peak. */
+    double convPeakFraction = 0.65;
+
+    /** Best-case fused-attention (Flash) fraction of peak at d>=128. */
+    double flashPeakFraction = 0.70;
+
+    /** Best-case streaming fraction of HBM bandwidth. */
+    double streamMemFraction = 0.85;
+
+    /** Per-matrix fixed overhead charged to small batched GEMMs, bytes. */
+    double smallMatrixOverheadBytes = 4096.0;
+
+    /** Per-(batch*head) fixed overhead for attention kernels, bytes. */
+    double attentionMatrixOverheadBytes = 8192.0;
+
+    /** K-depth at which GEMM pipelines reach half their peak. */
+    double gemmKHalfDepth = 32.0;
+
+    /** Fraction of full-matrix FLOPs a causal Flash kernel performs. */
+    double causalFlashFlopFraction = 0.55;
+
+    /**
+     * Traffic multiplier on the materialized similarity matrix in the
+     * baseline path: eager implementations upcast the similarity
+     * matrix to fp32 for a numerically stable softmax and materialize the
+     * cast-back copy, multiplying its
+     * HBM footprint relative to a fused fp16 kernel.
+     */
+    double baselineSimilarityUpcast = 2.1;
+
+    /** Floor applied to every efficiency factor. */
+    double efficiencyFloor = 0.02;
+
+    /** CTAs resident per SM assumed by the wave model. */
+    int ctasPerSm = 2;
+
+    static const EfficiencyParams& defaults();
+};
+
+/** Tile-quantization + wave + pipeline model of GEMM compute eff. */
+double gemmComputeEff(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+                      std::int64_t batch, std::int64_t m, std::int64_t n,
+                      std::int64_t k);
+
+/** Footprint model of GEMM memory efficiency. */
+double gemmMemEff(const EfficiencyParams& p, std::int64_t batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::size_t dtype_bytes);
+
+/** Implicit-GEMM convolution compute efficiency. */
+double convComputeEff(const hw::GpuSpec& gpu, const EfficiencyParams& p,
+                      std::int64_t m, std::int64_t n, std::int64_t k);
+
+/**
+ * Fused (Flash) attention compute efficiency: grows with head dim and
+ * KV length; tiny heads or sequences underfill the tensor cores.
+ */
+double flashComputeEff(const EfficiencyParams& p, std::int64_t head_dim,
+                       std::int64_t seq_kv);
+
+/**
+ * Attention memory efficiency from per-(batch*head) footprint: tiny
+ * matrices (temporal attention over a handful of frames, decode steps)
+ * amortize transfer setup poorly; this is the locality effect behind
+ * the paper's temporal-attention slowdown (Fig. 11).
+ */
+double attentionMemEff(const EfficiencyParams& p, std::int64_t seq_q,
+                       std::int64_t seq_kv, std::int64_t head_dim,
+                       std::size_t dtype_bytes);
+
+/** Streaming memory efficiency for elementwise/norm kernels. */
+double streamMemEff(const EfficiencyParams& p, std::int64_t bytes);
+
+/**
+ * Occupancy factor for attention kernels: a kernel with few CTAs
+ * cannot keep enough memory requests in flight to saturate HBM. This
+ * is why single-token decode attention underuses the GPU — and what
+ * Flash-Decoding's KV splitting fixes.
+ */
+double attentionOccupancy(const hw::GpuSpec& gpu,
+                          const EfficiencyParams& p, std::int64_t ctas);
+
+} // namespace mmgen::kernels
+
+#endif // MMGEN_KERNELS_EFFICIENCY_HH

@@ -1,0 +1,61 @@
+#include "kernel_cost.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::kernels {
+
+std::string
+kernelClassName(KernelClass k)
+{
+    switch (k) {
+      case KernelClass::Gemm:
+        return "gemm";
+      case KernelClass::Conv:
+        return "conv";
+      case KernelClass::Softmax:
+        return "softmax";
+      case KernelClass::Elementwise:
+        return "elementwise";
+      case KernelClass::Norm:
+        return "norm";
+      case KernelClass::Memory:
+        return "memory";
+    }
+    MMGEN_ASSERT(false, "unknown kernel class");
+}
+
+double
+OpCost::totalFlops() const
+{
+    double f = 0.0;
+    for (const auto& p : parts)
+        f += p.flops;
+    return f;
+}
+
+double
+OpCost::totalBytes() const
+{
+    double b = 0.0;
+    for (const auto& p : parts)
+        b += p.hbmBytes;
+    return b;
+}
+
+int
+OpCost::totalLaunches() const
+{
+    int l = 0;
+    for (const auto& p : parts)
+        l += p.launches;
+    return l;
+}
+
+double
+OpCost::arithmeticIntensity() const
+{
+    const double b = totalBytes();
+    return b > 0.0 ? totalFlops() / b : 0.0;
+}
+
+} // namespace mmgen::kernels

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Kernel-level cost records.
+ *
+ * Each graph-level Op lowers to one or more device kernels (e.g. a
+ * baseline attention call lowers to GEMM, scale, mask, softmax, GEMM).
+ * The cost model produces a SubKernelCost per kernel; the profiler
+ * converts these to time through the roofline, and the cache simulator
+ * replays the same kernel classes as address traces (paper Fig. 12
+ * reports hit rates per kernel class).
+ */
+
+#ifndef MMGEN_KERNELS_KERNEL_COST_HH
+#define MMGEN_KERNELS_KERNEL_COST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.hh"
+
+namespace mmgen::kernels {
+
+/** Device-kernel classes, matching Nsight-style kernel grouping. */
+enum class KernelClass : std::uint8_t {
+    Gemm,
+    Conv,
+    Softmax,
+    Elementwise,
+    Norm,
+    Memory,
+};
+
+/** Human-readable kernel class name. */
+std::string kernelClassName(KernelClass k);
+
+/** Work and attained-efficiency estimate for one device kernel. */
+struct SubKernelCost
+{
+    KernelClass klass = KernelClass::Elementwise;
+    /** Short label, e.g. "qk_gemm", "softmax", "flash_fused". */
+    std::string label;
+    double flops = 0.0;
+    double hbmBytes = 0.0;
+    int launches = 1;
+    /** Fraction of peak compute this kernel attains (0, 1]. */
+    double computeEff = 1.0;
+    /** Fraction of peak bandwidth this kernel attains (0, 1]. */
+    double memEff = 1.0;
+};
+
+/** All kernels an op lowers to, with aggregate helpers. */
+struct OpCost
+{
+    std::vector<SubKernelCost> parts;
+
+    double totalFlops() const;
+    double totalBytes() const;
+    int totalLaunches() const;
+
+    /** Aggregate arithmetic intensity (FLOP per HBM byte). */
+    double arithmeticIntensity() const;
+};
+
+} // namespace mmgen::kernels
+
+#endif // MMGEN_KERNELS_KERNEL_COST_HH

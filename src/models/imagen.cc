@@ -1,0 +1,95 @@
+#include "imagen.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::models {
+
+ImagenConfig::ImagenConfig()
+{
+    // Base 64x64 UNet: attention at resolutions 32/16/8 (factors
+    // 2/4/8), three res blocks per level (paper Table I).
+    base.inChannels = 3;
+    base.baseChannels = 512;
+    base.channelMult = {1, 2, 3, 4};
+    base.numResBlocks = 3;
+    // Efficient UNet: capacity shifts to the low-resolution levels.
+    base.resBlocksPerLevel = {1, 3, 4, 4};
+    base.attnDownFactors = {2, 4, 8};
+    base.crossAttnDownFactors = {2, 4, 8};
+    base.attnHeads = 8;
+    base.attnHeadDim = 64; // paper Table I: per-head channels 64
+    base.textLen = t5.seqLen;
+    base.embedDim = 512;
+
+    // SR1 (64 -> 256): efficient UNet, cross-attention at the deepest
+    // levels only.
+    sr1.inChannels = 3;
+    sr1.baseChannels = 128;
+    sr1.channelMult = {1, 2, 4, 8};
+    sr1.numResBlocks = 2;
+    sr1.attnDownFactors = {};
+    sr1.midBlockAttention = false;
+    sr1.crossAttnDownFactors = {8};
+    sr1.attnHeads = 8;
+    sr1.textLen = t5.seqLen;
+    sr1.embedDim = 512;
+
+    // SR2 (256 -> 1024): convolution only.
+    sr2.inChannels = 3;
+    sr2.baseChannels = 64;
+    sr2.channelMult = {1, 2, 4, 8};
+    sr2.numResBlocks = 2;
+    sr2.attnDownFactors = {};
+    sr2.midBlockAttention = false;
+    sr2.crossAttnDownFactors = {};
+    sr2.attnHeads = 8;
+    sr2.textLen = t5.seqLen;
+    sr2.embedDim = 512;
+}
+
+namespace {
+
+/** Append one diffusion stage driving a UNet at a fixed extent. */
+void
+addDiffusionStage(graph::Pipeline& p, const std::string& name,
+                  const UNetConfig& unet, std::int64_t extent,
+                  std::int64_t steps)
+{
+    graph::Stage stage;
+    stage.name = name;
+    stage.iterations = steps;
+    stage.emit = [unet, extent](graph::GraphBuilder& b, std::int64_t) {
+        unetForward(b, unet, extent, extent);
+    };
+    p.stages.push_back(std::move(stage));
+}
+
+} // namespace
+
+graph::Pipeline
+buildImagen(const ImagenConfig& cfg)
+{
+    graph::Pipeline p;
+    p.name = "Imagen";
+    p.klass = graph::ModelClass::DiffusionPixel;
+
+    graph::Stage text;
+    text.name = "text_encoder";
+    text.iterations = 1;
+    text.emit = [cfg](graph::GraphBuilder& b, std::int64_t) {
+        textEncoder(b, cfg.t5);
+    };
+    p.stages.push_back(std::move(text));
+
+    addDiffusionStage(p, "base_unet", cfg.base, cfg.baseSize,
+                      cfg.baseSteps);
+
+    // The SR stages attend to the upsampled conditioning image; the
+    // UNet runs at the *output* resolution of each stage.
+    addDiffusionStage(p, "sr1_unet", cfg.sr1, cfg.sr1Size, cfg.sr1Steps);
+    addDiffusionStage(p, "sr2_unet", cfg.sr2, cfg.sr2Size, cfg.sr2Steps);
+
+    return p;
+}
+
+} // namespace mmgen::models

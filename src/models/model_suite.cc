@@ -1,0 +1,85 @@
+#include "model_suite.hh"
+
+#include "models/imagen.hh"
+#include "models/llama.hh"
+#include "models/make_a_video.hh"
+#include "models/muse.hh"
+#include "models/parti.hh"
+#include "models/phenaki.hh"
+#include "models/prod_image.hh"
+#include "models/stable_diffusion.hh"
+#include "util/logging.hh"
+
+namespace mmgen::models {
+
+const std::vector<ModelId>&
+allModels()
+{
+    static const std::vector<ModelId> ids = {
+        ModelId::LLaMA,      ModelId::Imagen, ModelId::StableDiffusion,
+        ModelId::Muse,       ModelId::Parti,  ModelId::ProdImage,
+        ModelId::MakeAVideo, ModelId::Phenaki,
+    };
+    return ids;
+}
+
+const std::vector<ModelId>&
+imageVideoModels()
+{
+    static const std::vector<ModelId> ids = {
+        ModelId::Imagen,    ModelId::StableDiffusion, ModelId::Muse,
+        ModelId::Parti,     ModelId::ProdImage,       ModelId::MakeAVideo,
+        ModelId::Phenaki,
+    };
+    return ids;
+}
+
+std::string
+modelName(ModelId id)
+{
+    switch (id) {
+      case ModelId::LLaMA:
+        return "LLaMA";
+      case ModelId::Imagen:
+        return "Imagen";
+      case ModelId::StableDiffusion:
+        return "StableDiffusion";
+      case ModelId::Muse:
+        return "Muse";
+      case ModelId::Parti:
+        return "Parti";
+      case ModelId::ProdImage:
+        return "ProdImage";
+      case ModelId::MakeAVideo:
+        return "MakeAVideo";
+      case ModelId::Phenaki:
+        return "Phenaki";
+    }
+    MMGEN_ASSERT(false, "unknown model id");
+}
+
+graph::Pipeline
+buildModel(ModelId id)
+{
+    switch (id) {
+      case ModelId::LLaMA:
+        return buildLlama();
+      case ModelId::Imagen:
+        return buildImagen();
+      case ModelId::StableDiffusion:
+        return buildStableDiffusion();
+      case ModelId::Muse:
+        return buildMuse();
+      case ModelId::Parti:
+        return buildParti();
+      case ModelId::ProdImage:
+        return buildProdImage();
+      case ModelId::MakeAVideo:
+        return buildMakeAVideo();
+      case ModelId::Phenaki:
+        return buildPhenaki();
+    }
+    MMGEN_ASSERT(false, "unknown model id");
+}
+
+} // namespace mmgen::models

@@ -1,0 +1,60 @@
+#include "prod_image.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::models {
+
+ProdImageConfig::ProdImageConfig()
+{
+    unet.inChannels = 8;
+    unet.baseChannels = 384;
+    unet.channelMult = {1, 2, 4, 4};
+    unet.numResBlocks = 2;
+    // Attention only at the deeper levels: the 96x96 latent makes
+    // full-resolution attention prohibitively expensive.
+    unet.attnDownFactors = {4, 8};
+    unet.crossAttnDownFactors = {4, 8};
+    unet.attnHeads = 8;
+    unet.textLen = encoder.seqLen;
+    unet.embedDim = encoder.dim;
+}
+
+graph::Pipeline
+buildProdImage(const ProdImageConfig& cfg)
+{
+    MMGEN_CHECK(cfg.imageSize % cfg.latentScale == 0,
+                "image size not divisible by latent scale");
+    const std::int64_t latent = cfg.latentSize();
+
+    graph::Pipeline p;
+    p.name = "ProdImage";
+    p.klass = graph::ModelClass::DiffusionLatent;
+
+    graph::Stage text;
+    text.name = "text_encoder";
+    text.iterations = 1;
+    text.emit = [cfg](graph::GraphBuilder& b, std::int64_t) {
+        textEncoder(b, cfg.encoder);
+    };
+    p.stages.push_back(std::move(text));
+
+    graph::Stage denoise;
+    denoise.name = "unet";
+    denoise.iterations = cfg.denoiseSteps;
+    denoise.emit = [cfg, latent](graph::GraphBuilder& b, std::int64_t) {
+        unetForward(b, cfg.unet, latent, latent);
+    };
+    p.stages.push_back(std::move(denoise));
+
+    graph::Stage decode;
+    decode.name = "vae_decoder";
+    decode.iterations = 1;
+    decode.emit = [cfg, latent](graph::GraphBuilder& b, std::int64_t) {
+        imageDecoder(b, cfg.vae, 1, latent, latent);
+    };
+    p.stages.push_back(std::move(decode));
+
+    return p;
+}
+
+} // namespace mmgen::models

@@ -1,0 +1,110 @@
+#include "chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace mmgen::profiler {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeChromeTrace(std::ostream& out, const ProfileResult& result,
+                 const ChromeTraceOptions& options)
+{
+    MMGEN_CHECK(!result.records.empty(),
+                "profile has no per-op records; re-run with "
+                "ProfileOptions::keepOpRecords = true");
+    MMGEN_CHECK(options.maxRepeatInstances >= 1,
+                "need at least one repeat instance");
+
+    // Assign a process id per stage, in first-appearance order.
+    std::map<std::string, int> stage_pid;
+    for (const auto& rec : result.records) {
+        stage_pid.emplace(rec.stage,
+                          static_cast<int>(stage_pid.size()) + 1);
+    }
+
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string& json) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n" << json;
+    };
+
+    // Process metadata: stage names.
+    for (const auto& [stage, pid] : stage_pid) {
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+             ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+             jsonEscape(stage.empty() ? result.model : stage) +
+             "\"}}");
+    }
+
+    // Complete events, laid out serially per stage lane.
+    std::map<int, double> stage_clock_us;
+    for (const auto& rec : result.records) {
+        const int pid = stage_pid.at(rec.stage);
+        const std::int64_t instances =
+            std::min<std::int64_t>(rec.repeat,
+                                   options.maxRepeatInstances);
+        const double per_instance_us =
+            rec.seconds * 1e6 / static_cast<double>(rec.repeat);
+        const int tid = static_cast<int>(rec.category) + 1;
+        for (std::int64_t i = 0; i < instances; ++i) {
+            double& clock = stage_clock_us[pid];
+            char buf[512];
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"%s\","
+                "\"args\":{\"scope\":\"%s\",\"flops\":%.3e,"
+                "\"hbm_bytes\":%.3e,\"repeat\":%lld}}",
+                pid, tid, clock, per_instance_us,
+                jsonEscape(graph::opKindName(rec.kind)).c_str(),
+                jsonEscape(graph::opCategoryName(rec.category)).c_str(),
+                jsonEscape(rec.scope).c_str(),
+                rec.flops / static_cast<double>(rec.repeat),
+                rec.hbmBytes / static_cast<double>(rec.repeat),
+                static_cast<long long>(rec.repeat));
+            emit(buf);
+            clock += per_instance_us;
+        }
+    }
+    out << "\n]}\n";
+}
+
+} // namespace mmgen::profiler

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing, Perfetto) export of a profiled run.
+ *
+ * Serializes the per-op records of a ProfileResult as a Trace Event
+ * Format JSON document: one complete ("X") event per operator, with
+ * stages as process-level lanes and operator categories as thread
+ * lanes, so a simulated inference timeline can be inspected with the
+ * same tooling PyTorch Profiler traces are viewed in (paper Section
+ * III uses exactly that workflow on real hardware).
+ */
+
+#ifndef MMGEN_PROFILER_CHROME_TRACE_HH
+#define MMGEN_PROFILER_CHROME_TRACE_HH
+
+#include <ostream>
+#include <string>
+
+#include "profiler/engine.hh"
+
+namespace mmgen::profiler {
+
+/** Options for trace serialization. */
+struct ChromeTraceOptions
+{
+    /**
+     * Expand op repeats into this many timeline instances at most
+     * (a 50-step denoising loop folded into one record is drawn as
+     * min(repeat, maxRepeatInstances) back-to-back slices).
+     */
+    std::int64_t maxRepeatInstances = 3;
+};
+
+/**
+ * Write a ProfileResult as Trace Event Format JSON.
+ *
+ * The result must have been produced with
+ * ProfileOptions::keepOpRecords = true; throws FatalError otherwise.
+ */
+void writeChromeTrace(std::ostream& out, const ProfileResult& result,
+                      const ChromeTraceOptions& options =
+                          ChromeTraceOptions());
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string& s);
+
+} // namespace mmgen::profiler
+
+#endif // MMGEN_PROFILER_CHROME_TRACE_HH

@@ -1,0 +1,117 @@
+#include "engine.hh"
+
+#include "kernels/attention.hh"
+#include "util/logging.hh"
+
+namespace mmgen::profiler {
+
+double
+ProfileResult::attentionSeconds() const
+{
+    return breakdown.categorySeconds(graph::OpCategory::Attention);
+}
+
+double
+ProfileResult::modelArithmeticIntensity() const
+{
+    MMGEN_CHECK(weightBytesRead > 0.0,
+                "pipeline streamed no weight bytes");
+    return totalFlops / weightBytesRead;
+}
+
+Profiler::Profiler(ProfileOptions options)
+    : opts(std::move(options))
+{}
+
+void
+Profiler::accumulateTrace(const graph::Trace& trace,
+                          const std::string& stage_name,
+                          std::int64_t repeat,
+                          const kernels::CostModel& model,
+                          ProfileResult& result, double& stage_s,
+                          BreakdownReport& stage_breakdown) const
+{
+    for (const auto& op : trace.ops()) {
+        const kernels::OpCost cost = model.cost(op);
+        const kernels::OpTime time = model.time(cost, op.dtype, repeat);
+        for (const auto& [klass, seconds] :
+             model.timeByKernelClass(cost, op.dtype, repeat)) {
+            result.kernelClassSeconds[klass] += seconds;
+        }
+
+        OpRecord rec;
+        rec.kind = op.kind;
+        rec.category = graph::opCategory(op);
+        rec.scope = op.scope;
+        rec.stage = stage_name;
+        rec.seconds = time.seconds;
+        rec.flops = cost.totalFlops() * static_cast<double>(repeat);
+        rec.hbmBytes = cost.totalBytes() * static_cast<double>(repeat);
+        rec.launches = cost.totalLaunches() * repeat;
+        rec.repeat = repeat;
+
+        if (op.kind == graph::OpKind::Attention) {
+            const auto& a = op.as<graph::AttentionAttrs>();
+            rec.seqLen = a.seqQ;
+            rec.seqKv = a.seqKv;
+            rec.attnKind = a.kind;
+            result.attention.add(a.kind, rec.seconds, rec.flops, repeat);
+            // The Fig. 7/8 sequence-length series tracks the attended
+            // length of self-attention calls; cross-attention always
+            // attends the fixed encoded prompt.
+            if (a.kind != graph::AttentionKind::CrossText) {
+                result.seqLens.record(
+                    a.seqKv, static_cast<std::uint64_t>(repeat));
+            }
+        }
+
+        result.breakdown.add(rec);
+        stage_breakdown.add(rec);
+        result.totalSeconds += rec.seconds;
+        result.totalFlops += rec.flops;
+        result.totalHbmBytes += rec.hbmBytes;
+        result.totalLaunches += rec.launches;
+        result.weightBytesRead +=
+            static_cast<double>(graph::opParamCount(op)) *
+            static_cast<double>(dtypeBytes(op.dtype)) *
+            static_cast<double>(repeat);
+        stage_s += rec.seconds;
+
+        if (opts.keepOpRecords)
+            result.records.push_back(std::move(rec));
+    }
+}
+
+ProfileResult
+Profiler::profile(const graph::Pipeline& pipeline) const
+{
+    const kernels::CostModel model(opts.gpu, opts.backend,
+                                   opts.efficiency);
+    ProfileResult result;
+    result.model = pipeline.name;
+    result.backend = opts.backend;
+    result.params = pipeline.totalParams();
+
+    for (std::size_t si = 0; si < pipeline.stages.size(); ++si) {
+        const graph::Stage& stage = pipeline.stages[si];
+        double stage_s = 0.0;
+        BreakdownReport stage_breakdown;
+        if (stage.perIterationShapes) {
+            for (std::int64_t it = 0; it < stage.iterations; ++it) {
+                const graph::Trace trace = pipeline.traceStage(si, it);
+                accumulateTrace(trace, stage.name, 1, model, result,
+                                stage_s, stage_breakdown);
+            }
+        } else {
+            const graph::Trace trace = pipeline.traceStage(si, 0);
+            accumulateTrace(trace, stage.name, stage.iterations, model,
+                            result, stage_s, stage_breakdown);
+        }
+        result.stageSeconds.emplace_back(stage.name, stage_s);
+        result.stageBreakdowns.emplace_back(stage.name,
+                                            std::move(stage_breakdown));
+    }
+    return result;
+}
+
+} // namespace mmgen::profiler

@@ -1,0 +1,183 @@
+#include "simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "profiler/engine.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace mmgen::serving {
+
+double
+LatencyModel::batchSeconds(int batch) const
+{
+    MMGEN_CHECK(batch >= 1, "batch must be positive");
+    MMGEN_CHECK(baseSeconds > 0.0, "base latency must be positive");
+    MMGEN_CHECK(overheadFraction >= 0.0 && overheadFraction <= 1.0,
+                "overhead fraction out of [0, 1]");
+    return baseSeconds * (overheadFraction +
+                          (1.0 - overheadFraction) *
+                              static_cast<double>(batch));
+}
+
+LatencyModel
+profileLatencyModel(const graph::Pipeline& pipeline,
+                    const hw::GpuSpec& gpu)
+{
+    profiler::ProfileOptions opts;
+    opts.gpu = gpu;
+    opts.backend = graph::AttentionBackend::Flash;
+    const profiler::ProfileResult res =
+        profiler::Profiler(opts).profile(pipeline);
+
+    LatencyModel model;
+    model.baseSeconds = res.totalSeconds;
+    // Launch overhead and small-kernel ramp time do not scale with
+    // batch; approximate the non-scaling share from the launch count.
+    const double overhead_s =
+        static_cast<double>(res.totalLaunches) *
+        gpu.kernelLaunchOverhead;
+    model.overheadFraction =
+        std::clamp(overhead_s / res.totalSeconds, 0.02, 0.5);
+    return model;
+}
+
+namespace {
+
+/** One in-flight batch on a GPU. */
+struct Busy
+{
+    double finishTime;
+    int gpu;
+    std::vector<double> arrivalTimes;
+
+    bool
+    operator>(const Busy& other) const
+    {
+        return finishTime > other.finishTime;
+    }
+};
+
+} // namespace
+
+ServingReport
+simulateServing(const ServingConfig& cfg, const LatencyModel& latency)
+{
+    MMGEN_CHECK(cfg.arrivalRate > 0.0, "arrival rate must be positive");
+    MMGEN_CHECK(cfg.numGpus >= 1, "need at least one GPU");
+    MMGEN_CHECK(cfg.maxBatch >= 1, "need max batch >= 1");
+    MMGEN_CHECK(cfg.horizonSeconds > 0.0, "horizon must be positive");
+
+    Rng rng(cfg.seed);
+    ServingReport report;
+
+    // Per-request max throughput of the pool at full batching.
+    const double batch_rate =
+        static_cast<double>(cfg.maxBatch) /
+        latency.batchSeconds(cfg.maxBatch);
+    report.offeredLoad =
+        cfg.arrivalRate / (batch_rate * cfg.numGpus);
+
+    std::deque<double> queue; // arrival times of waiting requests
+    std::priority_queue<Busy, std::vector<Busy>, std::greater<Busy>>
+        busy;
+    std::vector<bool> gpu_free(static_cast<std::size_t>(cfg.numGpus),
+                               true);
+    std::vector<double> latencies;
+    std::vector<double> batch_sizes;
+    double busy_gpu_seconds = 0.0;
+
+    auto exponential_gap = [&rng, &cfg]() {
+        return -std::log(1.0 - rng.uniform()) / cfg.arrivalRate;
+    };
+    double next_arrival = exponential_gap();
+
+    auto dispatch = [&](double now) {
+        while (!queue.empty()) {
+            int free_gpu = -1;
+            for (int g = 0; g < cfg.numGpus; ++g) {
+                if (gpu_free[static_cast<std::size_t>(g)]) {
+                    free_gpu = g;
+                    break;
+                }
+            }
+            if (free_gpu < 0)
+                return;
+            const int batch = static_cast<int>(
+                std::min<std::size_t>(queue.size(),
+                                      static_cast<std::size_t>(
+                                          cfg.maxBatch)));
+            Busy b;
+            b.gpu = free_gpu;
+            const double service = latency.batchSeconds(batch);
+            b.finishTime = now + service;
+            for (int i = 0; i < batch; ++i) {
+                b.arrivalTimes.push_back(queue.front());
+                queue.pop_front();
+            }
+            gpu_free[static_cast<std::size_t>(free_gpu)] = false;
+            busy_gpu_seconds += service;
+            batch_sizes.push_back(static_cast<double>(batch));
+            busy.push(std::move(b));
+        }
+    };
+
+    while (true) {
+        const double next_finish =
+            busy.empty() ? cfg.horizonSeconds + 1.0
+                         : busy.top().finishTime;
+        if (next_arrival <= next_finish) {
+            if (next_arrival > cfg.horizonSeconds)
+                break;
+            // Arrival event.
+            queue.push_back(next_arrival);
+            ++report.arrived;
+            const double now = next_arrival;
+            next_arrival += exponential_gap();
+            dispatch(now);
+        } else {
+            // Completion event (may run past the horizon to drain).
+            const Busy done = busy.top();
+            busy.pop();
+            gpu_free[static_cast<std::size_t>(done.gpu)] = true;
+            for (double arrival : done.arrivalTimes) {
+                latencies.push_back(done.finishTime - arrival);
+                ++report.completed;
+            }
+            if (done.finishTime > cfg.horizonSeconds && queue.empty() &&
+                busy.empty()) {
+                break;
+            }
+            dispatch(done.finishTime);
+        }
+    }
+
+    report.backlog = static_cast<std::int64_t>(queue.size());
+    while (!busy.empty()) {
+        report.backlog += static_cast<std::int64_t>(
+            busy.top().arrivalTimes.size());
+        busy.pop();
+    }
+
+    if (!latencies.empty()) {
+        const Summary s = summarize(latencies);
+        report.meanLatency = s.mean;
+        report.p50Latency = percentile(latencies, 50.0);
+        report.p95Latency = percentile(latencies, 95.0);
+    }
+    if (!batch_sizes.empty())
+        report.meanBatch = summarize(batch_sizes).mean;
+    report.throughput =
+        static_cast<double>(report.completed) / cfg.horizonSeconds;
+    report.gpuUtilization = std::min(
+        1.0, busy_gpu_seconds /
+                 (cfg.horizonSeconds * static_cast<double>(cfg.numGpus)));
+    return report;
+}
+
+} // namespace mmgen::serving

@@ -1,0 +1,41 @@
+#include "dtype.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen {
+
+std::size_t
+dtypeBytes(DType t)
+{
+    switch (t) {
+      case DType::F32:
+      case DType::I32:
+        return 4;
+      case DType::F16:
+      case DType::BF16:
+        return 2;
+      case DType::I8:
+        return 1;
+    }
+    MMGEN_ASSERT(false, "unknown dtype " << static_cast<int>(t));
+}
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::F32:
+        return "f32";
+      case DType::F16:
+        return "f16";
+      case DType::BF16:
+        return "bf16";
+      case DType::I32:
+        return "i32";
+      case DType::I8:
+        return "i8";
+    }
+    MMGEN_ASSERT(false, "unknown dtype " << static_cast<int>(t));
+}
+
+} // namespace mmgen

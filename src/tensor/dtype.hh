@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Element datatypes used by the tensor and kernel models.
+ */
+
+#ifndef MMGEN_TENSOR_DTYPE_HH
+#define MMGEN_TENSOR_DTYPE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mmgen {
+
+/** Numeric element types supported by the performance models. */
+enum class DType : std::uint8_t {
+    F32,
+    F16,
+    BF16,
+    I32,
+    I8,
+};
+
+/** Size in bytes of one element of the given type. */
+std::size_t dtypeBytes(DType t);
+
+/** Short lowercase name, e.g. "f16". */
+std::string dtypeName(DType t);
+
+} // namespace mmgen
+
+#endif // MMGEN_TENSOR_DTYPE_HH

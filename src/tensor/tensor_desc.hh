@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Symbolic tensor descriptors.
+ *
+ * mmgen never materializes tensor data; a TensorDesc carries the shape,
+ * element type, and strides of a tensor as it flows through an operator
+ * graph. Strides matter: the spatial-vs-temporal attention study
+ * (paper Section VI) hinges on the memory layout produced by dimension
+ * permutations, which the cache simulator consumes via strides.
+ */
+
+#ifndef MMGEN_TENSOR_TENSOR_DESC_HH
+#define MMGEN_TENSOR_TENSOR_DESC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.hh"
+
+namespace mmgen {
+
+/**
+ * Shape + dtype + strides of a symbolic tensor.
+ *
+ * Strides are in elements (not bytes), row-major by default.
+ */
+class TensorDesc
+{
+  public:
+    /** Empty (rank-0, 1-element) descriptor. */
+    TensorDesc();
+
+    /** Contiguous row-major tensor of the given shape. */
+    TensorDesc(std::vector<std::int64_t> shape, DType dtype);
+
+    /** Tensor with explicit strides (elements). */
+    TensorDesc(std::vector<std::int64_t> shape,
+               std::vector<std::int64_t> strides, DType dtype);
+
+    /** Number of dimensions. */
+    std::size_t rank() const { return shape_.size(); }
+
+    /** Dimension extent; negative indices count from the back. */
+    std::int64_t dim(std::int64_t i) const;
+
+    /** Stride of a dimension in elements; negative indices allowed. */
+    std::int64_t stride(std::int64_t i) const;
+
+    /** Full shape vector. */
+    const std::vector<std::int64_t>& shape() const { return shape_; }
+
+    /** Full stride vector (elements). */
+    const std::vector<std::int64_t>& strides() const { return strides_; }
+
+    /** Element type. */
+    DType dtype() const { return dtype_; }
+
+    /** Total number of elements. */
+    std::int64_t numel() const;
+
+    /** Total logical size in bytes (numel * element size). */
+    std::int64_t bytes() const;
+
+    /** True if strides describe a dense row-major layout. */
+    bool isContiguous() const;
+
+    /**
+     * Permuted view (no data movement): new dim i is old dim perm[i].
+     * The result is typically non-contiguous; this is exactly the
+     * rearrangement TTV models apply before temporal attention.
+     */
+    TensorDesc permute(const std::vector<std::size_t>& perm) const;
+
+    /**
+     * Reshape to a new shape with the same element count. Only valid
+     * on contiguous tensors (mirrors framework semantics: reshaping a
+     * permuted view first requires a copy).
+     */
+    TensorDesc reshape(std::vector<std::int64_t> new_shape) const;
+
+    /** Contiguous tensor of the same shape and dtype (i.e. post-copy). */
+    TensorDesc contiguous() const;
+
+    /** Element offset of the given index vector under the strides. */
+    std::int64_t offsetOf(const std::vector<std::int64_t>& index) const;
+
+    /** Human-readable form, e.g. "f16[2, 4096, 320]". */
+    std::string str() const;
+
+    /** Compute dense row-major strides for a shape. */
+    static std::vector<std::int64_t>
+    contiguousStrides(const std::vector<std::int64_t>& shape);
+
+  private:
+    std::vector<std::int64_t> shape_;
+    std::vector<std::int64_t> strides_;
+    DType dtype_;
+};
+
+} // namespace mmgen
+
+#endif // MMGEN_TENSOR_TENSOR_DESC_HH

@@ -1,0 +1,42 @@
+#include "csv.hh"
+
+namespace mmgen {
+
+CsvWriter::CsvWriter(std::ostream& out_)
+    : out(out_)
+{}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    bool needs_quote = false;
+    for (char c : cell) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quote = true;
+            break;
+        }
+    }
+    if (!needs_quote)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        out << escape(cells[i]);
+    }
+    out << "\n";
+}
+
+} // namespace mmgen

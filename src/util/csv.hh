@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal CSV writer used by benchmarks to dump figure series.
+ */
+
+#ifndef MMGEN_UTIL_CSV_HH
+#define MMGEN_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mmgen {
+
+/**
+ * Streams rows of a CSV document, quoting cells when required.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to the given stream; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream& out);
+
+    /** Write a row of string cells. */
+    void writeRow(const std::vector<std::string>& cells);
+
+    /** Escape a single cell per RFC 4180 (quotes, commas, newlines). */
+    static std::string escape(const std::string& cell);
+
+  private:
+    std::ostream& out;
+};
+
+} // namespace mmgen
+
+#endif // MMGEN_UTIL_CSV_HH

@@ -1,0 +1,132 @@
+#include "format.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mmgen {
+
+namespace {
+
+/** Scale a value into [1, base) against a suffix ladder. */
+std::string
+scaled(double value, double base,
+       const std::array<const char*, 7>& suffixes, int precision)
+{
+    std::size_t idx = 0;
+    double v = value;
+    while (std::fabs(v) >= base && idx + 1 < suffixes.size()) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s", precision, v, suffixes[idx]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatFlops(double flops)
+{
+    static const std::array<const char*, 7> suffixes = {
+        "FLOP", "KFLOP", "MFLOP", "GFLOP", "TFLOP", "PFLOP", "EFLOP"};
+    return scaled(flops, 1000.0, suffixes, 2);
+}
+
+std::string
+formatFlopRate(double flops_per_s)
+{
+    static const std::array<const char*, 7> suffixes = {
+        "FLOP/s", "KFLOP/s", "MFLOP/s", "GFLOP/s",
+        "TFLOP/s", "PFLOP/s", "EFLOP/s"};
+    return scaled(flops_per_s, 1000.0, suffixes, 1);
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const std::array<const char*, 7> suffixes = {
+        "B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"};
+    return scaled(bytes, 1024.0, suffixes, 2);
+}
+
+std::string
+formatTime(double seconds)
+{
+    char buf[64];
+    const double abs_s = std::fabs(seconds);
+    if (abs_s >= 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    } else if (abs_s >= 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    } else if (abs_s >= 1e-6) {
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    }
+    return buf;
+}
+
+std::string
+formatCount(double count)
+{
+    static const std::array<const char*, 7> suffixes = {
+        "", "K", "M", "B", "T", "Q", "?"};
+    std::size_t idx = 0;
+    double v = count;
+    while (std::fabs(v) >= 1000.0 && idx + 1 < suffixes.size()) {
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f%s", v, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+join(const std::vector<std::string>& pieces, const std::string& sep)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i > 0)
+            oss << sep;
+        oss << pieces[i];
+    }
+    return oss.str();
+}
+
+std::string
+padLeft(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+} // namespace mmgen

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Human-readable formatting helpers for engineering quantities.
+ */
+
+#ifndef MMGEN_UTIL_FORMAT_HH
+#define MMGEN_UTIL_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmgen {
+
+/** Format a FLOP count with SI suffix, e.g. "1.23 GFLOP". */
+std::string formatFlops(double flops);
+
+/** Format a FLOP/s rate with SI suffix, e.g. "312.0 TFLOP/s". */
+std::string formatFlopRate(double flops_per_s);
+
+/** Format a byte count with IEC suffix, e.g. "1.50 GiB". */
+std::string formatBytes(double bytes);
+
+/** Format a time in seconds with an adaptive unit, e.g. "12.3 ms". */
+std::string formatTime(double seconds);
+
+/** Format a plain count with SI suffix, e.g. "1.45B" for parameters. */
+std::string formatCount(double count);
+
+/** Format a fraction as a percentage, e.g. "44.1%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double value, int precision = 2);
+
+/** Join string pieces with a separator. */
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/** Left-pad a string with spaces to the given width. */
+std::string padLeft(const std::string& s, std::size_t width);
+
+/** Right-pad a string with spaces to the given width. */
+std::string padRight(const std::string& s, std::size_t width);
+
+} // namespace mmgen
+
+#endif // MMGEN_UTIL_FORMAT_HH

@@ -1,0 +1,47 @@
+#include "logging.hh"
+
+#include <iostream>
+#include <sstream>
+
+namespace mmgen {
+namespace detail {
+
+namespace {
+
+std::string
+decorate(const char* file, int line, const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": " << msg;
+    return oss.str();
+}
+
+} // namespace
+
+void
+raiseFatal(const char* file, int line, const std::string& msg)
+{
+    throw FatalError(decorate(file, line, msg));
+}
+
+void
+raisePanic(const char* file, int line, const std::string& msg)
+{
+    throw PanicError(decorate(file, line, msg));
+}
+
+} // namespace detail
+
+void
+inform(const std::string& msg)
+{
+    std::cerr << "info: " << msg << "\n";
+}
+
+void
+warn(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+} // namespace mmgen

@@ -1,0 +1,113 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace mmgen {
+
+Summary
+summarize(std::span<const double> values)
+{
+    Summary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    s.mean = sum / static_cast<double>(sorted.size());
+
+    const std::size_t mid = sorted.size() / 2;
+    s.median = (sorted.size() % 2 == 1)
+                   ? sorted[mid]
+                   : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+    double sq = 0.0;
+    for (double v : sorted) {
+        const double d = v - s.mean;
+        sq += d * d;
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(sorted.size()));
+    return s;
+}
+
+double
+geomean(std::span<const double> values)
+{
+    MMGEN_CHECK(!values.empty(), "geomean of empty sample");
+    double log_sum = 0.0;
+    for (double v : values) {
+        MMGEN_CHECK(v > 0.0, "geomean requires positive values, got " << v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+percentile(std::span<const double> values, double pct)
+{
+    MMGEN_CHECK(!values.empty(), "percentile of empty sample");
+    MMGEN_CHECK(pct >= 0.0 && pct <= 100.0,
+                "percentile " << pct << " out of [0, 100]");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank =
+        pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void
+ValueHistogram::add(double value, std::uint64_t weight)
+{
+    counts[value] += weight;
+    total += weight;
+}
+
+std::size_t
+ValueHistogram::distinctValues() const
+{
+    return counts.size();
+}
+
+std::uint64_t
+ValueHistogram::totalWeight() const
+{
+    return total;
+}
+
+std::uint64_t
+ValueHistogram::frequency(double value) const
+{
+    auto it = counts.find(value);
+    return it == counts.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<double, std::uint64_t>>
+ValueHistogram::buckets() const
+{
+    return {counts.begin(), counts.end()};
+}
+
+double
+ValueHistogram::fraction(double value) const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(frequency(value)) /
+           static_cast<double>(total);
+}
+
+} // namespace mmgen

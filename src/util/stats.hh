@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Descriptive statistics and histograms over simulation outputs.
+ */
+
+#ifndef MMGEN_UTIL_STATS_HH
+#define MMGEN_UTIL_STATS_HH
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mmgen {
+
+/** Summary statistics over a sample of doubles. */
+struct Summary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;
+};
+
+/** Compute summary statistics; empty input yields a zeroed Summary. */
+Summary summarize(std::span<const double> values);
+
+/** Geometric mean; all values must be positive. */
+double geomean(std::span<const double> values);
+
+/** Linear-interpolated percentile in [0, 100]. */
+double percentile(std::span<const double> values, double pct);
+
+/**
+ * Exact-value frequency histogram, used for the sequence-length
+ * distribution study (paper Fig. 8) where lengths fall in discrete
+ * buckets and the bucket identity itself is the finding.
+ */
+class ValueHistogram
+{
+  public:
+    /** Record one observation of the given value. */
+    void add(double value, std::uint64_t weight = 1);
+
+    /** Number of distinct values observed. */
+    std::size_t distinctValues() const;
+
+    /** Total observation weight. */
+    std::uint64_t totalWeight() const;
+
+    /** Frequency of a specific value (0 if never seen). */
+    std::uint64_t frequency(double value) const;
+
+    /** All (value, frequency) pairs in increasing value order. */
+    std::vector<std::pair<double, std::uint64_t>> buckets() const;
+
+    /** Fraction of total weight at the given value. */
+    double fraction(double value) const;
+
+  private:
+    std::map<double, std::uint64_t> counts;
+    std::uint64_t total = 0;
+};
+
+} // namespace mmgen
+
+#endif // MMGEN_UTIL_STATS_HH

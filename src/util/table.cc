@@ -1,0 +1,101 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "format.hh"
+#include "logging.hh"
+
+namespace mmgen {
+
+TextTable::TextTable(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+    MMGEN_CHECK(!headers.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    MMGEN_CHECK(row.size() == headers.size(),
+                "row arity " << row.size() << " != header arity "
+                             << headers.size());
+    rows.push_back(std::move(row));
+    ++dataRows;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.emplace_back();
+}
+
+std::size_t
+TextTable::rowCount() const
+{
+    return dataRows;
+}
+
+bool
+looksNumeric(const std::string& cell)
+{
+    if (cell.empty())
+        return false;
+    const unsigned char first = static_cast<unsigned char>(cell[0]);
+    if (!std::isdigit(first) && first != '-' && first != '+' &&
+        first != '.') {
+        return false;
+    }
+    std::size_t digits = 0;
+    for (unsigned char c : cell) {
+        if (std::isdigit(c))
+            ++digits;
+    }
+    return digits > 0;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto& row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto hline = [&]() {
+        std::string s = "+";
+        for (std::size_t w : widths)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+
+    std::ostringstream oss;
+    oss << hline();
+    oss << "|";
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        oss << " " << padRight(headers[c], widths[c]) << " |";
+    oss << "\n" << hline();
+    for (const auto& row : rows) {
+        if (row.empty()) {
+            oss << hline();
+            continue;
+        }
+        oss << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::string& cell = row[c];
+            oss << " "
+                << (looksNumeric(cell) ? padLeft(cell, widths[c])
+                                       : padRight(cell, widths[c]))
+                << " |";
+        }
+        oss << "\n";
+    }
+    oss << hline();
+    return oss.str();
+}
+
+} // namespace mmgen

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark and report output.
+ *
+ * Every benchmark binary prints the rows/series of its paper table or
+ * figure through this printer so output is uniform and parseable.
+ */
+
+#ifndef MMGEN_UTIL_TABLE_HH
+#define MMGEN_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mmgen {
+
+/**
+ * Column-aligned text table with a header row.
+ *
+ * Columns are sized to their widest cell; numeric-looking cells are
+ * right-aligned, text cells left-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Number of data rows added (separators excluded). */
+    std::size_t rowCount() const;
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers;
+    /** Rows; an empty vector encodes a separator. */
+    std::vector<std::vector<std::string>> rows;
+    std::size_t dataRows = 0;
+};
+
+/** Heuristic: does the cell look like a number (for right-alignment)? */
+bool looksNumeric(const std::string& cell);
+
+} // namespace mmgen
+
+#endif // MMGEN_UTIL_TABLE_HH

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the analytics: Section V memory model, Amdahl helpers,
+ * Pareto analysis, phase classification, temporal scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analytics/amdahl.hh"
+#include "analytics/memory_model.hh"
+#include "analytics/pareto.hh"
+#include "analytics/phase_classifier.hh"
+#include "analytics/temporal_scaling.hh"
+#include "models/model_suite.hh"
+#include "util/logging.hh"
+
+namespace mmgen::analytics {
+namespace {
+
+// ---------------------------------------------------------------- V --
+
+TEST(MemoryModel, PositionsFollowDownFactor)
+{
+    DiffusionMemoryModel m;
+    m.latentH = m.latentW = 64;
+    m.downFactor = 2;
+    m.unetDepth = 3;
+    EXPECT_EQ(m.positionsAtStage(0), 4096);
+    EXPECT_EQ(m.positionsAtStage(1), 1024);
+    EXPECT_EQ(m.positionsAtStage(3), 64);
+    EXPECT_THROW(m.positionsAtStage(4), FatalError);
+}
+
+TEST(MemoryModel, SimilarityBytesMatchPaperFormula)
+{
+    // 2 bytes * HW * (HW + text_encode), paper Section V-A.
+    DiffusionMemoryModel m;
+    m.latentH = m.latentW = 64;
+    m.textEncode = 77;
+    const double hw = 4096.0;
+    EXPECT_DOUBLE_EQ(m.similarityBytesAtStage(0),
+                     2.0 * hw * (hw + 77.0));
+    EXPECT_DOUBLE_EQ(m.selfSimilarityEntries(0), hw * hw);
+    EXPECT_DOUBLE_EQ(m.crossSimilarityEntries(0), hw * 77.0);
+}
+
+TEST(MemoryModel, CumulativeSumsLadderTwiceBottleneckOnce)
+{
+    DiffusionMemoryModel m;
+    m.latentH = m.latentW = 32;
+    m.unetDepth = 2;
+    const double expected = 2.0 * (m.similarityBytesAtStage(0) +
+                                   m.similarityBytesAtStage(1)) +
+                            m.similarityBytesAtStage(2);
+    EXPECT_DOUBLE_EQ(m.cumulativeSimilarityBytes(), expected);
+}
+
+TEST(MemoryModel, QuarticScalingLaw)
+{
+    // Paper: attention memory ~ O(L^4) in the latent extent.
+    std::vector<double> x, y;
+    for (std::int64_t latent : {16, 32, 64, 128, 256}) {
+        DiffusionMemoryModel m;
+        m.latentH = m.latentW = latent;
+        m.textEncode = 0;
+        x.push_back(static_cast<double>(latent));
+        y.push_back(m.cumulativeSimilarityBytes());
+    }
+    EXPECT_NEAR(scalingExponent(x, y), 4.0, 0.05);
+}
+
+TEST(ScalingExponent, RecoversKnownPowerLawsAndValidates)
+{
+    const std::vector<double> x = {1.0, 2.0, 4.0, 8.0};
+    std::vector<double> y;
+    for (double v : x)
+        y.push_back(3.0 * v * v);
+    EXPECT_NEAR(scalingExponent(x, y), 2.0, 1e-9);
+    EXPECT_THROW(scalingExponent({1.0}, {1.0}), FatalError);
+    EXPECT_THROW(scalingExponent({1.0, 1.0}, {2.0, 3.0}), FatalError);
+    EXPECT_THROW(scalingExponent({1.0, -2.0}, {1.0, 1.0}), FatalError);
+}
+
+// ----------------------------------------------------------- Amdahl --
+
+TEST(Amdahl, KnownPoints)
+{
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(0.0, 10.0), 1.0);
+    EXPECT_DOUBLE_EQ(amdahlSpeedup(1.0, 4.0), 4.0);
+    EXPECT_NEAR(amdahlSpeedup(0.5, 2.0), 1.0 / 0.75, 1e-12);
+    EXPECT_DOUBLE_EQ(amdahlCeiling(0.5), 2.0);
+}
+
+TEST(Amdahl, InverseRoundTrips)
+{
+    const double f = 0.464;
+    const double module = 6.9;
+    const double e2e = amdahlSpeedup(f, module);
+    EXPECT_NEAR(impliedModuleSpeedup(f, e2e), module, 1e-9);
+}
+
+TEST(Amdahl, RejectsImpossibleSpeedups)
+{
+    EXPECT_THROW(impliedModuleSpeedup(0.5, 3.0), FatalError);
+    EXPECT_THROW(amdahlSpeedup(1.5, 2.0), FatalError);
+    EXPECT_THROW(amdahlCeiling(1.0), FatalError);
+}
+
+// ----------------------------------------------------------- Pareto --
+
+TEST(Pareto, DominanceSemantics)
+{
+    const QualityPoint a{"a", 7.0, 3.0, "d"};
+    const QualityPoint b{"b", 8.0, 4.0, "d"};
+    const QualityPoint c{"c", 7.0, 3.0, "d"};
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+    EXPECT_FALSE(dominates(a, c)); // equal points do not dominate
+}
+
+TEST(Pareto, FrontFromPublishedDataMatchesPaperFig4)
+{
+    const auto& points = publishedTtiQualityPoints();
+    const auto front = paretoFront(points);
+    std::set<std::string> names;
+    for (std::size_t i : front)
+        names.insert(points[i].name);
+    // The paper highlights Imagen, Stable Diffusion and Parti on the
+    // Pareto-optimal curve.
+    EXPECT_TRUE(names.count("Imagen"));
+    EXPECT_TRUE(names.count("StableDiffusion"));
+    EXPECT_TRUE(names.count("Parti"));
+    // Clearly dominated models are off the front.
+    EXPECT_FALSE(names.count("DALL-E"));
+    EXPECT_FALSE(names.count("CogView"));
+}
+
+TEST(Pareto, FrontSortedByFidAndNonDominated)
+{
+    const auto& points = publishedTtiQualityPoints();
+    const auto front = paretoFront(points);
+    for (std::size_t i = 1; i < front.size(); ++i)
+        EXPECT_LE(points[front[i - 1]].fid, points[front[i]].fid);
+    for (std::size_t i : front)
+        for (std::size_t j = 0; j < points.size(); ++j)
+            EXPECT_FALSE(i != j && dominates(points[j], points[i]));
+}
+
+// ------------------------------------------------------ Phase (III) --
+
+TEST(PhaseClassifier, VerdictThresholds)
+{
+    PhaseProfile p;
+    p.blockQueryCalls = 100;
+    p.tokenQueryCalls = 0;
+    EXPECT_EQ(p.verdict(), PhaseKind::PrefillLike);
+    p.blockQueryCalls = 0;
+    p.tokenQueryCalls = 100;
+    EXPECT_EQ(p.verdict(), PhaseKind::DecodeLike);
+    p.blockQueryCalls = 50;
+    EXPECT_EQ(p.verdict(), PhaseKind::Mixed);
+    EXPECT_EQ(phaseKindName(PhaseKind::Mixed), "mixed");
+}
+
+TEST(PhaseClassifier, PaperTable3Correspondence)
+{
+    using models::ModelId;
+    auto verdict = [](ModelId id) {
+        return classifyPipeline(models::buildModel(id)).verdict();
+    };
+    // Diffusion generates all pixels at once => prefill-like.
+    EXPECT_EQ(verdict(ModelId::StableDiffusion),
+              PhaseKind::PrefillLike);
+    EXPECT_EQ(verdict(ModelId::Imagen), PhaseKind::PrefillLike);
+    EXPECT_EQ(verdict(ModelId::MakeAVideo), PhaseKind::PrefillLike);
+    // Autoregressive transformer TTI => decode-like.
+    EXPECT_EQ(verdict(ModelId::Parti), PhaseKind::DecodeLike);
+    // Parallel decoding processes full grids => prefill-shaped calls.
+    EXPECT_EQ(verdict(ModelId::Muse), PhaseKind::PrefillLike);
+}
+
+// ------------------------------------------------------ Fig. 13 -----
+
+TEST(TemporalScaling, LinearVsQuadraticInFrames)
+{
+    const std::int64_t hw = 256, dim = 1280;
+    const double s1 = spatialAttentionFlops(16, hw, dim);
+    const double s2 = spatialAttentionFlops(32, hw, dim);
+    EXPECT_DOUBLE_EQ(s2, 2.0 * s1); // linear
+    const double t1 = temporalAttentionFlops(16, hw, dim);
+    const double t2 = temporalAttentionFlops(32, hw, dim);
+    EXPECT_DOUBLE_EQ(t2, 4.0 * t1); // quadratic
+}
+
+TEST(TemporalScaling, CrossoverAtSpatialExtent)
+{
+    const std::int64_t hw = 256, dim = 64;
+    const std::int64_t cross = temporalCrossoverFrames(hw);
+    EXPECT_EQ(cross, hw);
+    EXPECT_LT(temporalAttentionFlops(cross / 2, hw, dim),
+              spatialAttentionFlops(cross / 2, hw, dim));
+    EXPECT_DOUBLE_EQ(temporalAttentionFlops(cross, hw, dim),
+                     spatialAttentionFlops(cross, hw, dim));
+    EXPECT_GT(temporalAttentionFlops(cross * 2, hw, dim),
+              spatialAttentionFlops(cross * 2, hw, dim));
+}
+
+TEST(TemporalScaling, HigherResolutionDelaysCrossover)
+{
+    EXPECT_LT(temporalCrossoverFrames(8 * 8),
+              temporalCrossoverFrames(16 * 16));
+    EXPECT_LT(temporalCrossoverFrames(16 * 16),
+              temporalCrossoverFrames(32 * 32));
+}
+
+TEST(TemporalScaling, JointAttentionIsMemoryInfeasible)
+{
+    // Paper Section II-B: the joint similarity matrix dwarfs the
+    // factorized pair's, and the gap widens with frame count.
+    const std::int64_t hw = 1024;
+    double prev_ratio = 0.0;
+    for (std::int64_t frames : {4, 8, 16, 32}) {
+        const double ratio =
+            jointSimilarityBytes(frames, hw) /
+            factorizedSimilarityBytes(frames, hw);
+        EXPECT_GT(ratio, prev_ratio);
+        prev_ratio = ratio;
+    }
+    EXPECT_GT(prev_ratio, 25.0);
+    // And the joint FLOPs exceed the factorized sum.
+    EXPECT_GT(jointSpatioTemporalFlops(16, hw, 1280),
+              spatialAttentionFlops(16, hw, 1280) +
+                  temporalAttentionFlops(16, hw, 1280));
+}
+
+TEST(TemporalScaling, WindowingLinearizesFrames)
+{
+    const std::int64_t hw = 1024, dim = 1280, w = 8;
+    // Windowed FLOPs scale linearly in frames once frames > window.
+    const double f64 = windowedTemporalFlops(64, hw, dim, w);
+    const double f128 = windowedTemporalFlops(128, hw, dim, w);
+    EXPECT_NEAR(f128 / f64, 2.0, 1e-9);
+    // Window >= frames degenerates to full temporal attention.
+    EXPECT_DOUBLE_EQ(windowedTemporalFlops(16, hw, dim, 64),
+                     temporalAttentionFlops(16, hw, dim));
+    EXPECT_THROW(windowedTemporalFlops(16, hw, dim, 0), FatalError);
+}
+
+} // namespace
+} // namespace mmgen::analytics

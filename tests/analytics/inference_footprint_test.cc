@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the inference memory-footprint estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytics/inference_footprint.hh"
+#include "models/llama.hh"
+#include "models/model_suite.hh"
+
+namespace mmgen::analytics {
+namespace {
+
+using models::ModelId;
+
+TEST(InferenceFootprint, TotalsAndFit)
+{
+    InferenceFootprint fp;
+    fp.weightBytes = 40e9;
+    fp.kvCacheBytes = 5e9;
+    fp.peakActivationBytes = 1e9;
+    EXPECT_DOUBLE_EQ(fp.totalBytes(), 46e9);
+    const hw::GpuSpec a100 = hw::GpuSpec::a100_80gb();
+    EXPECT_TRUE(fp.fits(a100));
+    EXPECT_NEAR(fp.utilization(a100), 46.0 / 80.0, 1e-12);
+    fp.weightBytes = 100e9;
+    EXPECT_FALSE(fp.fits(a100));
+}
+
+TEST(InferenceFootprint, WeightsMatchParams)
+{
+    const graph::Pipeline sd =
+        models::buildModel(ModelId::StableDiffusion);
+    const InferenceFootprint fp = estimateFootprint(sd);
+    EXPECT_DOUBLE_EQ(fp.weightBytes,
+                     static_cast<double>(sd.totalParams()) * 2.0);
+    // Diffusion inference carries no KV cache.
+    EXPECT_DOUBLE_EQ(fp.kvCacheBytes, 0.0);
+    EXPECT_GT(fp.peakActivationBytes, 0.0);
+}
+
+TEST(InferenceFootprint, AutoregressiveModelsCarryKvCache)
+{
+    const InferenceFootprint llama =
+        estimateFootprint(models::buildModel(ModelId::LLaMA));
+    // 32 layers x 2 (K and V) x (prompt + decode) x 4096 dims x 2 B.
+    const models::LlamaConfig cfg;
+    const double expected_self =
+        2.0 * 32 * (cfg.promptLen + cfg.decodeTokens) * 4096 * 2.0;
+    EXPECT_NEAR(llama.kvCacheBytes, expected_self,
+                0.01 * expected_self);
+
+    const InferenceFootprint parti =
+        estimateFootprint(models::buildModel(ModelId::Parti));
+    EXPECT_GT(parti.kvCacheBytes, 0.0);
+}
+
+TEST(InferenceFootprint, PaperSection3SingleGpuClaim)
+{
+    // Every suite model fits a single A100-80GB at inference.
+    const hw::GpuSpec a100 = hw::GpuSpec::a100_80gb();
+    for (ModelId id : models::allModels()) {
+        const InferenceFootprint fp =
+            estimateFootprint(models::buildModel(id));
+        EXPECT_TRUE(fp.fits(a100)) << models::modelName(id);
+    }
+    // And Parti is by far the heaviest (Table I memory High).
+    const double parti =
+        estimateFootprint(models::buildModel(ModelId::Parti))
+            .totalBytes();
+    for (ModelId id : models::allModels()) {
+        if (id == ModelId::Parti)
+            continue;
+        EXPECT_GT(parti,
+                  2.0 * estimateFootprint(models::buildModel(id))
+                            .totalBytes())
+            << models::modelName(id);
+    }
+}
+
+TEST(InferenceFootprint, BaselineBackendRaisesActivationPeak)
+{
+    const graph::Pipeline sd =
+        models::buildModel(ModelId::StableDiffusion);
+    const double flash =
+        estimateFootprint(sd, graph::AttentionBackend::Flash)
+            .peakActivationBytes;
+    const double baseline =
+        estimateFootprint(sd, graph::AttentionBackend::Baseline)
+            .peakActivationBytes;
+    // The materialized similarity matrix (8 heads x 4096^2 fp16 =
+    // 256 MiB) pushes the baseline peak above the flash peak, which is
+    // set by the VAE's full-resolution convolutions.
+    EXPECT_GT(baseline, flash);
+    EXPECT_GT(baseline, 256.0 * 1024 * 1024);
+}
+
+} // namespace
+} // namespace mmgen::analytics

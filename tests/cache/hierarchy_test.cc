@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the L1/L2 hierarchy and its write policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace mmgen::cache {
+namespace {
+
+using kernels::KernelClass;
+
+TEST(GpuCacheModel, SizesFromSpec)
+{
+    const GpuCacheModel m(hw::GpuSpec::a100_80gb());
+    EXPECT_EQ(m.numSms(), 108);
+    EXPECT_EQ(m.lineBytes(), 32);
+}
+
+TEST(GpuCacheModel, L1HitDoesNotTouchL2)
+{
+    GpuCacheModel m(hw::GpuSpec::a100_80gb());
+    m.access(0, 0x100, KernelClass::Gemm);
+    m.access(0, 0x100, KernelClass::Gemm);
+    const LevelStats s = m.statsFor(KernelClass::Gemm);
+    EXPECT_EQ(s.l1.accesses, 2u);
+    EXPECT_EQ(s.l1.hits, 1u);
+    EXPECT_EQ(s.l2.accesses, 1u); // only the miss reached L2
+}
+
+TEST(GpuCacheModel, PrivateL1sDoNotShare)
+{
+    GpuCacheModel m(hw::GpuSpec::a100_80gb());
+    m.access(0, 0x100, KernelClass::Gemm);
+    m.access(1, 0x100, KernelClass::Gemm);
+    const LevelStats s = m.statsFor(KernelClass::Gemm);
+    // Second SM misses its own L1 but hits the shared L2.
+    EXPECT_EQ(s.l1.hits, 0u);
+    EXPECT_EQ(s.l2.accesses, 2u);
+    EXPECT_EQ(s.l2.hits, 1u);
+}
+
+TEST(GpuCacheModel, WritesBypassL1AndAllocateL2)
+{
+    GpuCacheModel m(hw::GpuSpec::a100_80gb());
+    m.access(0, 0x200, KernelClass::Gemm, /*is_write=*/true);
+    const LevelStats g = m.statsFor(KernelClass::Gemm);
+    EXPECT_EQ(g.l1.accesses, 0u); // stores invisible to L1 stats
+    EXPECT_EQ(g.l2.accesses, 1u);
+
+    // A later kernel reading the produced data hits in L2 (producer ->
+    // consumer reuse), even from a different SM.
+    m.access(5, 0x200, KernelClass::Softmax);
+    const LevelStats s = m.statsFor(KernelClass::Softmax);
+    EXPECT_EQ(s.l2.hits, 1u);
+}
+
+TEST(GpuCacheModel, InvalidateL1sKeepsL2AndStats)
+{
+    GpuCacheModel m(hw::GpuSpec::a100_80gb());
+    m.access(0, 0x300, KernelClass::Gemm);
+    m.invalidateL1s();
+    // L1 lost the line...
+    m.access(0, 0x300, KernelClass::Gemm);
+    const LevelStats s = m.statsFor(KernelClass::Gemm);
+    EXPECT_EQ(s.l1.hits, 0u);
+    // ...but the L2 retained it, and earlier counters survived.
+    EXPECT_EQ(s.l2.accesses, 2u);
+    EXPECT_EQ(s.l2.hits, 1u);
+}
+
+TEST(GpuCacheModel, StatsSeparatedByKernelClass)
+{
+    GpuCacheModel m(hw::GpuSpec::a100_80gb());
+    m.access(0, 0x400, KernelClass::Gemm);
+    m.access(0, 0x400, KernelClass::Elementwise);
+    EXPECT_EQ(m.statsFor(KernelClass::Gemm).l1.accesses, 1u);
+    EXPECT_EQ(m.statsFor(KernelClass::Elementwise).l1.accesses, 1u);
+    EXPECT_EQ(m.statsFor(KernelClass::Elementwise).l1.hits, 1u);
+    EXPECT_EQ(m.statsFor(KernelClass::Softmax).l1.accesses, 0u);
+}
+
+TEST(GpuCacheModel, ResetClearsEverything)
+{
+    GpuCacheModel m(hw::GpuSpec::a100_80gb());
+    m.access(0, 0x500, KernelClass::Gemm);
+    m.reset();
+    EXPECT_TRUE(m.stats().empty());
+    m.access(0, 0x500, KernelClass::Gemm);
+    EXPECT_EQ(m.statsFor(KernelClass::Gemm).l1.hits, 0u);
+}
+
+} // namespace
+} // namespace mmgen::cache

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hh"
+#include "util/logging.hh"
+
+namespace mmgen::cache {
+namespace {
+
+TEST(SetAssocCache, ValidatesGeometry)
+{
+    EXPECT_THROW(SetAssocCache("c", 0, 4, 32), FatalError);
+    EXPECT_THROW(SetAssocCache("c", 1024, 4, 33), FatalError);
+    EXPECT_THROW(SetAssocCache("c", 1000, 4, 32), FatalError);
+    const SetAssocCache c("c", 4096, 4, 32);
+    EXPECT_EQ(c.capacityBytes(), 4096);
+    EXPECT_EQ(c.associativity(), 4);
+    EXPECT_EQ(c.lineBytes(), 32);
+}
+
+TEST(SetAssocCache, ColdMissThenHit)
+{
+    SetAssocCache c("c", 4096, 4, 32);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x101f)); // same line
+    EXPECT_FALSE(c.access(0x1020)); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_DOUBLE_EQ(c.stats().hitRate(), 0.5);
+}
+
+TEST(SetAssocCache, LruEvictsLeastRecent)
+{
+    // 2-way, line 32, capacity 64 => a single set.
+    SetAssocCache c("c", 64, 2, 32);
+    c.access(0 * 32);
+    c.access(1 * 32);
+    EXPECT_TRUE(c.access(0 * 32));  // 0 becomes MRU
+    EXPECT_FALSE(c.access(2 * 32)); // evicts 1 (LRU)
+    EXPECT_TRUE(c.access(0 * 32));
+    EXPECT_FALSE(c.access(1 * 32)); // 1 was evicted
+}
+
+TEST(SetAssocCache, SetConflictsThrashDespiteCapacity)
+{
+    // Power-of-two strides camp on one set: the locality hazard of
+    // strided attention views (paper Fig. 12).
+    SetAssocCache c("c", 32 * 1024, 4, 32); // 256 sets
+    const std::uint64_t stride = 256 * 32;  // maps to one set
+    for (int rep = 0; rep < 3; ++rep) {
+        for (std::uint64_t i = 0; i < 8; ++i)
+            c.access(i * stride);
+    }
+    // 8 lines over 4 ways: every access misses after warmup too.
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(SetAssocCache, SequentialStreamFitsWithinCapacity)
+{
+    SetAssocCache c("c", 32 * 1024, 4, 32);
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 32)
+        c.access(a);
+    // Second pass over a working set equal to capacity: all hits.
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 32)
+        EXPECT_TRUE(c.access(a));
+}
+
+TEST(SetAssocCache, ResetClearsContentsAndCounters)
+{
+    SetAssocCache c("c", 4096, 4, 32);
+    c.access(0x40);
+    c.access(0x40);
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_FALSE(c.access(0x40));
+}
+
+TEST(CacheStats, Accumulate)
+{
+    CacheStats a{10, 4};
+    CacheStats b{6, 3};
+    a += b;
+    EXPECT_EQ(a.accesses, 16u);
+    EXPECT_EQ(a.hits, 7u);
+    EXPECT_EQ(a.misses(), 9u);
+}
+
+/** Property: hit rate never exceeds (N-1)/N for N distinct lines. */
+class HitRateBound : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(HitRateBound, RepeatedScanOfNLines)
+{
+    SetAssocCache c("c", 1 << 20, 8, 32);
+    const int n = GetParam();
+    for (int rep = 0; rep < 4; ++rep)
+        for (int i = 0; i < n; ++i)
+            c.access(static_cast<std::uint64_t>(i) * 32);
+    // Working set fits: exactly n cold misses.
+    EXPECT_EQ(c.stats().misses(), static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HitRateBound,
+                         ::testing::Values(1, 7, 64, 1000));
+
+} // namespace
+} // namespace mmgen::cache

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the kernel trace generators and the attention cache study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/attention_study.hh"
+#include "cache/trace_gen.hh"
+#include "util/logging.hh"
+
+namespace mmgen::cache {
+namespace {
+
+using kernels::KernelClass;
+
+TEST(MatrixLayout, ContiguousAddressing)
+{
+    const MatrixLayout m =
+        MatrixLayout::contiguous(/*base=*/1000, /*batch=*/4,
+                                 /*rows=*/8, /*elems=*/16, /*bytes=*/2);
+    EXPECT_EQ(m.batchCount(), 4);
+    EXPECT_EQ(m.addr(0, 0, 0), 1000u);
+    EXPECT_EQ(m.addr(0, 0, 1), 1002u);
+    EXPECT_EQ(m.addr(0, 1, 0), 1000u + 16 * 2);
+    EXPECT_EQ(m.addr(2, 0, 0), 1000u + 2 * 8 * 16 * 2);
+}
+
+TEST(MatrixLayout, MixedRadixBatchDecomposition)
+{
+    // Temporal layout: batch = (hw inner, heads, vb outer).
+    MatrixLayout m;
+    m.baseBytes = 0;
+    m.rowStrideElems = 256;       // frame stride
+    m.elemStrideElems = 16 * 256; // channel stride
+    m.elemBytes = 2;
+    m.batchDims = {{256, 1}, {8, 64 * 16 * 256}, {2, 8 * 64 * 16 * 256}};
+    EXPECT_EQ(m.batchCount(), 256 * 8 * 2);
+    // batch index 3 => hw=3, h=0, vb=0.
+    EXPECT_EQ(m.addr(3, 0, 0), 3u * 2);
+    // batch index 256 => hw=0, h=1.
+    EXPECT_EQ(m.addr(256, 0, 0), 64u * 16 * 256 * 2);
+    // row moves by the frame stride.
+    EXPECT_EQ(m.addr(0, 2, 0), 2u * 256 * 2);
+}
+
+TEST(GemmTrace, ReusesBAcrossQueryTiles)
+{
+    // Long-M GEMM: later M-tiles re-read B and hit the private L1
+    // (block CTA assignment keeps a batch's tiles on one SM). Use
+    // enough batches that every SM runs several consecutive CTAs.
+    GpuCacheModel model(hw::GpuSpec::a100_80gb());
+    GemmTraceParams p;
+    p.m = 256;
+    p.n = 64;
+    p.k = 64;
+    p.tileM = 64;
+    p.a = MatrixLayout::contiguous(0, 256, p.m, p.k, 2);
+    p.b = MatrixLayout::contiguous(1 << 30, 256, p.n, p.k, 2);
+    p.c = MatrixLayout::contiguous(1ULL << 31, 256, p.m, p.n, 2);
+    runGemmTrace(model, p);
+    const LevelStats s = model.statsFor(KernelClass::Gemm);
+    // B is read by 4 M-tiles; most of the re-read passes hit.
+    EXPECT_GT(s.l1.hitRate(), 0.3);
+}
+
+TEST(GemmTrace, SingleTileHasNoReuse)
+{
+    GpuCacheModel model(hw::GpuSpec::a100_80gb());
+    GemmTraceParams p;
+    p.m = 16;
+    p.n = 16;
+    p.k = 64;
+    p.tileM = 64;
+    p.a = MatrixLayout::contiguous(0, 64, p.m, p.k, 2);
+    p.b = MatrixLayout::contiguous(1 << 24, 64, p.n, p.k, 2);
+    p.c = MatrixLayout::contiguous(1 << 25, 64, p.m, p.n, 2);
+    runGemmTrace(model, p);
+    EXPECT_LT(model.statsFor(KernelClass::Gemm).l1.hitRate(), 0.05);
+}
+
+TEST(GemmTrace, MaxBatchesCapsWork)
+{
+    GpuCacheModel model(hw::GpuSpec::a100_80gb());
+    GemmTraceParams p;
+    p.m = p.n = p.k = 32;
+    p.a = MatrixLayout::contiguous(0, 100, 32, 32, 2);
+    p.b = MatrixLayout::contiguous(1 << 24, 100, 32, 32, 2);
+    p.c = MatrixLayout::contiguous(1 << 25, 100, 32, 32, 2);
+    p.maxBatches = 5;
+    runGemmTrace(model, p);
+    const std::uint64_t capped =
+        model.statsFor(KernelClass::Gemm).l1.accesses +
+        model.statsFor(KernelClass::Gemm).l2.accesses;
+    model.reset();
+    p.maxBatches = 0;
+    runGemmTrace(model, p);
+    const std::uint64_t full =
+        model.statsFor(KernelClass::Gemm).l1.accesses +
+        model.statsFor(KernelClass::Gemm).l2.accesses;
+    EXPECT_NEAR(static_cast<double>(full),
+                20.0 * static_cast<double>(capped), 0.01 * full);
+}
+
+TEST(SoftmaxTrace, LongRowsGetMultiPassReuse)
+{
+    GpuCacheModel model(hw::GpuSpec::a100_80gb());
+    SoftmaxTraceParams p;
+    p.rows = 64;
+    p.cols = 1024; // 2 KiB rows: two read passes + write
+    p.mat = MatrixLayout::contiguous(0, 1, p.rows, p.cols, 2);
+    runSoftmaxTrace(model, p);
+    const LevelStats s = model.statsFor(KernelClass::Softmax);
+    // Second read pass hits: ~50% of load accesses.
+    EXPECT_NEAR(s.l1.hitRate(), 0.5, 0.05);
+}
+
+TEST(SoftmaxTrace, TinyRowsSinglePass)
+{
+    GpuCacheModel model(hw::GpuSpec::a100_80gb());
+    SoftmaxTraceParams p;
+    p.rows = 256;
+    p.cols = 16; // 32 B rows fit in registers
+    p.mat = MatrixLayout::contiguous(0, 1, p.rows, p.cols, 2);
+    runSoftmaxTrace(model, p);
+    EXPECT_LT(model.statsFor(KernelClass::Softmax).l1.hitRate(), 0.05);
+}
+
+TEST(ElementwiseTrace, StreamsWithoutLoadReuse)
+{
+    GpuCacheModel model(hw::GpuSpec::a100_80gb());
+    ElementwiseTraceParams p;
+    p.rows = 128;
+    p.cols = 256;
+    p.mat = MatrixLayout::contiguous(0, 1, p.rows, p.cols, 2);
+    runElementwiseTrace(model, p);
+    EXPECT_LT(model.statsFor(KernelClass::Elementwise).l1.hitRate(),
+              0.05);
+}
+
+TEST(AttentionStudy, OperandLayoutContiguousVsStrided)
+{
+    graph::AttentionAttrs a;
+    a.batch = 4;
+    a.heads = 2;
+    a.seqQ = a.seqKv = 8;
+    a.headDim = 16;
+    a.seqStrideElems = 2 * 16;
+    a.featureStrideElems = 1;
+    const MatrixLayout c = attentionOperandLayout(a, 0, a.seqQ, 2);
+    EXPECT_EQ(c.elemStrideElems, 1);
+    EXPECT_EQ(c.batchCount(), 4 * 2);
+
+    a.seqStrideElems = 64; // inner spatial extent
+    a.featureStrideElems = 8 * 64;
+    a.batch = 128; // 2 video batches x 64 positions
+    const MatrixLayout s = attentionOperandLayout(a, 0, a.seqQ, 2);
+    EXPECT_EQ(s.elemStrideElems, 8 * 64);
+    EXPECT_EQ(s.batchCount(), 128 * 2);
+}
+
+TEST(AttentionStudy, StridedBatchMustDivide)
+{
+    graph::AttentionAttrs a;
+    a.batch = 100;
+    a.heads = 2;
+    a.seqQ = a.seqKv = 8;
+    a.headDim = 16;
+    a.seqStrideElems = 64; // does not divide 100
+    a.featureStrideElems = 512;
+    EXPECT_THROW(attentionOperandLayout(a, 0, a.seqQ, 2), FatalError);
+}
+
+TEST(AttentionStudy, FlashBackendSkipsSimilarityKernels)
+{
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    graph::AttentionAttrs a;
+    a.kind = graph::AttentionKind::SelfSpatial;
+    a.batch = 8;
+    a.heads = 4;
+    a.seqQ = a.seqKv = 128;
+    a.headDim = 64;
+    a.seqStrideElems = 256;
+    const AttentionCacheReport flash = runAttentionCacheStudy(
+        gpu, a, DType::F16, 0, graph::AttentionBackend::Flash);
+    // No softmax/elementwise kernels exist under the fused backend.
+    EXPECT_EQ(flash.stats.count(kernels::KernelClass::Softmax), 0u);
+    EXPECT_EQ(flash.stats.count(kernels::KernelClass::Elementwise),
+              0u);
+    EXPECT_GT(flash.stats.at(kernels::KernelClass::Gemm).l1.accesses,
+              0u);
+    // Unsupported backend rejected.
+    EXPECT_THROW(
+        runAttentionCacheStudy(gpu, a, DType::F16, 0,
+                               graph::AttentionBackend::FlashDecode),
+        FatalError);
+}
+
+TEST(AttentionStudy, SpatialBeatsTemporalOnL1)
+{
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    graph::AttentionAttrs spatial;
+    spatial.kind = graph::AttentionKind::SelfSpatial;
+    spatial.batch = 16;
+    spatial.heads = 4;
+    spatial.seqQ = spatial.seqKv = 256;
+    spatial.headDim = 64;
+    spatial.seqStrideElems = 256;
+
+    graph::AttentionAttrs temporal;
+    temporal.kind = graph::AttentionKind::Temporal;
+    temporal.batch = 256;
+    temporal.heads = 4;
+    temporal.seqQ = temporal.seqKv = 16;
+    temporal.headDim = 64;
+    temporal.seqStrideElems = 256;
+    temporal.featureStrideElems = 16 * 256;
+
+    const AttentionCacheReport sp =
+        runAttentionCacheStudy(gpu, spatial, DType::F16);
+    const AttentionCacheReport tp =
+        runAttentionCacheStudy(gpu, temporal, DType::F16);
+    EXPECT_GT(sp.l1HitRate(KernelClass::Gemm),
+              5.0 * tp.l1HitRate(KernelClass::Gemm) + 0.05);
+    EXPECT_GT(sp.l1HitRate(KernelClass::Softmax),
+              tp.l1HitRate(KernelClass::Softmax));
+}
+
+} // namespace
+} // namespace mmgen::cache

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the fleet substrate: FSDP memory model, population
+ * generation, aggregation (paper Fig. 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/aggregate.hh"
+#include "fleet/population.hh"
+#include "util/logging.hh"
+
+namespace mmgen::fleet {
+namespace {
+
+TEST(FsdpMemoryModel, ShardsStateByWorldSize)
+{
+    FsdpMemoryModel m;
+    // 16 bytes/param (fp16 weights+grads + fp32 Adam state).
+    EXPECT_DOUBLE_EQ(m.shardedStateBytes(70e9, 512),
+                     70e9 * 16.0 / 512.0);
+    EXPECT_DOUBLE_EQ(m.shardedStateBytes(1e9, 1), 16e9);
+    EXPECT_THROW(m.shardedStateBytes(0.0, 8), FatalError);
+    EXPECT_THROW(m.shardedStateBytes(1e9, 0), FatalError);
+}
+
+TEST(FsdpMemoryModel, ActivationsDoNotShard)
+{
+    FsdpMemoryModel m;
+    const double act = 20e9;
+    const double small_world = m.perGpuBytes(1e9, 8, act);
+    const double big_world = m.perGpuBytes(1e9, 1024, act);
+    // Only the sharded state shrinks; activations stay resident —
+    // which is why image models run hot on memory (paper Fig. 1).
+    EXPECT_GT(small_world, big_world);
+    EXPECT_GT(big_world, act);
+}
+
+TEST(TrainingJob, DerivedMetrics)
+{
+    TrainingJob job;
+    job.params = 2e9;
+    job.gpus = 196;
+    job.perGpuBytes = 28e9;
+    EXPECT_DOUBLE_EQ(job.gpusPerBParam(), 98.0);
+    EXPECT_NEAR(job.memoryUtilization(hw::GpuSpec::a100_80gb()),
+                28.0 / 80.0, 1e-12);
+    job.perGpuBytes = 200e9; // oversubscribed is clamped
+    EXPECT_DOUBLE_EQ(job.memoryUtilization(hw::GpuSpec::a100_80gb()),
+                     1.0);
+}
+
+TEST(Population, DeterministicForSeed)
+{
+    PopulationConfig cfg;
+    const auto a = generateFleet(cfg);
+    const auto b = generateFleet(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].gpus, b[i].gpus);
+        EXPECT_DOUBLE_EQ(a[i].params, b[i].params);
+        EXPECT_DOUBLE_EQ(a[i].perGpuBytes, b[i].perGpuBytes);
+    }
+}
+
+TEST(Population, RespectsClassCountsAndRanges)
+{
+    PopulationConfig cfg;
+    cfg.llmJobs = 10;
+    cfg.ttiJobs = 20;
+    cfg.ttvJobs = 5;
+    const auto jobs = generateFleet(cfg);
+    ASSERT_EQ(jobs.size(), 35u);
+    int llm = 0, tti = 0, ttv = 0;
+    for (const auto& j : jobs) {
+        EXPECT_GE(j.gpus, 8);
+        EXPECT_EQ(j.gpus % 8, 0) << "jobs run on whole nodes";
+        EXPECT_GT(j.params, 0.0);
+        switch (j.klass) {
+          case WorkloadClass::LLM: {
+            ++llm;
+            const auto d = defaultDistribution(WorkloadClass::LLM);
+            EXPECT_GE(j.params, d.minParamsB * 1e9 * 0.999);
+            EXPECT_LE(j.params, d.maxParamsB * 1e9 * 1.001);
+            break;
+          }
+          case WorkloadClass::TTI:
+            ++tti;
+            break;
+          case WorkloadClass::TTV:
+            ++ttv;
+            break;
+        }
+    }
+    EXPECT_EQ(llm, 10);
+    EXPECT_EQ(tti, 20);
+    EXPECT_EQ(ttv, 5);
+}
+
+TEST(Aggregate, ComputesPerClassTotals)
+{
+    std::vector<TrainingJob> jobs;
+    TrainingJob a;
+    a.klass = WorkloadClass::LLM;
+    a.params = 10e9;
+    a.gpus = 80;
+    a.perGpuBytes = 16e9;
+    jobs.push_back(a);
+    TrainingJob b;
+    b.klass = WorkloadClass::TTI;
+    b.params = 1e9;
+    b.gpus = 112;
+    b.perGpuBytes = 28e9;
+    jobs.push_back(b);
+
+    const FleetReport r =
+        aggregateFleet(jobs, hw::GpuSpec::a100_80gb());
+    EXPECT_DOUBLE_EQ(r.byClass.at(WorkloadClass::LLM).gpusPerBParam,
+                     8.0);
+    EXPECT_DOUBLE_EQ(r.byClass.at(WorkloadClass::TTI).gpusPerBParam,
+                     112.0);
+    EXPECT_DOUBLE_EQ(r.ttiOverLlmGpusPerParam(), 14.0);
+    EXPECT_NEAR(r.ttiOverLlmMemoryUtilization(), 28.0 / 16.0, 1e-12);
+    EXPECT_NEAR(r.ttiMinusLlmUtilizationPoints(),
+                (28.0 - 16.0) / 80.0 * 100.0, 1e-9);
+}
+
+TEST(Aggregate, RejectsMissingClasses)
+{
+    std::vector<TrainingJob> jobs;
+    TrainingJob a;
+    a.klass = WorkloadClass::LLM;
+    a.params = 1e9;
+    a.gpus = 8;
+    a.perGpuBytes = 1e9;
+    jobs.push_back(a);
+    const FleetReport r =
+        aggregateFleet(jobs, hw::GpuSpec::a100_80gb());
+    EXPECT_THROW(r.ttiOverLlmGpusPerParam(), FatalError);
+    EXPECT_THROW(aggregateFleet({}, hw::GpuSpec::a100_80gb()),
+                 FatalError);
+}
+
+TEST(Fig1Acceptance, DefaultFleetReproducesPaperRatios)
+{
+    PopulationConfig cfg;
+    const FleetReport r =
+        aggregateFleet(generateFleet(cfg), cfg.gpu);
+    // Paper: ~14x GPUs/param, ~1.4x memory utilization, ~10 points.
+    EXPECT_NEAR(r.ttiOverLlmGpusPerParam(), 14.0, 4.0);
+    EXPECT_NEAR(r.ttiOverLlmMemoryUtilization(), 1.4, 0.25);
+    EXPECT_NEAR(r.ttiMinusLlmUtilizationPoints(), 10.0, 5.0);
+}
+
+/** Property: ratios stay in band across seeds (not a lucky seed). */
+class FleetSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FleetSeedSweep, RatiosStable)
+{
+    PopulationConfig cfg;
+    cfg.seed = GetParam();
+    const FleetReport r =
+        aggregateFleet(generateFleet(cfg), cfg.gpu);
+    EXPECT_GT(r.ttiOverLlmGpusPerParam(), 8.0);
+    EXPECT_LT(r.ttiOverLlmGpusPerParam(), 25.0);
+    EXPECT_GT(r.ttiOverLlmMemoryUtilization(), 1.15);
+    EXPECT_LT(r.ttiOverLlmMemoryUtilization(), 1.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetSeedSweep,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+} // namespace
+} // namespace mmgen::fleet

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the FSDP training-step time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/training_step.hh"
+#include "models/model_suite.hh"
+#include "util/logging.hh"
+
+namespace mmgen::fleet {
+namespace {
+
+const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+const InterconnectSpec net = InterconnectSpec::a100Cluster();
+
+TrainingStepInputs
+baseInputs()
+{
+    TrainingStepInputs in;
+    in.params = 1e9;
+    in.forwardFlopsPerSample = 1e12;
+    in.microBatch = 4;
+    in.worldSize = 64;
+    return in;
+}
+
+TEST(InterconnectSpec, IntraVsInterNode)
+{
+    EXPECT_DOUBLE_EQ(net.effectiveBandwidth(8, 8),
+                     net.intraNodeBandwidth);
+    EXPECT_DOUBLE_EQ(net.effectiveBandwidth(64, 8),
+                     net.interNodeBandwidth);
+    EXPECT_THROW(net.effectiveBandwidth(0, 8), FatalError);
+}
+
+TEST(TrainingStep, BackwardIsTwiceForward)
+{
+    const TrainingStepInputs in = baseInputs();
+    const TrainingStepEstimate est =
+        estimateTrainingStep(gpu, net, in);
+    const double expected_compute =
+        3.0 * in.forwardFlopsPerSample * in.microBatch /
+        (gpu.peakFlops(DType::F16) * in.computeEfficiency);
+    EXPECT_NEAR(est.computeSeconds, expected_compute, 1e-12);
+    EXPECT_GT(est.stepSeconds, est.computeSeconds);
+}
+
+TEST(TrainingStep, SingleGpuHasNoCommunication)
+{
+    TrainingStepInputs in = baseInputs();
+    in.worldSize = 1;
+    const TrainingStepEstimate est =
+        estimateTrainingStep(gpu, net, in);
+    EXPECT_DOUBLE_EQ(est.exposedCommSeconds, 0.0);
+}
+
+TEST(TrainingStep, OverlapHidesCommunication)
+{
+    TrainingStepInputs in = baseInputs();
+    in.overlapFraction = 0.0;
+    const double exposed =
+        estimateTrainingStep(gpu, net, in).exposedCommSeconds;
+    in.overlapFraction = 0.9;
+    const double hidden =
+        estimateTrainingStep(gpu, net, in).exposedCommSeconds;
+    EXPECT_NEAR(hidden, 0.1 * exposed, 1e-12);
+}
+
+TEST(TrainingStep, MfuBoundedAndThroughputScales)
+{
+    TrainingStepInputs in = baseInputs();
+    const TrainingStepEstimate est =
+        estimateTrainingStep(gpu, net, in);
+    EXPECT_GT(est.mfu, 0.0);
+    EXPECT_LE(est.mfu, in.computeEfficiency + 1e-12);
+
+    TrainingStepInputs bigger = in;
+    bigger.microBatch = 8;
+    const TrainingStepEstimate est2 =
+        estimateTrainingStep(gpu, net, bigger);
+    EXPECT_GT(est2.throughput, est.throughput);
+    EXPECT_GT(est2.mfu, est.mfu); // comms amortized over more work
+}
+
+TEST(TrainingStep, Validation)
+{
+    TrainingStepInputs in = baseInputs();
+    in.params = 0.0;
+    EXPECT_THROW(estimateTrainingStep(gpu, net, in), FatalError);
+    in = baseInputs();
+    in.overlapFraction = 1.0;
+    EXPECT_THROW(estimateTrainingStep(gpu, net, in), FatalError);
+}
+
+TEST(ForwardFlops, SingleUNetPassNotDenoisingLoop)
+{
+    // Training flops take one pass per stage, so SD's per-sample
+    // forward is ~1/50th of its 50-step inference flops.
+    const graph::Pipeline sd =
+        models::buildModel(models::ModelId::StableDiffusion);
+    const double per_sample = forwardFlopsPerSample(sd, gpu);
+    EXPECT_GT(per_sample, 0.0);
+    EXPECT_LT(per_sample, 3e12); // inference totals ~41 TFLOP
+}
+
+TEST(ForwardFlops, SkipsWeightSharingStages)
+{
+    const graph::Pipeline llama =
+        models::buildModel(models::ModelId::LLaMA);
+    // Only the prefill stage counts; decode reuses the same weights.
+    const double flops = forwardFlopsPerSample(llama, gpu);
+    // ~2 * params * prompt tokens.
+    const double rough = 2.0 * 6.7e9 * 4096;
+    EXPECT_NEAR(flops, rough, 0.35 * rough);
+}
+
+} // namespace
+} // namespace mmgen::fleet

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for operator metadata: categories, parameter counts, names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/op.hh"
+
+namespace mmgen::graph {
+namespace {
+
+Op
+makeOp(OpKind kind, OpAttrs attrs)
+{
+    Op op;
+    op.kind = kind;
+    op.attrs = std::move(attrs);
+    return op;
+}
+
+TEST(OpCategory, MatchesPaperBreakdownLegend)
+{
+    EXPECT_EQ(opCategory(makeOp(OpKind::Attention, AttentionAttrs{})),
+              OpCategory::Attention);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Conv2D, ConvAttrs{})),
+              OpCategory::Convolution);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Conv3D, ConvAttrs{})),
+              OpCategory::Convolution);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Linear, LinearAttrs{})),
+              OpCategory::Linear);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Matmul, MatmulAttrs{})),
+              OpCategory::Linear);
+    EXPECT_EQ(opCategory(makeOp(OpKind::GroupNorm, NormAttrs{})),
+              OpCategory::GroupNorm);
+    EXPECT_EQ(opCategory(makeOp(OpKind::LayerNorm, NormAttrs{})),
+              OpCategory::OtherNorm);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Softmax, SoftmaxAttrs{})),
+              OpCategory::Elementwise);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Copy, CopyAttrs{})),
+              OpCategory::Memory);
+}
+
+TEST(OpParamCount, ConvCountsWeightsAndBias)
+{
+    ConvAttrs a;
+    a.inChannels = 320;
+    a.outChannels = 640;
+    a.kernelH = a.kernelW = 3;
+    a.kernelD = 1;
+    a.groups = 1;
+    a.hasBias = true;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Conv2D, a)),
+              3 * 3 * 320 * 640 + 640);
+    a.hasBias = false;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Conv2D, a)),
+              3 * 3 * 320 * 640);
+    a.groups = 320;
+    a.outChannels = 320;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Conv2D, a)), 3 * 3 * 320);
+}
+
+TEST(OpParamCount, LinearNormEmbedding)
+{
+    LinearAttrs l;
+    l.inFeatures = 4096;
+    l.outFeatures = 11008;
+    l.hasBias = false;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Linear, l)), 4096LL * 11008);
+
+    NormAttrs n;
+    n.channels = 320;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::GroupNorm, n)), 640);
+
+    EmbeddingAttrs e;
+    e.vocab = 32000;
+    e.dim = 4096;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Embedding, e)),
+              32000LL * 4096);
+}
+
+TEST(OpParamCount, WeightlessOpsAreZero)
+{
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Attention, AttentionAttrs{})),
+              0);
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Matmul, MatmulAttrs{})), 0);
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Elementwise, ElemAttrs{})), 0);
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Copy, CopyAttrs{})), 0);
+}
+
+TEST(AttentionAttrs, StrideWasteFactor)
+{
+    AttentionAttrs a;
+    a.featureStrideElems = 1;
+    EXPECT_DOUBLE_EQ(a.strideWasteFactor(32, 2), 1.0);
+    a.featureStrideElems = 4; // partial waste
+    EXPECT_DOUBLE_EQ(a.strideWasteFactor(32, 2), 4.0);
+    a.featureStrideElems = 4096; // capped at sector/element
+    EXPECT_DOUBLE_EQ(a.strideWasteFactor(32, 2), 16.0);
+    EXPECT_DOUBLE_EQ(a.strideWasteFactor(32, 4), 8.0);
+}
+
+TEST(Names, AreStableStrings)
+{
+    EXPECT_EQ(opCategoryName(OpCategory::Convolution), "Convolution");
+    EXPECT_EQ(opKindName(OpKind::GroupNorm), "group_norm");
+    EXPECT_EQ(attentionKindName(AttentionKind::Temporal), "temporal");
+    EXPECT_EQ(attentionBackendName(AttentionBackend::Flash), "flash");
+    EXPECT_EQ(allCategories().size(), 7u);
+}
+
+} // namespace
+} // namespace mmgen::graph

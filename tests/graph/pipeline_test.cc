@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for pipelines and traces: stage tracing, parameter counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/pipeline.hh"
+#include "util/logging.hh"
+
+namespace mmgen::graph {
+namespace {
+
+Pipeline
+twoStagePipeline()
+{
+    Pipeline p;
+    p.name = "toy";
+    p.klass = ModelClass::DiffusionLatent;
+
+    Stage enc;
+    enc.name = "encoder";
+    enc.iterations = 1;
+    enc.emit = [](GraphBuilder& b, std::int64_t) {
+        b.linear(TensorDesc({1, 8, 16}, DType::F16), 32);
+    };
+    p.stages.push_back(std::move(enc));
+
+    Stage loop;
+    loop.name = "loop";
+    loop.iterations = 10;
+    loop.perIterationShapes = true;
+    loop.emit = [](GraphBuilder& b, std::int64_t iter) {
+        // Shape depends on the iteration (KV growth).
+        b.attention(AttentionKind::CausalSelf, 1, 4, 1, iter + 1, 16);
+    };
+    p.stages.push_back(std::move(loop));
+    return p;
+}
+
+TEST(Pipeline, TraceStageScopesUnderStageName)
+{
+    const Pipeline p = twoStagePipeline();
+    const Trace t = p.traceStage(0, 0);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.ops()[0].scope, "encoder");
+}
+
+TEST(Pipeline, TraceStageHonorsIteration)
+{
+    const Pipeline p = twoStagePipeline();
+    const Trace t = p.traceStage(1, 7);
+    const auto& a = t.ops()[0].as<AttentionAttrs>();
+    EXPECT_EQ(a.seqKv, 8);
+}
+
+TEST(Pipeline, TraceStageValidates)
+{
+    const Pipeline p = twoStagePipeline();
+    EXPECT_THROW(p.traceStage(2, 0), FatalError);
+    EXPECT_THROW(p.traceStage(1, 10), FatalError);
+    EXPECT_THROW(p.traceStage(1, -1), FatalError);
+}
+
+TEST(Pipeline, TotalParamsCountsEachStageOnce)
+{
+    const Pipeline p = twoStagePipeline();
+    // encoder: 16*32 weights + 32 bias; the attention loop is
+    // weightless.
+    EXPECT_EQ(p.totalParams(), 16 * 32 + 32);
+}
+
+TEST(Pipeline, WeightSharingStagesNotDoubleCounted)
+{
+    Pipeline p;
+    p.name = "shared";
+    for (int i = 0; i < 2; ++i) {
+        Stage s;
+        s.name = i == 0 ? "prefill" : "decode";
+        s.iterations = 1;
+        s.reusesWeights = i == 1; // same weights as the first stage
+        s.emit = [](GraphBuilder& b, std::int64_t) {
+            b.linear(TensorDesc({1, 4}, DType::F16), 4, false);
+        };
+        p.stages.push_back(std::move(s));
+    }
+    EXPECT_EQ(p.totalParams(), 16);
+}
+
+TEST(Pipeline, DtypePropagatesToTracedOps)
+{
+    Pipeline p = twoStagePipeline();
+    p.dtype = DType::I8;
+    const Trace t = p.traceStage(0, 0);
+    EXPECT_EQ(t.ops()[0].dtype, DType::I8);
+}
+
+TEST(ModelClass, Predicates)
+{
+    EXPECT_TRUE(isDiffusionClass(ModelClass::DiffusionPixel));
+    EXPECT_TRUE(isDiffusionClass(ModelClass::DiffusionLatent));
+    EXPECT_TRUE(isDiffusionClass(ModelClass::DiffusionTTV));
+    EXPECT_FALSE(isDiffusionClass(ModelClass::TransformerTTI));
+    EXPECT_TRUE(isVideoClass(ModelClass::DiffusionTTV));
+    EXPECT_TRUE(isVideoClass(ModelClass::TransformerTTV));
+    EXPECT_FALSE(isVideoClass(ModelClass::LLM));
+    EXPECT_EQ(modelClassName(ModelClass::DiffusionLatent),
+              "Diffusion (Latent)");
+}
+
+TEST(Trace, ClearAndAccumulate)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    GraphBuilder b(t);
+    b.linear(TensorDesc({1, 4}, DType::F16), 4, false);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.totalParams(), 16);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+}
+
+} // namespace
+} // namespace mmgen::graph

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for GPU specs and the roofline time model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu_spec.hh"
+#include "hw/roofline.hh"
+#include "util/logging.hh"
+
+namespace mmgen::hw {
+namespace {
+
+TEST(GpuSpec, A100Datasheet)
+{
+    const GpuSpec a100 = GpuSpec::a100_80gb();
+    EXPECT_EQ(a100.numSms, 108);
+    EXPECT_DOUBLE_EQ(a100.peakF16Flops, 312e12);
+    EXPECT_DOUBLE_EQ(a100.hbmBandwidth, 2.039e12);
+    EXPECT_EQ(a100.l2Bytes, 40LL * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(a100.peakFlops(DType::F16), 312e12);
+    EXPECT_DOUBLE_EQ(a100.peakFlops(DType::F32), 19.5e12);
+}
+
+TEST(GpuSpec, Int8DoublesTensorCoreRate)
+{
+    const GpuSpec a100 = GpuSpec::a100_80gb();
+    EXPECT_DOUBLE_EQ(a100.peakFlops(DType::I8), 624e12);
+    // V100 predates int8 tensor cores: no speedup over f16.
+    EXPECT_DOUBLE_EQ(GpuSpec::v100_32gb().peakFlops(DType::I8),
+                     GpuSpec::v100_32gb().peakFlops(DType::F16));
+    // Unset int8 rate falls back to the f16 rate.
+    GpuSpec custom = a100;
+    custom.peakI8Flops = 0.0;
+    EXPECT_DOUBLE_EQ(custom.peakFlops(DType::I8),
+                     custom.peakFlops(DType::F16));
+}
+
+TEST(GpuSpec, GenerationsOrdered)
+{
+    // Sanity across presets: newer parts are faster on every axis.
+    const GpuSpec v100 = GpuSpec::v100_32gb();
+    const GpuSpec a100 = GpuSpec::a100_80gb();
+    const GpuSpec h100 = GpuSpec::h100_80gb();
+    EXPECT_LT(v100.peakF16Flops, a100.peakF16Flops);
+    EXPECT_LT(a100.peakF16Flops, h100.peakF16Flops);
+    EXPECT_LT(v100.hbmBandwidth, a100.hbmBandwidth);
+    EXPECT_LT(a100.hbmBandwidth, h100.hbmBandwidth);
+}
+
+TEST(NodeSpec, EightGpusPerNode)
+{
+    const NodeSpec node = NodeSpec::a100Node();
+    EXPECT_EQ(node.gpusPerNode, 8);
+    EXPECT_DOUBLE_EQ(node.totalHbmBytes(), 8 * 80e9);
+}
+
+TEST(Roofline, RidgePointSeparatesRegimes)
+{
+    const Roofline r(GpuSpec::a100_80gb(), DType::F16);
+    const double ridge = r.ridgePoint();
+    EXPECT_NEAR(ridge, 312e12 / 2.039e12, 1e-9);
+    EXPECT_EQ(r.classify(ridge * 2.0), BoundKind::ComputeBound);
+    EXPECT_EQ(r.classify(ridge / 2.0), BoundKind::MemoryBound);
+}
+
+TEST(Roofline, AttainableIsMinOfCeilings)
+{
+    const Roofline r(GpuSpec::a100_80gb(), DType::F16);
+    EXPECT_DOUBLE_EQ(r.attainableFlops(1.0), 2.039e12);
+    EXPECT_DOUBLE_EQ(r.attainableFlops(1e6), 312e12);
+    EXPECT_THROW(r.attainableFlops(0.0), FatalError);
+}
+
+TEST(EstimateTime, ComputeBoundCase)
+{
+    const GpuSpec gpu = GpuSpec::a100_80gb();
+    TimeEstimateInputs in;
+    in.flops = 312e12; // one second at peak
+    in.hbmBytes = 1.0;
+    in.computeEfficiency = 1.0;
+    in.memoryEfficiency = 1.0;
+    in.launches = 0;
+    const TimeEstimate t = estimateTime(gpu, in);
+    EXPECT_NEAR(t.seconds, 1.0, 1e-9);
+    EXPECT_EQ(t.bound, BoundKind::ComputeBound);
+}
+
+TEST(EstimateTime, MemoryBoundCase)
+{
+    const GpuSpec gpu = GpuSpec::a100_80gb();
+    TimeEstimateInputs in;
+    in.flops = 1.0;
+    in.hbmBytes = gpu.hbmBandwidth; // one second at peak bandwidth
+    const TimeEstimate t = estimateTime(gpu, in);
+    EXPECT_NEAR(t.seconds, 1.0 + gpu.kernelLaunchOverhead, 1e-9);
+    EXPECT_EQ(t.bound, BoundKind::MemoryBound);
+}
+
+TEST(EstimateTime, EfficiencyDeratesAndOverheadAdds)
+{
+    const GpuSpec gpu = GpuSpec::a100_80gb();
+    TimeEstimateInputs in;
+    in.flops = 312e12;
+    in.computeEfficiency = 0.5;
+    in.launches = 2;
+    const TimeEstimate t = estimateTime(gpu, in);
+    EXPECT_NEAR(t.computeSeconds, 2.0, 1e-9);
+    EXPECT_NEAR(t.overheadSeconds, 2 * gpu.kernelLaunchOverhead, 1e-12);
+}
+
+TEST(EstimateTime, ValidatesInputs)
+{
+    const GpuSpec gpu = GpuSpec::a100_80gb();
+    TimeEstimateInputs in;
+    in.flops = -1.0;
+    EXPECT_THROW(estimateTime(gpu, in), FatalError);
+    in.flops = 1.0;
+    in.computeEfficiency = 0.0;
+    EXPECT_THROW(estimateTime(gpu, in), FatalError);
+    in.computeEfficiency = 1.5;
+    EXPECT_THROW(estimateTime(gpu, in), FatalError);
+}
+
+/** Property: time is monotone in work for any efficiency point. */
+class TimeMonotonicity
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{};
+
+TEST_P(TimeMonotonicity, MoreWorkNeverFaster)
+{
+    const GpuSpec gpu = GpuSpec::a100_80gb();
+    const auto [ce, me] = GetParam();
+    double prev = 0.0;
+    for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+        TimeEstimateInputs in;
+        in.flops = 1e12 * scale;
+        in.hbmBytes = 1e9 * scale;
+        in.computeEfficiency = ce;
+        in.memoryEfficiency = me;
+        const double t = estimateTime(gpu, in).seconds;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EfficiencyGrid, TimeMonotonicity,
+    ::testing::Values(std::make_pair(1.0, 1.0), std::make_pair(0.5, 1.0),
+                      std::make_pair(1.0, 0.5),
+                      std::make_pair(0.1, 0.9),
+                      std::make_pair(0.02, 0.02)));
+
+} // namespace
+} // namespace mmgen::hw

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Calibration regression tests: pin the simulated end-to-end latencies
+ * and parameter counts of the suite to bands around their current
+ * calibrated values, so an accidental change to a cost model, an
+ * efficiency constant, or a model configuration is caught immediately
+ * (the Table II reproduction depends on all of them together).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/suite.hh"
+
+namespace mmgen::core {
+namespace {
+
+using models::ModelId;
+
+struct Expected
+{
+    double flashSeconds;
+    double paramsB;
+};
+
+const std::map<ModelId, Expected>&
+expectations()
+{
+    // Values recorded at calibration time; bands are ±25% for latency
+    // (loose enough for legitimate refinements, tight enough to catch
+    // unit mistakes) and ±10% for parameters.
+    static const std::map<ModelId, Expected> e = {
+        {ModelId::LLaMA, {0.70, 6.74}},
+        {ModelId::Imagen, {5.53, 3.89}},
+        {ModelId::StableDiffusion, {0.89, 0.97}},
+        {ModelId::Muse, {0.97, 3.35}},
+        {ModelId::Parti, {30.1, 22.2}},
+        {ModelId::ProdImage, {1.20, 1.76}},
+        {ModelId::MakeAVideo, {10.9, 2.25}},
+        {ModelId::Phenaki, {2.14, 1.83}},
+    };
+    return e;
+}
+
+class CalibrationRegression : public ::testing::TestWithParam<ModelId>
+{};
+
+TEST_P(CalibrationRegression, LatencyAndParamsInBand)
+{
+    const ModelId id = GetParam();
+    const Expected& exp = expectations().at(id);
+    CharacterizationSuite suite;
+    const profiler::ProfileResult res = suite.profileOne(
+        models::buildModel(id), graph::AttentionBackend::Flash);
+    EXPECT_NEAR(res.totalSeconds, exp.flashSeconds,
+                0.25 * exp.flashSeconds)
+        << "simulated latency drifted";
+    EXPECT_NEAR(static_cast<double>(res.params) / 1e9, exp.paramsB,
+                0.10 * exp.paramsB)
+        << "parameter count drifted";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, CalibrationRegression,
+    ::testing::ValuesIn(models::allModels()),
+    [](const ::testing::TestParamInfo<ModelId>& info) {
+        return models::modelName(info.param);
+    });
+
+} // namespace
+} // namespace mmgen::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * End-to-end determinism and cross-hardware sanity: the simulator
+ * must be bit-reproducible, and its outputs must move the right way
+ * when the hardware changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/suite.hh"
+
+namespace mmgen::core {
+namespace {
+
+TEST(Determinism, RepeatedProfilesAreBitIdentical)
+{
+    CharacterizationSuite suite;
+    const graph::Pipeline p =
+        models::buildModel(models::ModelId::StableDiffusion);
+    const profiler::ProfileResult a =
+        suite.profileOne(p, graph::AttentionBackend::Flash);
+    const profiler::ProfileResult b =
+        suite.profileOne(p, graph::AttentionBackend::Flash);
+    EXPECT_EQ(a.totalSeconds, b.totalSeconds); // bitwise, not NEAR
+    EXPECT_EQ(a.totalFlops, b.totalFlops);
+    EXPECT_EQ(a.totalHbmBytes, b.totalHbmBytes);
+    EXPECT_EQ(a.seqLens.series(), b.seqLens.series());
+}
+
+TEST(Determinism, NewerGpusAreFasterForEverySuiteModel)
+{
+    CharacterizationSuite v100(hw::GpuSpec::v100_32gb());
+    CharacterizationSuite a100(hw::GpuSpec::a100_80gb());
+    CharacterizationSuite h100(hw::GpuSpec::h100_80gb());
+    for (models::ModelId id :
+         {models::ModelId::StableDiffusion, models::ModelId::Muse,
+          models::ModelId::LLaMA}) {
+        const graph::Pipeline p = models::buildModel(id);
+        const double v =
+            v100.profileOne(p, graph::AttentionBackend::Flash)
+                .totalSeconds;
+        const double a =
+            a100.profileOne(p, graph::AttentionBackend::Flash)
+                .totalSeconds;
+        const double h =
+            h100.profileOne(p, graph::AttentionBackend::Flash)
+                .totalSeconds;
+        EXPECT_GT(v, a) << models::modelName(id);
+        EXPECT_GT(a, h) << models::modelName(id);
+    }
+}
+
+TEST(Determinism, AutoBackendNeverSlowerEndToEnd)
+{
+    // FlashDecode's split heuristic may lose by a hair at borderline
+    // shapes; the Auto dispatch must never lose to any fixed backend.
+    CharacterizationSuite suite;
+    for (models::ModelId id :
+         {models::ModelId::LLaMA, models::ModelId::Parti,
+          models::ModelId::StableDiffusion}) {
+        const graph::Pipeline p = models::buildModel(id);
+        const double autod =
+            suite.profileOne(p, graph::AttentionBackend::Auto)
+                .totalSeconds;
+        for (graph::AttentionBackend fixed :
+             {graph::AttentionBackend::Baseline,
+              graph::AttentionBackend::Flash,
+              graph::AttentionBackend::FlashDecode}) {
+            const double t =
+                suite.profileOne(p, fixed).totalSeconds;
+            EXPECT_LE(autod, t * (1.0 + 1e-9))
+                << models::modelName(id) << " vs "
+                << graph::attentionBackendName(fixed);
+        }
+    }
+}
+
+TEST(Determinism, FasterHbmShrinksBaselineAttentionShare)
+{
+    // The baseline attention penalty is memory traffic: scaling HBM
+    // bandwidth up must shrink its share of total time.
+    hw::GpuSpec fat_hbm = hw::GpuSpec::a100_80gb();
+    fat_hbm.hbmBandwidth *= 4.0;
+    CharacterizationSuite base;
+    CharacterizationSuite fat(fat_hbm);
+    const graph::Pipeline p =
+        models::buildModel(models::ModelId::StableDiffusion);
+    const double share_base =
+        base.profileOne(p, graph::AttentionBackend::Baseline)
+            .breakdown.categoryFraction(graph::OpCategory::Attention);
+    const double share_fat =
+        fat.profileOne(p, graph::AttentionBackend::Baseline)
+            .breakdown.categoryFraction(graph::OpCategory::Attention);
+    EXPECT_LT(share_fat, share_base);
+}
+
+} // namespace
+} // namespace mmgen::core

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Integration tests: the paper's headline findings, asserted against
+ * the full simulated model suite (the acceptance criteria of
+ * DESIGN.md Section 4). These are shape checks — who wins, by roughly
+ * what factor — not absolute-number matches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/attention_study.hh"
+#include "core/suite.hh"
+#include "models/make_a_video.hh"
+#include "models/model_suite.hh"
+
+namespace mmgen::core {
+namespace {
+
+using models::ModelId;
+
+/** Full-suite results computed once and shared across tests. */
+const std::map<ModelId, ModelRunResult>&
+suiteResults()
+{
+    static const std::map<ModelId, ModelRunResult> results = [] {
+        CharacterizationSuite suite;
+        std::map<ModelId, ModelRunResult> m;
+        for (ModelId id : models::allModels())
+            m.emplace(id, suite.run(id));
+        return m;
+    }();
+    return results;
+}
+
+double
+speedup(ModelId id)
+{
+    return suiteResults().at(id).endToEndSpeedup();
+}
+
+// ------------------------------------------------ Table II ----------
+
+TEST(PaperTable2, EndToEndSpeedupsInBand)
+{
+    // Paper values: LLaMA 1.52, Imagen 1.22, SD 1.67, Muse 1.11,
+    // Parti 1.17, Prod 1.04, MAV 1.06, Phenaki 1.15. Acceptance:
+    // within ~0.2x absolute.
+    EXPECT_NEAR(speedup(ModelId::LLaMA), 1.52, 0.20);
+    EXPECT_NEAR(speedup(ModelId::StableDiffusion), 1.67, 0.20);
+    EXPECT_NEAR(speedup(ModelId::Muse), 1.11, 0.15);
+    EXPECT_NEAR(speedup(ModelId::Parti), 1.17, 0.15);
+    EXPECT_NEAR(speedup(ModelId::ProdImage), 1.04, 0.10);
+    EXPECT_NEAR(speedup(ModelId::MakeAVideo), 1.06, 0.10);
+    EXPECT_NEAR(speedup(ModelId::Phenaki), 1.15, 0.12);
+    // Imagen is the known under-estimate (see EXPERIMENTS.md): the
+    // reference implementation's baseline attention is less efficient
+    // than our model of it. Assert the qualitative band only.
+    EXPECT_GT(speedup(ModelId::Imagen), 1.0);
+    EXPECT_LT(speedup(ModelId::Imagen), 1.35);
+}
+
+TEST(PaperTable2, OrderingShape)
+{
+    // SD gets the largest win; the production latent model and the
+    // diffusion TTV model the smallest; LLaMA sits high (prefill).
+    EXPECT_GT(speedup(ModelId::StableDiffusion),
+              speedup(ModelId::LLaMA));
+    EXPECT_GT(speedup(ModelId::LLaMA), speedup(ModelId::Muse));
+    EXPECT_GT(speedup(ModelId::Muse), 1.0);
+    EXPECT_LT(speedup(ModelId::ProdImage), 1.10);
+    EXPECT_LT(speedup(ModelId::MakeAVideo), 1.10);
+}
+
+// ------------------------------------------------ Fig. 6 ------------
+
+TEST(PaperFig6, ConvolutionDominatesDiffusionAfterFlash)
+{
+    for (ModelId id : {ModelId::StableDiffusion, ModelId::Imagen,
+                       ModelId::ProdImage, ModelId::MakeAVideo}) {
+        const auto& flash = suiteResults().at(id).flash.breakdown;
+        const double conv =
+            flash.categoryFraction(graph::OpCategory::Convolution);
+        const double attn =
+            flash.categoryFraction(graph::OpCategory::Attention);
+        EXPECT_GT(conv, attn) << models::modelName(id);
+        // Conv is the largest single block (paper: up to ~44-50%).
+        for (graph::OpCategory c : graph::allCategories()) {
+            EXPECT_GE(conv + 1e-12, flash.categoryFraction(c))
+                << models::modelName(id);
+        }
+    }
+}
+
+TEST(PaperFig6, AttentionShareAfterFlashSplitsByFamily)
+{
+    // Diffusion: attention drops to a small share after Flash.
+    for (ModelId id : {ModelId::StableDiffusion, ModelId::Imagen,
+                       ModelId::ProdImage}) {
+        EXPECT_LT(suiteResults().at(id).flashAttentionFraction(), 0.25)
+            << models::modelName(id);
+    }
+    // LLaMA keeps a sizeable attention share even after Flash.
+    EXPECT_GT(suiteResults().at(ModelId::LLaMA).flashAttentionFraction(),
+              0.08);
+}
+
+TEST(PaperFig6, LinearDominatesTransformerTtiModels)
+{
+    for (ModelId id : {ModelId::Muse, ModelId::Parti}) {
+        const auto& base = suiteResults().at(id).baseline.breakdown;
+        const double linear =
+            base.categoryFraction(graph::OpCategory::Linear);
+        EXPECT_GT(linear, 0.35) << models::modelName(id);
+        EXPECT_DOUBLE_EQ(
+            base.categoryFraction(graph::OpCategory::Convolution) >
+                linear,
+            false);
+    }
+}
+
+TEST(PaperFig6, PixelDiffusionMoreConvThanLatent)
+{
+    const double pixel =
+        suiteResults().at(ModelId::Imagen).baseline.breakdown
+            .categoryFraction(graph::OpCategory::Convolution);
+    const double latent =
+        suiteResults().at(ModelId::StableDiffusion).baseline.breakdown
+            .categoryFraction(graph::OpCategory::Convolution);
+    EXPECT_GT(pixel, latent);
+}
+
+// ------------------------------------------------ Sec. IV-B ---------
+
+TEST(PaperSec4B, DiffusionAttentionSpeedupExceedsTransformerTti)
+{
+    // Paper: attention-module speedup is 1.1-2.5x greater for
+    // diffusion than for transformer TTI models.
+    const double sd = suiteResults()
+                          .at(ModelId::StableDiffusion)
+                          .attentionModuleSpeedup();
+    for (ModelId id : {ModelId::Muse, ModelId::Parti}) {
+        const double tti =
+            suiteResults().at(id).attentionModuleSpeedup();
+        EXPECT_GT(sd / tti, 1.1) << models::modelName(id);
+        EXPECT_LT(sd / tti, 4.0) << models::modelName(id);
+    }
+}
+
+// ------------------------------------------------ Fig. 7 ------------
+
+TEST(PaperFig7, SequenceLengthShapes)
+{
+    // Diffusion: cyclic multi-valued lengths spanning >= 4x.
+    const auto& sd = suiteResults().at(ModelId::StableDiffusion).flash;
+    EXPECT_GE(sd.seqLens.maxSeqLen(), 4 * 256);
+    EXPECT_EQ(sd.seqLens.maxSeqLen(), 4096);
+
+    // Muse: a single constant generation length per stage.
+    const auto& muse = suiteResults().at(ModelId::Muse).flash;
+    EXPECT_LE(muse.seqLens.histogram().distinctValues(), 3u);
+
+    // Parti: linear ramp up to the full token count.
+    const auto& parti = suiteResults().at(ModelId::Parti).flash;
+    EXPECT_EQ(parti.seqLens.maxSeqLen(), 1024);
+    const auto& series = parti.seqLens.series();
+    EXPECT_FALSE(series.empty());
+}
+
+// ------------------------------------------------ Fig. 5 ------------
+
+TEST(PaperFig5, DiffusionComputeBoundTransformerMemoryBound)
+{
+    const hw::Roofline roofline(hw::GpuSpec::a100_80gb(), DType::F16);
+    const double llm_ai = suiteResults()
+                              .at(ModelId::LLaMA)
+                              .flash.modelArithmeticIntensity();
+    EXPECT_EQ(roofline.classify(llm_ai), hw::BoundKind::MemoryBound);
+    EXPECT_EQ(roofline.classify(
+                  suiteResults()
+                      .at(ModelId::Parti)
+                      .flash.modelArithmeticIntensity()),
+              hw::BoundKind::MemoryBound);
+
+    double max_diffusion_ai = 0.0;
+    for (ModelId id : {ModelId::StableDiffusion, ModelId::Imagen,
+                       ModelId::ProdImage, ModelId::MakeAVideo}) {
+        const double ai = suiteResults()
+                              .at(id)
+                              .flash.modelArithmeticIntensity();
+        EXPECT_EQ(roofline.classify(ai), hw::BoundKind::ComputeBound)
+            << models::modelName(id);
+        max_diffusion_ai = std::max(max_diffusion_ai, ai);
+    }
+    // Paper: up to ~100x higher arithmetic intensity than the LLM.
+    EXPECT_GT(max_diffusion_ai / llm_ai, 50.0);
+    EXPECT_LT(max_diffusion_ai / llm_ai, 400.0);
+}
+
+// ------------------------------------------------ Fig. 11 -----------
+
+TEST(PaperFig11, TemporalSlowerDespiteFewerFlops)
+{
+    const auto& mav = suiteResults().at(ModelId::MakeAVideo).baseline;
+    const auto spatial =
+        mav.attention.entryFor(graph::AttentionKind::SelfSpatial);
+    const auto temporal =
+        mav.attention.entryFor(graph::AttentionKind::Temporal);
+    ASSERT_GT(spatial.calls, 0);
+    ASSERT_GT(temporal.calls, 0);
+    // ~2x the execution time at ~9x fewer FLOPs.
+    EXPECT_NEAR(temporal.seconds / spatial.seconds, 2.0, 0.8);
+    EXPECT_NEAR(spatial.flops / temporal.flops, 9.0, 3.5);
+    // Temporal attention is the majority of self-attention time.
+    EXPECT_GT(temporal.seconds / (temporal.seconds + spatial.seconds),
+              0.6);
+}
+
+// ------------------------------------------------ Fig. 12 -----------
+
+TEST(PaperFig12, TemporalAttentionCollapsesL1Locality)
+{
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    graph::AttentionAttrs spatial;
+    spatial.kind = graph::AttentionKind::SelfSpatial;
+    spatial.batch = 16;
+    spatial.heads = 8;
+    spatial.seqQ = spatial.seqKv = 256;
+    spatial.headDim = 160;
+    spatial.seqStrideElems = 1280;
+
+    graph::AttentionAttrs temporal;
+    temporal.kind = graph::AttentionKind::Temporal;
+    temporal.batch = 256;
+    temporal.heads = 8;
+    temporal.seqQ = temporal.seqKv = 16;
+    temporal.headDim = 160;
+    temporal.seqStrideElems = 256;
+    temporal.featureStrideElems = 16 * 256;
+
+    using kernels::KernelClass;
+    const auto sp =
+        cache::runAttentionCacheStudy(gpu, spatial, DType::F16);
+    const auto tp =
+        cache::runAttentionCacheStudy(gpu, temporal, DType::F16);
+
+    // L1: gemm and softmax at least ~10x lower under temporal.
+    EXPECT_GT(sp.l1HitRate(KernelClass::Gemm),
+              10.0 * tp.l1HitRate(KernelClass::Gemm));
+    EXPECT_GT(sp.l1HitRate(KernelClass::Softmax),
+              10.0 * tp.l1HitRate(KernelClass::Softmax));
+    // L2: softmax and elementwise stay the same or higher.
+    EXPECT_GE(tp.l2HitRate(KernelClass::Softmax) + 0.02,
+              sp.l2HitRate(KernelClass::Softmax));
+    EXPECT_GE(tp.l2HitRate(KernelClass::Elementwise) + 0.02,
+              sp.l2HitRate(KernelClass::Elementwise));
+}
+
+// ------------------------------------------------ Fig. 9 ------------
+
+TEST(PaperFig9, ConvIsLimitingAfterFlashAtLargeImages)
+{
+    // At 512x512, flash-attention SD spends more time in convolution
+    // than attention, while baseline attention rivals or exceeds conv.
+    const auto& sd = suiteResults().at(ModelId::StableDiffusion);
+    const double conv_flash = sd.flash.breakdown.categorySeconds(
+        graph::OpCategory::Convolution);
+    const double attn_flash = sd.flash.attentionSeconds();
+    EXPECT_GT(conv_flash, 2.0 * attn_flash);
+    const double attn_base = sd.baseline.attentionSeconds();
+    EXPECT_GT(attn_base, 0.8 * conv_flash);
+}
+
+} // namespace
+} // namespace mmgen::core

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the attention kernel lowering — the mechanism behind the
+ * paper's Flash-vs-baseline findings (Sections IV-A/IV-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/attention.hh"
+#include "kernels/cost_model.hh"
+
+namespace mmgen::kernels {
+namespace {
+
+const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+const EfficiencyParams& P = EfficiencyParams::defaults();
+
+graph::AttentionAttrs
+attrs(std::int64_t b, std::int64_t h, std::int64_t sq, std::int64_t skv,
+      std::int64_t d)
+{
+    graph::AttentionAttrs a;
+    a.batch = b;
+    a.heads = h;
+    a.seqQ = sq;
+    a.seqKv = skv;
+    a.headDim = d;
+    a.seqStrideElems = h * d;
+    return a;
+}
+
+TEST(AttentionFlops, MatchesClosedForm)
+{
+    const auto a = attrs(2, 8, 1024, 1024, 64);
+    EXPECT_DOUBLE_EQ(attentionMatmulFlops(a),
+                     4.0 * 2 * 8 * 1024.0 * 1024.0 * 64);
+    EXPECT_DOUBLE_EQ(attentionSoftmaxFlops(a),
+                     5.0 * 2 * 8 * 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(similarityMatrixBytes(a, 2),
+                     2.0 * 2 * 8 * 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(qkvoBytes(a, 2),
+                     (1024.0 + 2 * 1024.0 + 1024.0) * 64 * 2 * 8 * 2);
+}
+
+TEST(LowerAttention, FlashIsOneFusedKernel)
+{
+    const OpCost cost =
+        lowerAttention(gpu, P, attrs(1, 8, 4096, 4096, 64), DType::F16,
+                       graph::AttentionBackend::Flash);
+    ASSERT_EQ(cost.parts.size(), 1u);
+    EXPECT_EQ(cost.parts[0].launches, 1);
+    EXPECT_EQ(cost.parts[0].klass, KernelClass::Gemm);
+    // Flash traffic is exactly Q+K+V+O: no N^2 term.
+    EXPECT_DOUBLE_EQ(cost.totalBytes(),
+                     qkvoBytes(attrs(1, 8, 4096, 4096, 64), 2));
+}
+
+TEST(LowerAttention, BaselineMaterializesSimilarity)
+{
+    const auto a = attrs(1, 8, 4096, 4096, 64);
+    const OpCost cost = lowerAttention(
+        gpu, P, a, DType::F16, graph::AttentionBackend::Baseline);
+    // QK gemm, scale, softmax, AV gemm (no mask: non-causal).
+    ASSERT_EQ(cost.parts.size(), 4u);
+    EXPECT_GE(cost.totalLaunches(), 4);
+    // Baseline HBM traffic carries several passes over the (upcast)
+    // similarity matrix.
+    const double s = similarityMatrixBytes(a, 2) *
+                     P.baselineSimilarityUpcast;
+    EXPECT_GT(cost.totalBytes(), 5.0 * s);
+}
+
+TEST(LowerAttention, CausalAddsMaskKernelToBaselineOnly)
+{
+    auto a = attrs(1, 8, 1024, 1024, 64);
+    a.causal = true;
+    const OpCost base = lowerAttention(
+        gpu, P, a, DType::F16, graph::AttentionBackend::Baseline);
+    EXPECT_EQ(base.parts.size(), 5u); // + mask kernel
+
+    // Flash skips masked tiles: causal flash does fewer FLOPs; eager
+    // baseline computes the full matrix regardless.
+    const OpCost flash = lowerAttention(gpu, P, a, DType::F16,
+                                        graph::AttentionBackend::Flash);
+    a.causal = false;
+    const OpCost flash_full = lowerAttention(
+        gpu, P, a, DType::F16, graph::AttentionBackend::Flash);
+    EXPECT_LT(flash.totalFlops(), 0.7 * flash_full.totalFlops());
+}
+
+TEST(LowerAttention, StridedViewInflatesReadsNotWrites)
+{
+    auto contiguous = attrs(256, 8, 16, 16, 64);
+    auto strided = contiguous;
+    strided.featureStrideElems = 4096;
+    const OpCost c = lowerAttention(gpu, P, contiguous, DType::F16,
+                                    graph::AttentionBackend::Flash);
+    const OpCost s = lowerAttention(gpu, P, strided, DType::F16,
+                                    graph::AttentionBackend::Flash);
+    EXPECT_GT(s.totalBytes(), 8.0 * c.totalBytes());
+    // Writes are not inflated, so the factor stays below the full
+    // sector/element ratio.
+    EXPECT_LT(s.totalBytes(), 16.0 * c.totalBytes());
+    // FLOPs are unaffected by layout.
+    EXPECT_DOUBLE_EQ(s.totalFlops(), c.totalFlops());
+}
+
+/**
+ * The prefill/decode asymmetry (paper Table III, Section IV-B): the
+ * baseline-over-flash byte ratio — the headroom Flash can reclaim —
+ * is far larger for block queries than for single-token queries.
+ */
+TEST(LowerAttention, PrefillGainsExceedDecodeGains)
+{
+    const auto prefill = attrs(1, 32, 2048, 2048, 128);
+    const auto decode = attrs(1, 32, 1, 2048, 128);
+
+    auto ratio = [&](const graph::AttentionAttrs& a) {
+        const OpCost base = lowerAttention(
+            gpu, P, a, DType::F16, graph::AttentionBackend::Baseline);
+        const OpCost flash = lowerAttention(
+            gpu, P, a, DType::F16, graph::AttentionBackend::Flash);
+        return base.totalBytes() / flash.totalBytes();
+    };
+    EXPECT_GT(ratio(prefill), 10.0 * ratio(decode));
+}
+
+TEST(FlashDecode, SplitsKvForDecodeShapes)
+{
+    // Single-token decode: few CTAs, long KV => split.
+    const auto decode = attrs(1, 32, 1, 4096, 128);
+    const OpCost fd = lowerAttention(
+        gpu, P, decode, DType::F16,
+        graph::AttentionBackend::FlashDecode);
+    ASSERT_EQ(fd.parts.size(), 1u);
+    EXPECT_EQ(fd.parts[0].label, "flash_split_kv");
+    EXPECT_EQ(fd.parts[0].launches, 2); // + reduction pass
+
+    const OpCost plain = lowerAttention(
+        gpu, P, decode, DType::F16, graph::AttentionBackend::Flash);
+    const CostModel m(gpu, graph::AttentionBackend::FlashDecode);
+    const CostModel mf(gpu, graph::AttentionBackend::Flash);
+    graph::Op op;
+    op.kind = graph::OpKind::Attention;
+    op.attrs = decode;
+    // Splitting buys back the occupancy the decode shape lacks.
+    EXPECT_LT(m.time(op).seconds, 0.6 * mf.time(op).seconds);
+    // At a small extra-traffic cost for the partial results.
+    EXPECT_GT(fd.totalBytes(), plain.totalBytes());
+    EXPECT_LT(fd.totalBytes(), 1.2 * plain.totalBytes());
+}
+
+TEST(AutoBackend, PicksTheShapeAppropriateKernel)
+{
+    // Decode shape: split-KV wins.
+    EXPECT_EQ(selectAttentionBackend(gpu, P, attrs(1, 32, 1, 4096, 128),
+                                     DType::F16),
+              graph::AttentionBackend::FlashDecode);
+    // Prefill shape: plain Flash (FlashDecode degenerates to it, so
+    // either is acceptable; it must not be Baseline).
+    EXPECT_NE(selectAttentionBackend(
+                  gpu, P, attrs(8, 32, 4096, 4096, 128), DType::F16),
+              graph::AttentionBackend::Baseline);
+}
+
+TEST(AutoBackend, NeverSlowerThanAnyFixedBackend)
+{
+    const CostModel autod(gpu, graph::AttentionBackend::Auto);
+    for (const auto& a :
+         {attrs(1, 32, 1, 4096, 128), attrs(1, 8, 4096, 4096, 64),
+          attrs(256, 8, 16, 16, 64), attrs(1, 8, 256, 77, 40)}) {
+        graph::Op op;
+        op.kind = graph::OpKind::Attention;
+        op.attrs = a;
+        const double auto_s = autod.time(op).seconds;
+        for (graph::AttentionBackend fixed :
+             {graph::AttentionBackend::Baseline,
+              graph::AttentionBackend::Flash,
+              graph::AttentionBackend::FlashDecode}) {
+            const CostModel m(gpu, fixed);
+            EXPECT_LE(auto_s, m.time(op).seconds * (1.0 + 1e-9))
+                << graph::attentionBackendName(fixed);
+        }
+    }
+}
+
+TEST(FlashDecode, DegeneratesToFlashWhenGpuIsFull)
+{
+    // Prefill shapes already fill the device: no split, no overhead.
+    const auto prefill = attrs(8, 32, 4096, 4096, 128);
+    const OpCost fd = lowerAttention(
+        gpu, P, prefill, DType::F16,
+        graph::AttentionBackend::FlashDecode);
+    const OpCost fl = lowerAttention(
+        gpu, P, prefill, DType::F16, graph::AttentionBackend::Flash);
+    EXPECT_EQ(fd.parts[0].label, "flash_fused");
+    EXPECT_EQ(fd.parts[0].launches, 1);
+    EXPECT_DOUBLE_EQ(fd.totalBytes(), fl.totalBytes());
+}
+
+/** Property: flash never moves more HBM bytes than baseline. */
+class FlashNeverWorse
+    : public ::testing::TestWithParam<
+          std::tuple<std::int64_t, std::int64_t, std::int64_t>>
+{};
+
+TEST_P(FlashNeverWorse, BytesAndLaunches)
+{
+    const auto [sq, skv, d] = GetParam();
+    const auto a = attrs(4, 8, sq, skv, d);
+    const OpCost base = lowerAttention(
+        gpu, P, a, DType::F16, graph::AttentionBackend::Baseline);
+    const OpCost flash = lowerAttention(gpu, P, a, DType::F16,
+                                        graph::AttentionBackend::Flash);
+    EXPECT_LE(flash.totalBytes(), base.totalBytes());
+    EXPECT_LT(flash.totalLaunches(), base.totalLaunches());
+    // Both backends perform the same matmul work (non-causal); the
+    // baseline adds only the small scale-kernel FLOPs.
+    EXPECT_NEAR(flash.totalFlops(), base.totalFlops(),
+                0.05 * base.totalFlops());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, FlashNeverWorse,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 16, 256, 4096),
+                       ::testing::Values<std::int64_t>(16, 256, 4096),
+                       ::testing::Values<std::int64_t>(8, 64, 128)));
+
+} // namespace
+} // namespace mmgen::kernels

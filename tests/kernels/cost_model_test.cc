@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the op-level cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hh"
+#include "kernels/cost_model.hh"
+
+namespace mmgen::kernels {
+namespace {
+
+using graph::AttentionBackend;
+using graph::GraphBuilder;
+using graph::Op;
+using graph::OpKind;
+using graph::Trace;
+
+CostModel
+model(AttentionBackend backend = AttentionBackend::Flash)
+{
+    return CostModel(hw::GpuSpec::a100_80gb(), backend);
+}
+
+/** Build a single op through the builder for realistic attrs. */
+template <typename Fn>
+Op
+buildOne(Fn&& fn)
+{
+    Trace t;
+    GraphBuilder b(t);
+    fn(b);
+    EXPECT_EQ(t.size(), 1u);
+    return t.ops()[0];
+}
+
+TEST(CostModel, ConvFlopsMatchImplicitGemm)
+{
+    const Op op = buildOne([](GraphBuilder& b) {
+        b.conv2d(TensorDesc({1, 320, 64, 64}, DType::F16), 320, 3, 1);
+    });
+    const OpCost c = model().cost(op);
+    // 2 * (N*OH*OW) * outC * (inC * 9)
+    EXPECT_DOUBLE_EQ(c.totalFlops(),
+                     2.0 * 64 * 64 * 320 * (320.0 * 9));
+    EXPECT_EQ(c.parts[0].klass, KernelClass::Conv);
+}
+
+TEST(CostModel, ConvStrideShrinksOutputWork)
+{
+    const Op s1 = buildOne([](GraphBuilder& b) {
+        b.conv2d(TensorDesc({1, 64, 64, 64}, DType::F16), 64, 3, 1);
+    });
+    const Op s2 = buildOne([](GraphBuilder& b) {
+        b.conv2d(TensorDesc({1, 64, 64, 64}, DType::F16), 64, 3, 2);
+    });
+    EXPECT_DOUBLE_EQ(model().cost(s2).totalFlops() * 4.0,
+                     model().cost(s1).totalFlops());
+}
+
+TEST(CostModel, LinearIsWeightBoundAtRowOne)
+{
+    const Op op = buildOne([](GraphBuilder& b) {
+        b.linear(TensorDesc({1, 1, 4096}, DType::F16), 32000, false);
+    });
+    const OpCost c = model().cost(op);
+    // Weight matrix dominates traffic in the decode regime.
+    EXPECT_GT(c.totalBytes(), 4096.0 * 32000 * 2);
+    EXPECT_LT(c.totalBytes(), 1.01 * (4096.0 * 32000 * 2 +
+                                      2.0 * (4096 + 32000)));
+    const OpTime t = model().time(op);
+    EXPECT_GT(t.memorySeconds, t.computeSeconds);
+}
+
+TEST(CostModel, AttentionBackendSwitchesLowering)
+{
+    const Op op = buildOne([](GraphBuilder& b) {
+        b.attention(graph::AttentionKind::SelfSpatial, 1, 8, 4096, 4096,
+                    64);
+    });
+    EXPECT_EQ(model(AttentionBackend::Flash).cost(op).parts.size(), 1u);
+    EXPECT_EQ(model(AttentionBackend::Baseline).cost(op).parts.size(),
+              4u);
+    EXPECT_LT(model(AttentionBackend::Flash).time(op).seconds,
+              model(AttentionBackend::Baseline).time(op).seconds);
+}
+
+TEST(CostModel, RepeatScalesTimeLinearly)
+{
+    Op op = buildOne([](GraphBuilder& b) {
+        b.conv2d(TensorDesc({1, 64, 32, 32}, DType::F16), 64);
+    });
+    const double once = model().time(op).seconds;
+    op.repeat = 50;
+    EXPECT_NEAR(model().time(op).seconds, 50.0 * once, 1e-12);
+}
+
+TEST(CostModel, NormSoftmaxElementwiseAreMemoryBound)
+{
+    for (auto make : {
+             +[](GraphBuilder& b) {
+                 b.groupNorm(TensorDesc({1, 320, 64, 64}, DType::F16));
+             },
+             +[](GraphBuilder& b) {
+                 b.softmax(TensorDesc({8, 4096, 4096}, DType::F16));
+             },
+             +[](GraphBuilder& b) {
+                 b.silu(TensorDesc({1, 320, 64, 64}, DType::F16));
+             },
+         }) {
+        const Op op = buildOne(make);
+        const OpTime t = model().time(op);
+        EXPECT_GT(t.memorySeconds, t.computeSeconds)
+            << graph::opKindName(op.kind);
+    }
+}
+
+TEST(CostModel, EverythingProducesPositiveCost)
+{
+    Trace t;
+    GraphBuilder b(t);
+    const TensorDesc x({1, 64, 32, 32}, DType::F16);
+    b.conv2d(x, 64);
+    b.conv3d(TensorDesc({1, 8, 4, 16, 16}, DType::F16), 8, 3, 1);
+    b.linear(TensorDesc({1, 77, 768}, DType::F16), 768);
+    b.matmul(4, 64, 64, 64);
+    b.attention(graph::AttentionKind::CrossText, 1, 8, 4096, 77, 40);
+    b.groupNorm(x);
+    b.layerNorm(TensorDesc({1, 77, 768}, DType::F16));
+    b.softmax(TensorDesc({8, 64, 64}, DType::F16));
+    b.silu(x);
+    b.binary(x, "add");
+    b.embedding(77, 768, 49408);
+    b.upsample2x(x);
+    b.downsample2x(x);
+    b.copy(x);
+    const CostModel m = model();
+    for (const auto& op : t.ops()) {
+        const OpCost c = m.cost(op);
+        EXPECT_GT(c.totalBytes(), 0.0) << graph::opKindName(op.kind);
+        EXPECT_GE(c.totalFlops(), 0.0);
+        EXPECT_GE(c.totalLaunches(), 1);
+        EXPECT_GT(m.time(op).seconds, 0.0);
+    }
+}
+
+TEST(OpWorkingSet, AttentionIncludesSimilarityOnlyInBaseline)
+{
+    const Op op = buildOne([](GraphBuilder& b) {
+        b.attention(graph::AttentionKind::SelfSpatial, 1, 8, 4096, 4096,
+                    64);
+    });
+    const double base =
+        opWorkingSetBytes(op, AttentionBackend::Baseline);
+    const double flash = opWorkingSetBytes(op, AttentionBackend::Flash);
+    EXPECT_GT(base, flash);
+    EXPECT_NEAR(base - flash, 8.0 * 4096.0 * 4096.0 * 2, 1.0);
+}
+
+TEST(OpWorkingSet, PositiveForAllKinds)
+{
+    Trace t;
+    GraphBuilder b(t);
+    const TensorDesc x({1, 8, 16, 16}, DType::F16);
+    b.conv2d(x, 8);
+    b.linear(TensorDesc({4, 8}, DType::F16), 8);
+    b.matmul(1, 8, 8, 8);
+    b.groupNorm(x);
+    b.softmax(TensorDesc({4, 8}, DType::F16));
+    b.silu(x);
+    b.embedding(4, 8, 100);
+    b.upsample2x(x);
+    b.copy(x);
+    for (const auto& op : t.ops())
+        EXPECT_GT(opWorkingSetBytes(op), 0.0)
+            << graph::opKindName(op.kind);
+}
+
+} // namespace
+} // namespace mmgen::kernels

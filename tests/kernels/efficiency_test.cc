@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property tests for the attained-efficiency models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/efficiency.hh"
+#include "util/logging.hh"
+
+namespace mmgen::kernels {
+namespace {
+
+const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+const EfficiencyParams& P = EfficiencyParams::defaults();
+
+TEST(GemmComputeEff, LargeSquareNearPeakFraction)
+{
+    const double eff = gemmComputeEff(gpu, P, 1, 8192, 8192, 8192);
+    EXPECT_GT(eff, 0.6 * P.gemmPeakFraction);
+    EXPECT_LE(eff, P.gemmPeakFraction);
+}
+
+TEST(GemmComputeEff, GemvIsInefficient)
+{
+    // Decode-phase projections: one row against a big weight matrix.
+    const double gemv = gemmComputeEff(gpu, P, 1, 1, 4096, 4096);
+    const double gemm = gemmComputeEff(gpu, P, 1, 4096, 4096, 4096);
+    EXPECT_LT(gemv, 0.15 * gemm);
+}
+
+TEST(GemmComputeEff, ShortKReducesEfficiency)
+{
+    const double shallow = gemmComputeEff(gpu, P, 64, 128, 128, 8);
+    const double deep = gemmComputeEff(gpu, P, 64, 128, 128, 512);
+    EXPECT_LT(shallow, deep);
+}
+
+TEST(GemmComputeEff, FlooredAndBounded)
+{
+    const double eff = gemmComputeEff(gpu, P, 1, 1, 1, 1);
+    EXPECT_GE(eff, P.efficiencyFloor);
+    EXPECT_LE(eff, 1.0);
+    EXPECT_THROW(gemmComputeEff(gpu, P, 0, 1, 1, 1), FatalError);
+}
+
+TEST(GemmMemEff, TinyMatricesAmortizePoorly)
+{
+    // The temporal-attention effect: tiny per-batch matrices attain a
+    // fraction of streaming bandwidth.
+    const double tiny = gemmMemEff(P, 4096, 16, 16, 64, 2);
+    const double large = gemmMemEff(P, 16, 1024, 1024, 64, 2);
+    EXPECT_LT(tiny, 0.75 * large);
+    EXPECT_GE(tiny, P.efficiencyFloor);
+}
+
+TEST(FlashComputeEff, GrowsWithHeadDim)
+{
+    const double d40 = flashComputeEff(P, 40, 4096);
+    const double d64 = flashComputeEff(P, 64, 4096);
+    const double d128 = flashComputeEff(P, 128, 4096);
+    EXPECT_LT(d40, d64);
+    EXPECT_LT(d64, d128);
+    EXPECT_LE(d128, P.flashPeakFraction);
+}
+
+TEST(FlashComputeEff, ShortSequencesUnderfill)
+{
+    EXPECT_LT(flashComputeEff(P, 128, 16),
+              0.5 * flashComputeEff(P, 128, 4096));
+}
+
+TEST(AttentionMemEff, FootprintModelOrdersPrefillAboveDecode)
+{
+    const double prefill = attentionMemEff(P, 4096, 4096, 128, 2);
+    const double decode = attentionMemEff(P, 1, 4096, 128, 2);
+    const double temporal = attentionMemEff(P, 16, 16, 64, 2);
+    EXPECT_GT(prefill, temporal);
+    EXPECT_GT(decode, temporal); // decode still reads a long KV
+}
+
+TEST(StreamMemEff, RampsWithBytes)
+{
+    EXPECT_LT(streamMemEff(P, 1024), streamMemEff(P, 1 << 20));
+    EXPECT_LE(streamMemEff(P, 1LL << 32), P.streamMemFraction);
+    EXPECT_THROW(streamMemEff(P, -1), FatalError);
+}
+
+/** Property: GEMM efficiency is monotone non-decreasing in M. */
+class GemmMonotoneInM : public ::testing::TestWithParam<std::int64_t>
+{};
+
+TEST_P(GemmMonotoneInM, AcrossMSweep)
+{
+    const std::int64_t k = GetParam();
+    double prev = 0.0;
+    for (std::int64_t m : {16, 64, 256, 1024, 4096, 16384}) {
+        const double eff = gemmComputeEff(gpu, P, 1, m, 4096, k);
+        EXPECT_GE(eff, prev - 1e-12)
+            << "m=" << m << " k=" << k;
+        prev = eff;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, GemmMonotoneInM,
+                         ::testing::Values(16, 64, 320, 4096));
+
+/** Property: every efficiency stays in [floor, 1]. */
+class EfficiencyBounds
+    : public ::testing::TestWithParam<std::tuple<std::int64_t,
+                                                 std::int64_t,
+                                                 std::int64_t>>
+{};
+
+TEST_P(EfficiencyBounds, AllModelsBounded)
+{
+    const auto [m, n, k] = GetParam();
+    for (double e :
+         {gemmComputeEff(gpu, P, 8, m, n, k),
+          gemmMemEff(P, 8, m, n, k, 2), convComputeEff(gpu, P, m, n, k),
+          flashComputeEff(P, k, m), attentionMemEff(P, m, n, k, 2)}) {
+        EXPECT_GE(e, P.efficiencyFloor);
+        EXPECT_LE(e, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, EfficiencyBounds,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 16, 4096),
+                       ::testing::Values<std::int64_t>(8, 320, 8192),
+                       ::testing::Values<std::int64_t>(8, 64, 512)));
+
+} // namespace
+} // namespace mmgen::kernels

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tests for the attention occupancy model and its Flash-Decoding
+ * consequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/efficiency.hh"
+#include "util/logging.hh"
+
+namespace mmgen::kernels {
+namespace {
+
+const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+const EfficiencyParams& P = EfficiencyParams::defaults();
+
+TEST(AttentionOccupancy, MonotoneInCtas)
+{
+    double prev = 0.0;
+    for (std::int64_t ctas : {1, 8, 32, 108, 216, 1024, 65536}) {
+        const double occ = attentionOccupancy(gpu, P, ctas);
+        EXPECT_GT(occ, prev);
+        EXPECT_LE(occ, 1.0);
+        prev = occ;
+    }
+}
+
+TEST(AttentionOccupancy, HalfFillAtHalfTheSms)
+{
+    // By construction: ctas == numSms/2 gives 0.5.
+    EXPECT_NEAR(attentionOccupancy(gpu, P, gpu.numSms / 2), 0.5, 1e-9);
+}
+
+TEST(AttentionOccupancy, DecodeShapesAreStarved)
+{
+    // One query x 32 heads: far below device fill.
+    EXPECT_LT(attentionOccupancy(gpu, P, 32), 0.45);
+    // A prefill grid saturates.
+    EXPECT_GT(attentionOccupancy(gpu, P, 1024), 0.9);
+}
+
+TEST(AttentionOccupancy, Validation)
+{
+    EXPECT_THROW(attentionOccupancy(gpu, P, 0), FatalError);
+    EXPECT_GE(attentionOccupancy(gpu, P, 1), P.efficiencyFloor);
+}
+
+} // namespace
+} // namespace mmgen::kernels

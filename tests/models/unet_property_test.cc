@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Property tests over the UNet builder: for any valid configuration,
+ * the forward pass preserves the input shape, consumes exactly its
+ * skip connections, and its attention sequence lengths follow the
+ * configured resolution ladder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "models/blocks.hh"
+
+namespace mmgen::models {
+namespace {
+
+using Param = std::tuple<std::int64_t /*latent*/, int /*levels*/,
+                         int /*res blocks*/, bool /*temporal*/>;
+
+class UNetSweep : public ::testing::TestWithParam<Param>
+{};
+
+TEST_P(UNetSweep, ShapePreservedAndLadderRespected)
+{
+    const auto [latent, levels, res_blocks, temporal] = GetParam();
+
+    UNetConfig cfg;
+    cfg.inChannels = 4;
+    cfg.baseChannels = 32;
+    cfg.channelMult.assign(levels, 1);
+    for (int i = 1; i < levels; ++i)
+        cfg.channelMult[i] = std::min<std::int64_t>(4, 1LL << i);
+    cfg.numResBlocks = res_blocks;
+    cfg.attnDownFactors = {1LL << (levels - 1)};
+    cfg.crossAttnDownFactors = cfg.attnDownFactors;
+    cfg.attnHeads = 4;
+    cfg.temporal = temporal;
+    cfg.frames = temporal ? 4 : 1;
+
+    graph::Trace t;
+    graph::GraphBuilder b(t);
+    const TensorDesc out = unetForward(b, cfg, latent, latent);
+
+    // Output shape equals input shape.
+    const std::vector<std::int64_t> want =
+        temporal ? std::vector<std::int64_t>{1, 4, 4, latent, latent}
+                 : std::vector<std::int64_t>{1, 4, latent, latent};
+    EXPECT_EQ(out.shape(), want);
+
+    // Attention only at the configured factor's resolution.
+    const std::int64_t want_res = latent / (1LL << (levels - 1));
+    std::set<std::int64_t> self_seqs;
+    for (const auto& op : t.ops()) {
+        if (op.kind != graph::OpKind::Attention)
+            continue;
+        const auto& a = op.as<graph::AttentionAttrs>();
+        if (a.kind == graph::AttentionKind::SelfSpatial)
+            self_seqs.insert(a.seqQ);
+        if (temporal && a.kind == graph::AttentionKind::Temporal) {
+            EXPECT_EQ(a.seqQ, 4);
+        }
+    }
+    EXPECT_EQ(self_seqs,
+              (std::set<std::int64_t>{want_res * want_res}));
+
+    // Parameter count is positive and independent of the input size.
+    graph::Trace t2;
+    graph::GraphBuilder b2(t2);
+    unetForward(b2, cfg, latent * 2, latent * 2);
+    EXPECT_EQ(t.totalParams(), t2.totalParams());
+    EXPECT_GT(t.totalParams(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, UNetSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(16, 32, 64),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(false, true)));
+
+} // namespace
+} // namespace mmgen::models

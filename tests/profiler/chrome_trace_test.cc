@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Chrome-trace exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "profiler/chrome_trace.hh"
+#include "util/logging.hh"
+
+namespace mmgen::profiler {
+namespace {
+
+ProfileResult
+smallProfile()
+{
+    graph::Pipeline p;
+    p.name = "toy";
+    graph::Stage s;
+    s.name = "stage_a";
+    s.iterations = 5;
+    s.emit = [](graph::GraphBuilder& b, std::int64_t) {
+        b.conv2d(TensorDesc({1, 8, 16, 16}, DType::F16), 8);
+        b.attention(graph::AttentionKind::SelfSpatial, 1, 2, 64, 64,
+                    16);
+    };
+    p.stages.push_back(std::move(s));
+    ProfileOptions opts;
+    opts.keepOpRecords = true;
+    return Profiler(opts).profile(p);
+}
+
+TEST(JsonEscape, HandlesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x02')), "\\u0002");
+}
+
+TEST(ChromeTrace, RequiresRecords)
+{
+    ProfileResult empty;
+    std::ostringstream oss;
+    EXPECT_THROW(writeChromeTrace(oss, empty), FatalError);
+}
+
+TEST(ChromeTrace, EmitsWellFormedEvents)
+{
+    const ProfileResult res = smallProfile();
+    std::ostringstream oss;
+    writeChromeTrace(oss, res);
+    const std::string json = oss.str();
+
+    // Structural sanity: balanced-ish JSON with the expected keys.
+    EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\""), 0u);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"conv2d\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"attention\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"stage_a\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"Convolution\""), std::string::npos);
+    // Braces balance.
+    std::int64_t depth = 0;
+    bool in_string = false;
+    char prev = 0;
+    for (char c : json) {
+        if (c == '"' && prev != '\\')
+            in_string = !in_string;
+        if (!in_string) {
+            depth += c == '{';
+            depth -= c == '}';
+        }
+        prev = c;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeTrace, RepeatInstancesCapped)
+{
+    const ProfileResult res = smallProfile(); // ops repeat 5x
+    std::ostringstream capped, expanded;
+    ChromeTraceOptions one;
+    one.maxRepeatInstances = 1;
+    writeChromeTrace(capped, res, one);
+    ChromeTraceOptions many;
+    many.maxRepeatInstances = 100;
+    writeChromeTrace(expanded, res, many);
+
+    auto count_events = [](const std::string& s) {
+        std::size_t n = 0, pos = 0;
+        while ((pos = s.find("\"ph\":\"X\"", pos)) !=
+               std::string::npos) {
+            ++n;
+            ++pos;
+        }
+        return n;
+    };
+    EXPECT_EQ(count_events(capped.str()), 2u);
+    EXPECT_EQ(count_events(expanded.str()), 10u); // 2 ops x 5 repeats
+}
+
+} // namespace
+} // namespace mmgen::profiler

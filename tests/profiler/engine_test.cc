@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the profiling engine and its reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/stable_diffusion.hh"
+#include "profiler/engine.hh"
+#include "util/logging.hh"
+
+namespace mmgen::profiler {
+namespace {
+
+using graph::AttentionBackend;
+using graph::GraphBuilder;
+using graph::Pipeline;
+using graph::Stage;
+
+Pipeline
+toyDiffusion(std::int64_t steps)
+{
+    Pipeline p;
+    p.name = "toy";
+    p.klass = graph::ModelClass::DiffusionLatent;
+    Stage s;
+    s.name = "unet";
+    s.iterations = steps;
+    s.emit = [](GraphBuilder& b, std::int64_t) {
+        const TensorDesc x({1, 8, 16, 16}, DType::F16);
+        b.conv2d(x, 8);
+        b.attention(graph::AttentionKind::SelfSpatial, 1, 2, 256, 256,
+                    16);
+    };
+    p.stages.push_back(std::move(s));
+    return p;
+}
+
+TEST(Profiler, IterationFoldingScalesLinearly)
+{
+    Profiler prof;
+    const ProfileResult one = prof.profile(toyDiffusion(1));
+    const ProfileResult fifty = prof.profile(toyDiffusion(50));
+    EXPECT_NEAR(fifty.totalSeconds, 50.0 * one.totalSeconds, 1e-12);
+    EXPECT_NEAR(fifty.totalFlops, 50.0 * one.totalFlops, 1e-3);
+    // The traced series is one fundamental period either way...
+    EXPECT_EQ(one.seqLens.series().size(),
+              fifty.seqLens.series().size());
+    // ...but the histogram weights by executed iterations (Fig. 8).
+    EXPECT_EQ(fifty.seqLens.histogram().totalWeight(),
+              50 * one.seqLens.histogram().totalWeight());
+}
+
+TEST(Profiler, PerIterationStagesTraceEveryStep)
+{
+    Pipeline p;
+    p.name = "ar";
+    Stage s;
+    s.name = "decode";
+    s.iterations = 10;
+    s.perIterationShapes = true;
+    s.emit = [](GraphBuilder& b, std::int64_t iter) {
+        b.attention(graph::AttentionKind::CausalSelf, 1, 2, 1, iter + 1,
+                    16);
+    };
+    p.stages.push_back(std::move(s));
+    const ProfileResult res = Profiler().profile(p);
+    ASSERT_EQ(res.seqLens.series().size(), 10u);
+    EXPECT_EQ(res.seqLens.series().front(), 1);
+    EXPECT_EQ(res.seqLens.series().back(), 10);
+}
+
+TEST(Profiler, BackendChangesAttentionTimeOnly)
+{
+    ProfileOptions base_opts;
+    base_opts.backend = AttentionBackend::Baseline;
+    const ProfileResult base =
+        Profiler(base_opts).profile(toyDiffusion(4));
+    const ProfileResult flash = Profiler().profile(toyDiffusion(4));
+    EXPECT_GT(base.attentionSeconds(), flash.attentionSeconds());
+    EXPECT_DOUBLE_EQ(base.breakdown.categorySeconds(
+                         graph::OpCategory::Convolution),
+                     flash.breakdown.categorySeconds(
+                         graph::OpCategory::Convolution));
+}
+
+TEST(Profiler, StageBreakdownsPartitionTheTotal)
+{
+    const ProfileResult res =
+        Profiler().profile(models::buildStableDiffusion());
+    ASSERT_EQ(res.stageBreakdowns.size(), 3u);
+    for (graph::OpCategory c : graph::allCategories()) {
+        double sum = 0.0;
+        for (const auto& [name, bd] : res.stageBreakdowns)
+            sum += bd.categorySeconds(c);
+        EXPECT_NEAR(sum, res.breakdown.categorySeconds(c),
+                    1e-9 * (res.breakdown.categorySeconds(c) + 1e-12))
+            << graph::opCategoryName(c);
+    }
+    // The VAE stage is convolution-dominated, with only the single
+    // bottleneck attention block.
+    const BreakdownReport& vae = res.stageBreakdowns[2].second;
+    EXPECT_GT(vae.categorySeconds(graph::OpCategory::Convolution),
+              3.0 * vae.categorySeconds(graph::OpCategory::Attention));
+    EXPECT_GT(vae.categorySeconds(graph::OpCategory::Attention), 0.0);
+}
+
+TEST(Profiler, StageSecondsSumToTotal)
+{
+    const ProfileResult res =
+        Profiler().profile(models::buildStableDiffusion());
+    double sum = 0.0;
+    for (const auto& [name, s] : res.stageSeconds)
+        sum += s;
+    EXPECT_NEAR(sum, res.totalSeconds, 1e-9 * res.totalSeconds);
+    ASSERT_EQ(res.stageSeconds.size(), 3u);
+    EXPECT_EQ(res.stageSeconds[1].first, "unet");
+}
+
+TEST(Profiler, KernelClassSecondsSumToTotal)
+{
+    ProfileOptions opts;
+    opts.backend = AttentionBackend::Baseline;
+    const ProfileResult res =
+        Profiler(opts).profile(models::buildStableDiffusion());
+    double sum = 0.0;
+    for (const auto& [klass, seconds] : res.kernelClassSeconds)
+        sum += seconds;
+    EXPECT_NEAR(sum, res.totalSeconds, 1e-9 * res.totalSeconds);
+    // Baseline attention splits across gemm, softmax and elementwise.
+    EXPECT_GT(res.kernelClassSeconds.at(kernels::KernelClass::Softmax),
+              0.0);
+    EXPECT_GT(res.kernelClassSeconds.at(kernels::KernelClass::Conv),
+              0.0);
+}
+
+TEST(Profiler, BreakdownFractionsSumToOne)
+{
+    const ProfileResult res =
+        Profiler().profile(models::buildStableDiffusion());
+    double total = 0.0;
+    for (graph::OpCategory c : graph::allCategories())
+        total += res.breakdown.categoryFraction(c);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Profiler, RecordsOnlyWhenRequested)
+{
+    EXPECT_TRUE(Profiler().profile(toyDiffusion(2)).records.empty());
+    ProfileOptions opts;
+    opts.keepOpRecords = true;
+    const ProfileResult res = Profiler(opts).profile(toyDiffusion(2));
+    ASSERT_EQ(res.records.size(), 2u);
+    EXPECT_EQ(res.records[0].stage, "unet");
+    EXPECT_EQ(res.records[0].repeat, 2);
+    EXPECT_EQ(res.records[1].seqLen, 256);
+    EXPECT_EQ(res.records[1].seqKv, 256);
+}
+
+TEST(Profiler, CrossAttentionExcludedFromSeqSeries)
+{
+    Pipeline p;
+    p.name = "x";
+    Stage s;
+    s.name = "s";
+    s.iterations = 1;
+    s.emit = [](GraphBuilder& b, std::int64_t) {
+        b.attention(graph::AttentionKind::CrossText, 1, 2, 256, 77, 16);
+        b.attention(graph::AttentionKind::SelfSpatial, 1, 2, 256, 256,
+                    16);
+    };
+    p.stages.push_back(std::move(s));
+    const ProfileResult res = Profiler().profile(p);
+    ASSERT_EQ(res.seqLens.series().size(), 1u);
+    EXPECT_EQ(res.seqLens.series()[0], 256);
+    // Both still appear in the per-kind stats.
+    EXPECT_EQ(res.attention
+                  .entryFor(graph::AttentionKind::CrossText)
+                  .calls,
+              1);
+}
+
+TEST(ProfileResult, ArithmeticIntensityNeedsWeights)
+{
+    Pipeline p;
+    p.name = "weightless";
+    Stage s;
+    s.name = "s";
+    s.iterations = 1;
+    s.emit = [](GraphBuilder& b, std::int64_t) {
+        b.matmul(1, 8, 8, 8);
+    };
+    p.stages.push_back(std::move(s));
+    const ProfileResult res = Profiler().profile(p);
+    EXPECT_THROW(res.modelArithmeticIntensity(), FatalError);
+}
+
+TEST(SequenceLengthTrace, MinMaxAndValidation)
+{
+    SequenceLengthTrace trace;
+    EXPECT_EQ(trace.maxSeqLen(), 0);
+    trace.record(256);
+    trace.record(4096, 10);
+    EXPECT_EQ(trace.minSeqLen(), 256);
+    EXPECT_EQ(trace.maxSeqLen(), 4096);
+    EXPECT_EQ(trace.histogram().totalWeight(), 11u);
+    EXPECT_THROW(trace.record(0), FatalError);
+}
+
+TEST(AttentionKindStats, AccumulatesPerKind)
+{
+    AttentionKindStats stats;
+    stats.add(graph::AttentionKind::Temporal, 1.0, 10.0, 2);
+    stats.add(graph::AttentionKind::Temporal, 0.5, 5.0, 1);
+    const auto e = stats.entryFor(graph::AttentionKind::Temporal);
+    EXPECT_DOUBLE_EQ(e.seconds, 1.5);
+    EXPECT_DOUBLE_EQ(e.flops, 15.0);
+    EXPECT_EQ(e.calls, 3);
+    EXPECT_EQ(stats.entryFor(graph::AttentionKind::CrossText).calls, 0);
+}
+
+} // namespace
+} // namespace mmgen::profiler

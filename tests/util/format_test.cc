@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/format.hh"
+
+namespace mmgen {
+namespace {
+
+TEST(FormatFlops, ScalesThroughSuffixLadder)
+{
+    EXPECT_EQ(formatFlops(512.0), "512.00 FLOP");
+    EXPECT_EQ(formatFlops(1.5e3), "1.50 KFLOP");
+    EXPECT_EQ(formatFlops(2.5e9), "2.50 GFLOP");
+    EXPECT_EQ(formatFlops(3.12e14), "312.00 TFLOP");
+    EXPECT_EQ(formatFlops(1e18), "1.00 EFLOP");
+}
+
+TEST(FormatFlops, RateUsesPerSecondSuffix)
+{
+    EXPECT_EQ(formatFlopRate(312e12), "312.0 TFLOP/s");
+}
+
+TEST(FormatBytes, UsesBinaryLadder)
+{
+    EXPECT_EQ(formatBytes(512.0), "512.00 B");
+    EXPECT_EQ(formatBytes(1024.0), "1.00 KiB");
+    EXPECT_EQ(formatBytes(40.0 * 1024 * 1024), "40.00 MiB");
+    EXPECT_EQ(formatBytes(80e9), "74.51 GiB");
+}
+
+TEST(FormatTime, PicksAdaptiveUnit)
+{
+    EXPECT_EQ(formatTime(1.5), "1.500 s");
+    EXPECT_EQ(formatTime(12.3e-3), "12.300 ms");
+    EXPECT_EQ(formatTime(4e-6), "4.000 us");
+    EXPECT_EQ(formatTime(5e-9), "5.0 ns");
+}
+
+TEST(FormatCount, UsesDecimalLadder)
+{
+    EXPECT_EQ(formatCount(950.0), "950.00");
+    EXPECT_EQ(formatCount(1.45e9), "1.45B");
+    EXPECT_EQ(formatCount(20e9), "20.00B");
+    EXPECT_EQ(formatCount(7e6), "7.00M");
+}
+
+TEST(FormatPercent, RendersFraction)
+{
+    EXPECT_EQ(formatPercent(0.441), "44.1%");
+    EXPECT_EQ(formatPercent(0.05, 0), "5%");
+    EXPECT_EQ(formatPercent(1.0), "100.0%");
+}
+
+TEST(Join, HandlesEmptyAndMulti)
+{
+    EXPECT_EQ(join({}, "."), "");
+    EXPECT_EQ(join({"a"}, "."), "a");
+    EXPECT_EQ(join({"unet", "down0", "attn"}, "."), "unet.down0.attn");
+}
+
+TEST(Pad, LeftAndRight)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+    EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+} // namespace
+} // namespace mmgen

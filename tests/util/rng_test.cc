@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace mmgen {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.uniformInt(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments)
+{
+    Rng rng(11);
+    std::vector<double> v;
+    for (int i = 0; i < 20000; ++i)
+        v.push_back(rng.normal());
+    const Summary s = summarize(v);
+    EXPECT_NEAR(s.mean, 0.0, 0.05);
+    EXPECT_NEAR(s.stddev, 1.0, 0.05);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(0.0, 0.5), 0.0);
+}
+
+} // namespace
+} // namespace mmgen

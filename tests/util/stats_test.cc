@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit and property tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace mmgen {
+namespace {
+
+TEST(Summarize, EmptyIsZeroed)
+{
+    const Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownSample)
+{
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    const Summary s = summarize(v);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summarize, OddSampleMedianIsMiddle)
+{
+    const std::vector<double> v = {9.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(summarize(v).median, 5.0);
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    const std::vector<double> v = {1.0, 4.0};
+    EXPECT_DOUBLE_EQ(geomean(v), 2.0);
+}
+
+TEST(Geomean, RejectsNonPositive)
+{
+    const std::vector<double> v = {1.0, 0.0};
+    EXPECT_THROW(geomean(v), FatalError);
+    EXPECT_THROW(geomean({}), FatalError);
+}
+
+TEST(Percentile, EndpointsAndMidpoint)
+{
+    const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Percentile, RejectsOutOfRange)
+{
+    const std::vector<double> v = {1.0};
+    EXPECT_THROW(percentile(v, -1.0), FatalError);
+    EXPECT_THROW(percentile(v, 101.0), FatalError);
+}
+
+TEST(ValueHistogram, TracksDiscreteBuckets)
+{
+    ValueHistogram h;
+    h.add(256.0, 50);
+    h.add(1024.0, 50);
+    h.add(256.0, 25);
+    EXPECT_EQ(h.distinctValues(), 2u);
+    EXPECT_EQ(h.totalWeight(), 125u);
+    EXPECT_EQ(h.frequency(256.0), 75u);
+    EXPECT_EQ(h.frequency(4096.0), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(1024.0), 50.0 / 125.0);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 2u);
+    EXPECT_DOUBLE_EQ(buckets[0].first, 256.0);
+    EXPECT_DOUBLE_EQ(buckets[1].first, 1024.0);
+}
+
+/** Property: mean of summarize always lies within [min, max]. */
+class SummarizeProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SummarizeProperty, MeanWithinRangeAndMedianOrdered)
+{
+    Rng rng(GetParam());
+    std::vector<double> v;
+    const int n = 1 + static_cast<int>(rng.uniformInt(0, 200));
+    for (int i = 0; i < n; ++i)
+        v.push_back(rng.normal(0.0, 10.0));
+    const Summary s = summarize(v);
+    EXPECT_LE(s.min, s.mean);
+    EXPECT_GE(s.max, s.mean);
+    EXPECT_LE(s.min, s.median);
+    EXPECT_GE(s.max, s.median);
+    EXPECT_GE(s.stddev, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummarizeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace mmgen

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the text-table renderer and CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace mmgen {
+namespace {
+
+TEST(TextTable, RejectsArityMismatch)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Model", "Speedup"});
+    t.addRow({"StableDiffusion", "1.67x"});
+    t.addRow({"Muse", "1.11x"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Model"), std::string::npos);
+    EXPECT_NE(out.find("StableDiffusion"), std::string::npos);
+    EXPECT_NE(out.find("1.67x"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, SeparatorDoesNotCountAsRow)
+{
+    TextTable t({"x"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(LooksNumeric, Heuristics)
+{
+    EXPECT_TRUE(looksNumeric("123"));
+    EXPECT_TRUE(looksNumeric("1.67x"));
+    EXPECT_TRUE(looksNumeric("-4.2"));
+    EXPECT_TRUE(looksNumeric("44.1%"));
+    EXPECT_FALSE(looksNumeric("Model"));
+    EXPECT_FALSE(looksNumeric(""));
+    EXPECT_FALSE(looksNumeric("x17"));
+}
+
+TEST(CsvWriter, EscapesSpecialCells)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    w.writeRow({"model", "seq"});
+    w.writeRow({"sd", "4096"});
+    EXPECT_EQ(oss.str(), "model,seq\nsd,4096\n");
+}
+
+} // namespace
+} // namespace mmgen

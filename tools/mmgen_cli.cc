@@ -1,0 +1,268 @@
+/**
+ * @file
+ * mmgen command-line interface.
+ *
+ * Subcommands:
+ *   list                          the model suite and GPU presets
+ *   profile <model> [options]     one-model operator breakdown
+ *   suite [options]               Table II / breakdown across models
+ *   taxonomy                      Table I labels
+ *   footprint                     peak-memory report
+ *   trace <model> <out.json>      Chrome/Perfetto timeline export
+ *
+ * Options:
+ *   --gpu a100|v100|h100          simulated device (default a100)
+ *   --backend baseline|flash|flash_decode   attention backend
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytics/inference_footprint.hh"
+#include "core/reports.hh"
+#include "core/suite.hh"
+#include "core/taxonomy.hh"
+#include "profiler/chrome_trace.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace mmgen;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: mmgen <command> [options]\n"
+        << "  list                        models and GPU presets\n"
+        << "  profile <model> [options]   one-model breakdown\n"
+        << "  hotspots <model> [options]  top operator sites by time\n"
+        << "  suite [options]             both-backend suite run\n"
+        << "  taxonomy                    Table I labels\n"
+        << "  footprint                   peak-memory report\n"
+        << "  trace <model> <out.json>    Chrome trace export\n"
+        << "options:\n"
+        << "  --gpu a100|v100|h100        (default a100)\n"
+        << "  --backend baseline|flash|flash_decode\n";
+    return 2;
+}
+
+hw::GpuSpec
+parseGpu(const std::string& name)
+{
+    if (name == "a100")
+        return hw::GpuSpec::a100_80gb();
+    if (name == "v100")
+        return hw::GpuSpec::v100_32gb();
+    if (name == "h100")
+        return hw::GpuSpec::h100_80gb();
+    MMGEN_CHECK(false, "unknown GPU '" << name
+                                       << "' (a100|v100|h100)");
+}
+
+graph::AttentionBackend
+parseBackend(const std::string& name)
+{
+    if (name == "baseline")
+        return graph::AttentionBackend::Baseline;
+    if (name == "flash")
+        return graph::AttentionBackend::Flash;
+    if (name == "flash_decode")
+        return graph::AttentionBackend::FlashDecode;
+    MMGEN_CHECK(false, "unknown backend '"
+                           << name
+                           << "' (baseline|flash|flash_decode)");
+}
+
+models::ModelId
+parseModel(const std::string& name)
+{
+    for (models::ModelId id : models::allModels()) {
+        if (models::modelName(id) == name)
+            return id;
+    }
+    MMGEN_CHECK(false, "unknown model '" << name
+                                         << "'; see `mmgen list`");
+}
+
+struct Options
+{
+    hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    graph::AttentionBackend backend = graph::AttentionBackend::Flash;
+    std::vector<std::string> positional;
+};
+
+Options
+parseOptions(int argc, char** argv, int first)
+{
+    Options opts;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            MMGEN_CHECK(i + 1 < argc, arg << " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--gpu")
+            opts.gpu = parseGpu(next());
+        else if (arg == "--backend")
+            opts.backend = parseBackend(next());
+        else if (!arg.empty() && arg[0] == '-')
+            MMGEN_CHECK(false, "unknown option " << arg);
+        else
+            opts.positional.push_back(arg);
+    }
+    return opts;
+}
+
+int
+cmdList()
+{
+    std::cout << "models:\n";
+    for (models::ModelId id : models::allModels()) {
+        const graph::Pipeline p = models::buildModel(id);
+        std::cout << "  " << padRight(models::modelName(id), 18)
+                  << padRight(graph::modelClassName(p.klass), 22)
+                  << formatCount(double(p.totalParams()))
+                  << " params\n";
+    }
+    std::cout << "gpus: a100 (A100-SXM4-80GB), v100 (V100-SXM2-32GB), "
+                 "h100 (H100-SXM5-80GB)\n";
+    std::cout << "backends: baseline, flash, flash_decode\n";
+    return 0;
+}
+
+int
+cmdProfile(const Options& opts)
+{
+    MMGEN_CHECK(opts.positional.size() == 1,
+                "profile needs exactly one model name");
+    const models::ModelId id = parseModel(opts.positional[0]);
+    core::CharacterizationSuite suite(opts.gpu);
+    const profiler::ProfileResult res =
+        suite.profileOne(models::buildModel(id), opts.backend);
+    std::cout << "GPU: " << opts.gpu.name << "\n\n";
+    std::cout << core::profileSummary(res);
+    return 0;
+}
+
+int
+cmdHotspots(const Options& opts)
+{
+    MMGEN_CHECK(opts.positional.size() == 1,
+                "hotspots needs exactly one model name");
+    const models::ModelId id = parseModel(opts.positional[0]);
+    profiler::ProfileOptions popts;
+    popts.gpu = opts.gpu;
+    popts.backend = opts.backend;
+    popts.keepOpRecords = true;
+    const profiler::ProfileResult res =
+        profiler::Profiler(popts).profile(models::buildModel(id));
+    std::cout << res.model << " on " << opts.gpu.name << " ["
+              << graph::attentionBackendName(opts.backend)
+              << "], total " << formatTime(res.totalSeconds) << "\n\n";
+    std::cout << core::hotspotTable(res, 15).render();
+    return 0;
+}
+
+int
+cmdSuite(const Options& opts)
+{
+    core::CharacterizationSuite suite(opts.gpu);
+    const std::vector<core::ModelRunResult> results =
+        suite.runAll(models::allModels());
+    std::cout << "GPU: " << opts.gpu.name << "\n\n";
+    std::cout << core::flashSpeedupTable(results).render() << "\n";
+    std::cout << core::attentionSpeedupTable(results).render() << "\n";
+    std::cout << core::rooflineTable(results, opts.gpu).render();
+    return 0;
+}
+
+int
+cmdTaxonomy(const Options& opts)
+{
+    core::CharacterizationSuite suite(opts.gpu);
+    const std::vector<core::ModelRunResult> results =
+        suite.runAll(models::allModels());
+    std::cout
+        << core::taxonomyTable(core::buildTaxonomy(results)).render();
+    return 0;
+}
+
+int
+cmdFootprint(const Options& opts)
+{
+    TextTable table({"Model", "Weights", "KV cache",
+                     "Peak activation", "Total", "Fits " +
+                         opts.gpu.name});
+    for (models::ModelId id : models::allModels()) {
+        const graph::Pipeline p = models::buildModel(id);
+        const analytics::InferenceFootprint fp =
+            analytics::estimateFootprint(p, opts.backend);
+        table.addRow({p.name, formatBytes(fp.weightBytes),
+                      formatBytes(fp.kvCacheBytes),
+                      formatBytes(fp.peakActivationBytes),
+                      formatBytes(fp.totalBytes()),
+                      fp.fits(opts.gpu) ? "yes" : "NO"});
+    }
+    std::cout << table.render();
+    return 0;
+}
+
+int
+cmdTrace(const Options& opts)
+{
+    MMGEN_CHECK(opts.positional.size() == 2,
+                "trace needs <model> <out.json>");
+    const models::ModelId id = parseModel(opts.positional[0]);
+    profiler::ProfileOptions popts;
+    popts.gpu = opts.gpu;
+    popts.backend = opts.backend;
+    popts.keepOpRecords = true;
+    const profiler::ProfileResult res =
+        profiler::Profiler(popts).profile(models::buildModel(id));
+    std::ofstream out(opts.positional[1]);
+    MMGEN_CHECK(static_cast<bool>(out),
+                "cannot open " << opts.positional[1]);
+    profiler::writeChromeTrace(out, res);
+    std::cout << "wrote " << res.records.size() << " records to "
+              << opts.positional[1] << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        const Options opts = parseOptions(argc, argv, 2);
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "profile")
+            return cmdProfile(opts);
+        if (cmd == "hotspots")
+            return cmdHotspots(opts);
+        if (cmd == "suite")
+            return cmdSuite(opts);
+        if (cmd == "taxonomy")
+            return cmdTaxonomy(opts);
+        if (cmd == "footprint")
+            return cmdFootprint(opts);
+        if (cmd == "trace")
+            return cmdTrace(opts);
+        std::cerr << "unknown command '" << cmd << "'\n";
+        return usage();
+    } catch (const mmgen::FatalError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const mmgen::PanicError& e) {
+        std::cerr << "internal error: " << e.what() << "\n";
+        return 70;
+    }
+}
