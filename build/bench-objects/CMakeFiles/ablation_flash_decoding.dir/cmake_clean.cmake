@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_flash_decoding"
+  "../bench/ablation_flash_decoding.pdb"
+  "CMakeFiles/ablation_flash_decoding.dir/ablation_flash_decoding.cc.o"
+  "CMakeFiles/ablation_flash_decoding.dir/ablation_flash_decoding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flash_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_pipeline_structure"
+  "../bench/fig02_pipeline_structure.pdb"
+  "CMakeFiles/fig02_pipeline_structure.dir/fig02_pipeline_structure.cc.o"
+  "CMakeFiles/fig02_pipeline_structure.dir/fig02_pipeline_structure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pipeline_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_pareto_frontier"
+  "../bench/fig04_pareto_frontier.pdb"
+  "CMakeFiles/fig04_pareto_frontier.dir/fig04_pareto_frontier.cc.o"
+  "CMakeFiles/fig04_pareto_frontier.dir/fig04_pareto_frontier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_pareto_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_operator_breakdown"
+  "../bench/fig06_operator_breakdown.pdb"
+  "CMakeFiles/fig06_operator_breakdown.dir/fig06_operator_breakdown.cc.o"
+  "CMakeFiles/fig06_operator_breakdown.dir/fig06_operator_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_operator_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

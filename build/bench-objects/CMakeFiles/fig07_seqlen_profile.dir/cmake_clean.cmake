@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_seqlen_profile"
+  "../bench/fig07_seqlen_profile.pdb"
+  "CMakeFiles/fig07_seqlen_profile.dir/fig07_seqlen_profile.cc.o"
+  "CMakeFiles/fig07_seqlen_profile.dir/fig07_seqlen_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_seqlen_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

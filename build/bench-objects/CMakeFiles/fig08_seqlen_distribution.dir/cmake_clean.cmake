@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_seqlen_distribution"
+  "../bench/fig08_seqlen_distribution.pdb"
+  "CMakeFiles/fig08_seqlen_distribution.dir/fig08_seqlen_distribution.cc.o"
+  "CMakeFiles/fig08_seqlen_distribution.dir/fig08_seqlen_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_seqlen_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

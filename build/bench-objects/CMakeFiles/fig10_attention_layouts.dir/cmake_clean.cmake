@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_attention_layouts"
+  "../bench/fig10_attention_layouts.pdb"
+  "CMakeFiles/fig10_attention_layouts.dir/fig10_attention_layouts.cc.o"
+  "CMakeFiles/fig10_attention_layouts.dir/fig10_attention_layouts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_attention_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

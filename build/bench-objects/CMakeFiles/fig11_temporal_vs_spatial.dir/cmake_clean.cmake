@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_temporal_vs_spatial"
+  "../bench/fig11_temporal_vs_spatial.pdb"
+  "CMakeFiles/fig11_temporal_vs_spatial.dir/fig11_temporal_vs_spatial.cc.o"
+  "CMakeFiles/fig11_temporal_vs_spatial.dir/fig11_temporal_vs_spatial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_temporal_vs_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

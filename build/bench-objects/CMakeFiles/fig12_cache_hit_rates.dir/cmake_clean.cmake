@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_cache_hit_rates"
+  "../bench/fig12_cache_hit_rates.pdb"
+  "CMakeFiles/fig12_cache_hit_rates.dir/fig12_cache_hit_rates.cc.o"
+  "CMakeFiles/fig12_cache_hit_rates.dir/fig12_cache_hit_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cache_hit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

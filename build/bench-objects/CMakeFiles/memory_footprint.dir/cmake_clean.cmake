@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/memory_footprint"
+  "../bench/memory_footprint.pdb"
+  "CMakeFiles/memory_footprint.dir/memory_footprint.cc.o"
+  "CMakeFiles/memory_footprint.dir/memory_footprint.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

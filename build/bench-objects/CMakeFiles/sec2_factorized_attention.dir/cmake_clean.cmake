@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec2_factorized_attention"
+  "../bench/sec2_factorized_attention.pdb"
+  "CMakeFiles/sec2_factorized_attention.dir/sec2_factorized_attention.cc.o"
+  "CMakeFiles/sec2_factorized_attention.dir/sec2_factorized_attention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_factorized_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5_memory_model"
+  "../bench/sec5_memory_model.pdb"
+  "CMakeFiles/sec5_memory_model.dir/sec5_memory_model.cc.o"
+  "CMakeFiles/sec5_memory_model.dir/sec5_memory_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_memory_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5_pod_scheduling"
+  "../bench/sec5_pod_scheduling.pdb"
+  "CMakeFiles/sec5_pod_scheduling.dir/sec5_pod_scheduling.cc.o"
+  "CMakeFiles/sec5_pod_scheduling.dir/sec5_pod_scheduling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_pod_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/serving_capacity"
+  "../bench/serving_capacity.pdb"
+  "CMakeFiles/serving_capacity.dir/serving_capacity.cc.o"
+  "CMakeFiles/serving_capacity.dir/serving_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_flash_speedup.cc" "bench-objects/CMakeFiles/table2_flash_speedup.dir/table2_flash_speedup.cc.o" "gcc" "bench-objects/CMakeFiles/table2_flash_speedup.dir/table2_flash_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mmgen_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/mmgen_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/mmgen_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/mmgen_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/mmgen_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/mmgen_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mmgen_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mmgen_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mmgen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmgen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_flash_speedup"
+  "../bench/table2_flash_speedup.pdb"
+  "CMakeFiles/table2_flash_speedup.dir/table2_flash_speedup.cc.o"
+  "CMakeFiles/table2_flash_speedup.dir/table2_flash_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_flash_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

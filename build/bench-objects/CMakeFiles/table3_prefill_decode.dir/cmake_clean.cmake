@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_prefill_decode"
+  "../bench/table3_prefill_decode.pdb"
+  "CMakeFiles/table3_prefill_decode.dir/table3_prefill_decode.cc.o"
+  "CMakeFiles/table3_prefill_decode.dir/table3_prefill_decode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_prefill_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

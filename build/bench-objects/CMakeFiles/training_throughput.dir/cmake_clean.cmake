@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/training_throughput"
+  "../bench/training_throughput.pdb"
+  "CMakeFiles/training_throughput.dir/training_throughput.cc.o"
+  "CMakeFiles/training_throughput.dir/training_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_what_if.dir/hardware_what_if.cpp.o"
+  "CMakeFiles/hardware_what_if.dir/hardware_what_if.cpp.o.d"
+  "hardware_what_if"
+  "hardware_what_if.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_what_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

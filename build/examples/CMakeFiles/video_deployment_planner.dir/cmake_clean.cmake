@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_deployment_planner.dir/video_deployment_planner.cpp.o"
+  "CMakeFiles/video_deployment_planner.dir/video_deployment_planner.cpp.o.d"
+  "video_deployment_planner"
+  "video_deployment_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_deployment_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/amdahl.cc" "src/analytics/CMakeFiles/mmgen_analytics.dir/amdahl.cc.o" "gcc" "src/analytics/CMakeFiles/mmgen_analytics.dir/amdahl.cc.o.d"
+  "/root/repo/src/analytics/inference_footprint.cc" "src/analytics/CMakeFiles/mmgen_analytics.dir/inference_footprint.cc.o" "gcc" "src/analytics/CMakeFiles/mmgen_analytics.dir/inference_footprint.cc.o.d"
+  "/root/repo/src/analytics/memory_model.cc" "src/analytics/CMakeFiles/mmgen_analytics.dir/memory_model.cc.o" "gcc" "src/analytics/CMakeFiles/mmgen_analytics.dir/memory_model.cc.o.d"
+  "/root/repo/src/analytics/pareto.cc" "src/analytics/CMakeFiles/mmgen_analytics.dir/pareto.cc.o" "gcc" "src/analytics/CMakeFiles/mmgen_analytics.dir/pareto.cc.o.d"
+  "/root/repo/src/analytics/phase_classifier.cc" "src/analytics/CMakeFiles/mmgen_analytics.dir/phase_classifier.cc.o" "gcc" "src/analytics/CMakeFiles/mmgen_analytics.dir/phase_classifier.cc.o.d"
+  "/root/repo/src/analytics/pod_scheduler.cc" "src/analytics/CMakeFiles/mmgen_analytics.dir/pod_scheduler.cc.o" "gcc" "src/analytics/CMakeFiles/mmgen_analytics.dir/pod_scheduler.cc.o.d"
+  "/root/repo/src/analytics/temporal_scaling.cc" "src/analytics/CMakeFiles/mmgen_analytics.dir/temporal_scaling.cc.o" "gcc" "src/analytics/CMakeFiles/mmgen_analytics.dir/temporal_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mmgen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mmgen_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mmgen_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmgen_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_analytics.dir/amdahl.cc.o"
+  "CMakeFiles/mmgen_analytics.dir/amdahl.cc.o.d"
+  "CMakeFiles/mmgen_analytics.dir/inference_footprint.cc.o"
+  "CMakeFiles/mmgen_analytics.dir/inference_footprint.cc.o.d"
+  "CMakeFiles/mmgen_analytics.dir/memory_model.cc.o"
+  "CMakeFiles/mmgen_analytics.dir/memory_model.cc.o.d"
+  "CMakeFiles/mmgen_analytics.dir/pareto.cc.o"
+  "CMakeFiles/mmgen_analytics.dir/pareto.cc.o.d"
+  "CMakeFiles/mmgen_analytics.dir/phase_classifier.cc.o"
+  "CMakeFiles/mmgen_analytics.dir/phase_classifier.cc.o.d"
+  "CMakeFiles/mmgen_analytics.dir/pod_scheduler.cc.o"
+  "CMakeFiles/mmgen_analytics.dir/pod_scheduler.cc.o.d"
+  "CMakeFiles/mmgen_analytics.dir/temporal_scaling.cc.o"
+  "CMakeFiles/mmgen_analytics.dir/temporal_scaling.cc.o.d"
+  "libmmgen_analytics.a"
+  "libmmgen_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

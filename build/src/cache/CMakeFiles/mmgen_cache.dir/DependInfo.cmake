@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/attention_study.cc" "src/cache/CMakeFiles/mmgen_cache.dir/attention_study.cc.o" "gcc" "src/cache/CMakeFiles/mmgen_cache.dir/attention_study.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/mmgen_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/mmgen_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/cache/CMakeFiles/mmgen_cache.dir/set_assoc_cache.cc.o" "gcc" "src/cache/CMakeFiles/mmgen_cache.dir/set_assoc_cache.cc.o.d"
+  "/root/repo/src/cache/trace_gen.cc" "src/cache/CMakeFiles/mmgen_cache.dir/trace_gen.cc.o" "gcc" "src/cache/CMakeFiles/mmgen_cache.dir/trace_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mmgen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mmgen_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mmgen_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmgen_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

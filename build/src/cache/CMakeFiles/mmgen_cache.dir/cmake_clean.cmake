@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_cache.dir/attention_study.cc.o"
+  "CMakeFiles/mmgen_cache.dir/attention_study.cc.o.d"
+  "CMakeFiles/mmgen_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/mmgen_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mmgen_cache.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/mmgen_cache.dir/set_assoc_cache.cc.o.d"
+  "CMakeFiles/mmgen_cache.dir/trace_gen.cc.o"
+  "CMakeFiles/mmgen_cache.dir/trace_gen.cc.o.d"
+  "libmmgen_cache.a"
+  "libmmgen_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_core.dir/reports.cc.o"
+  "CMakeFiles/mmgen_core.dir/reports.cc.o.d"
+  "CMakeFiles/mmgen_core.dir/suite.cc.o"
+  "CMakeFiles/mmgen_core.dir/suite.cc.o.d"
+  "CMakeFiles/mmgen_core.dir/taxonomy.cc.o"
+  "CMakeFiles/mmgen_core.dir/taxonomy.cc.o.d"
+  "libmmgen_core.a"
+  "libmmgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_fleet.dir/aggregate.cc.o"
+  "CMakeFiles/mmgen_fleet.dir/aggregate.cc.o.d"
+  "CMakeFiles/mmgen_fleet.dir/fsdp.cc.o"
+  "CMakeFiles/mmgen_fleet.dir/fsdp.cc.o.d"
+  "CMakeFiles/mmgen_fleet.dir/population.cc.o"
+  "CMakeFiles/mmgen_fleet.dir/population.cc.o.d"
+  "CMakeFiles/mmgen_fleet.dir/training_step.cc.o"
+  "CMakeFiles/mmgen_fleet.dir/training_step.cc.o.d"
+  "libmmgen_fleet.a"
+  "libmmgen_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/mmgen_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/mmgen_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/graph/CMakeFiles/mmgen_graph.dir/op.cc.o" "gcc" "src/graph/CMakeFiles/mmgen_graph.dir/op.cc.o.d"
+  "/root/repo/src/graph/pipeline.cc" "src/graph/CMakeFiles/mmgen_graph.dir/pipeline.cc.o" "gcc" "src/graph/CMakeFiles/mmgen_graph.dir/pipeline.cc.o.d"
+  "/root/repo/src/graph/trace.cc" "src/graph/CMakeFiles/mmgen_graph.dir/trace.cc.o" "gcc" "src/graph/CMakeFiles/mmgen_graph.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mmgen_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmgen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

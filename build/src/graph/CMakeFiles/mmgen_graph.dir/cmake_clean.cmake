@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_graph.dir/builder.cc.o"
+  "CMakeFiles/mmgen_graph.dir/builder.cc.o.d"
+  "CMakeFiles/mmgen_graph.dir/op.cc.o"
+  "CMakeFiles/mmgen_graph.dir/op.cc.o.d"
+  "CMakeFiles/mmgen_graph.dir/pipeline.cc.o"
+  "CMakeFiles/mmgen_graph.dir/pipeline.cc.o.d"
+  "CMakeFiles/mmgen_graph.dir/trace.cc.o"
+  "CMakeFiles/mmgen_graph.dir/trace.cc.o.d"
+  "libmmgen_graph.a"
+  "libmmgen_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/mmgen_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/mmgen_hw.dir/roofline.cc.o"
+  "CMakeFiles/mmgen_hw.dir/roofline.cc.o.d"
+  "libmmgen_hw.a"
+  "libmmgen_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_kernels.dir/attention.cc.o"
+  "CMakeFiles/mmgen_kernels.dir/attention.cc.o.d"
+  "CMakeFiles/mmgen_kernels.dir/cost_model.cc.o"
+  "CMakeFiles/mmgen_kernels.dir/cost_model.cc.o.d"
+  "CMakeFiles/mmgen_kernels.dir/efficiency.cc.o"
+  "CMakeFiles/mmgen_kernels.dir/efficiency.cc.o.d"
+  "CMakeFiles/mmgen_kernels.dir/kernel_cost.cc.o"
+  "CMakeFiles/mmgen_kernels.dir/kernel_cost.cc.o.d"
+  "libmmgen_kernels.a"
+  "libmmgen_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/blocks.cc" "src/models/CMakeFiles/mmgen_models.dir/blocks.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/blocks.cc.o.d"
+  "/root/repo/src/models/imagen.cc" "src/models/CMakeFiles/mmgen_models.dir/imagen.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/imagen.cc.o.d"
+  "/root/repo/src/models/llama.cc" "src/models/CMakeFiles/mmgen_models.dir/llama.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/llama.cc.o.d"
+  "/root/repo/src/models/make_a_video.cc" "src/models/CMakeFiles/mmgen_models.dir/make_a_video.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/make_a_video.cc.o.d"
+  "/root/repo/src/models/model_suite.cc" "src/models/CMakeFiles/mmgen_models.dir/model_suite.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/model_suite.cc.o.d"
+  "/root/repo/src/models/muse.cc" "src/models/CMakeFiles/mmgen_models.dir/muse.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/muse.cc.o.d"
+  "/root/repo/src/models/parti.cc" "src/models/CMakeFiles/mmgen_models.dir/parti.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/parti.cc.o.d"
+  "/root/repo/src/models/phenaki.cc" "src/models/CMakeFiles/mmgen_models.dir/phenaki.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/phenaki.cc.o.d"
+  "/root/repo/src/models/prod_image.cc" "src/models/CMakeFiles/mmgen_models.dir/prod_image.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/prod_image.cc.o.d"
+  "/root/repo/src/models/stable_diffusion.cc" "src/models/CMakeFiles/mmgen_models.dir/stable_diffusion.cc.o" "gcc" "src/models/CMakeFiles/mmgen_models.dir/stable_diffusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mmgen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmgen_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_models.dir/blocks.cc.o"
+  "CMakeFiles/mmgen_models.dir/blocks.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/imagen.cc.o"
+  "CMakeFiles/mmgen_models.dir/imagen.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/llama.cc.o"
+  "CMakeFiles/mmgen_models.dir/llama.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/make_a_video.cc.o"
+  "CMakeFiles/mmgen_models.dir/make_a_video.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/model_suite.cc.o"
+  "CMakeFiles/mmgen_models.dir/model_suite.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/muse.cc.o"
+  "CMakeFiles/mmgen_models.dir/muse.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/parti.cc.o"
+  "CMakeFiles/mmgen_models.dir/parti.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/phenaki.cc.o"
+  "CMakeFiles/mmgen_models.dir/phenaki.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/prod_image.cc.o"
+  "CMakeFiles/mmgen_models.dir/prod_image.cc.o.d"
+  "CMakeFiles/mmgen_models.dir/stable_diffusion.cc.o"
+  "CMakeFiles/mmgen_models.dir/stable_diffusion.cc.o.d"
+  "libmmgen_models.a"
+  "libmmgen_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/chrome_trace.cc" "src/profiler/CMakeFiles/mmgen_profiler.dir/chrome_trace.cc.o" "gcc" "src/profiler/CMakeFiles/mmgen_profiler.dir/chrome_trace.cc.o.d"
+  "/root/repo/src/profiler/engine.cc" "src/profiler/CMakeFiles/mmgen_profiler.dir/engine.cc.o" "gcc" "src/profiler/CMakeFiles/mmgen_profiler.dir/engine.cc.o.d"
+  "/root/repo/src/profiler/record.cc" "src/profiler/CMakeFiles/mmgen_profiler.dir/record.cc.o" "gcc" "src/profiler/CMakeFiles/mmgen_profiler.dir/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mmgen_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/mmgen_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mmgen_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmgen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mmgen_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

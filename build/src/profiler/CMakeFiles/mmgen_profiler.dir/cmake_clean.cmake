@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_profiler.dir/chrome_trace.cc.o"
+  "CMakeFiles/mmgen_profiler.dir/chrome_trace.cc.o.d"
+  "CMakeFiles/mmgen_profiler.dir/engine.cc.o"
+  "CMakeFiles/mmgen_profiler.dir/engine.cc.o.d"
+  "CMakeFiles/mmgen_profiler.dir/record.cc.o"
+  "CMakeFiles/mmgen_profiler.dir/record.cc.o.d"
+  "libmmgen_profiler.a"
+  "libmmgen_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

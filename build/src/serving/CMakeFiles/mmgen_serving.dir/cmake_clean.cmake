@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_serving.dir/simulator.cc.o"
+  "CMakeFiles/mmgen_serving.dir/simulator.cc.o.d"
+  "libmmgen_serving.a"
+  "libmmgen_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

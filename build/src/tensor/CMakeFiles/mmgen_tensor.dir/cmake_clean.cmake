@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_tensor.dir/dtype.cc.o"
+  "CMakeFiles/mmgen_tensor.dir/dtype.cc.o.d"
+  "CMakeFiles/mmgen_tensor.dir/tensor_desc.cc.o"
+  "CMakeFiles/mmgen_tensor.dir/tensor_desc.cc.o.d"
+  "libmmgen_tensor.a"
+  "libmmgen_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

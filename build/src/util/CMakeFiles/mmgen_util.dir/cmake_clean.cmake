@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen_util.dir/csv.cc.o"
+  "CMakeFiles/mmgen_util.dir/csv.cc.o.d"
+  "CMakeFiles/mmgen_util.dir/format.cc.o"
+  "CMakeFiles/mmgen_util.dir/format.cc.o.d"
+  "CMakeFiles/mmgen_util.dir/logging.cc.o"
+  "CMakeFiles/mmgen_util.dir/logging.cc.o.d"
+  "CMakeFiles/mmgen_util.dir/rng.cc.o"
+  "CMakeFiles/mmgen_util.dir/rng.cc.o.d"
+  "CMakeFiles/mmgen_util.dir/stats.cc.o"
+  "CMakeFiles/mmgen_util.dir/stats.cc.o.d"
+  "CMakeFiles/mmgen_util.dir/table.cc.o"
+  "CMakeFiles/mmgen_util.dir/table.cc.o.d"
+  "libmmgen_util.a"
+  "libmmgen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_tests.dir/analytics/analytics_test.cc.o"
+  "CMakeFiles/analytics_tests.dir/analytics/analytics_test.cc.o.d"
+  "CMakeFiles/analytics_tests.dir/analytics/inference_footprint_test.cc.o"
+  "CMakeFiles/analytics_tests.dir/analytics/inference_footprint_test.cc.o.d"
+  "CMakeFiles/analytics_tests.dir/analytics/pod_scheduler_test.cc.o"
+  "CMakeFiles/analytics_tests.dir/analytics/pod_scheduler_test.cc.o.d"
+  "analytics_tests"
+  "analytics_tests.pdb"
+  "analytics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

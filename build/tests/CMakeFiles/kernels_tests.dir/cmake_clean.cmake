@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_tests.dir/kernels/attention_test.cc.o"
+  "CMakeFiles/kernels_tests.dir/kernels/attention_test.cc.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/cost_model_test.cc.o"
+  "CMakeFiles/kernels_tests.dir/kernels/cost_model_test.cc.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/efficiency_test.cc.o"
+  "CMakeFiles/kernels_tests.dir/kernels/efficiency_test.cc.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/occupancy_test.cc.o"
+  "CMakeFiles/kernels_tests.dir/kernels/occupancy_test.cc.o.d"
+  "kernels_tests"
+  "kernels_tests.pdb"
+  "kernels_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_tests.dir/profiler/chrome_trace_test.cc.o"
+  "CMakeFiles/profiler_tests.dir/profiler/chrome_trace_test.cc.o.d"
+  "CMakeFiles/profiler_tests.dir/profiler/engine_test.cc.o"
+  "CMakeFiles/profiler_tests.dir/profiler/engine_test.cc.o.d"
+  "profiler_tests"
+  "profiler_tests.pdb"
+  "profiler_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

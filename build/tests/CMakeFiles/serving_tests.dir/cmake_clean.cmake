@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_tests.dir/serving/simulator_test.cc.o"
+  "CMakeFiles/serving_tests.dir/serving/simulator_test.cc.o.d"
+  "serving_tests"
+  "serving_tests.pdb"
+  "serving_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgen.dir/mmgen_cli.cc.o"
+  "CMakeFiles/mmgen.dir/mmgen_cli.cc.o.d"
+  "mmgen"
+  "mmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
