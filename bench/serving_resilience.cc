@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Serving-resilience study: availability x load sweep of the
+ * fault-tolerant simulator. For each point the no-policy fleet (same
+ * faults, same deadline, no mitigation) is compared against the
+ * resilient fleet (bounded retry + admission control + graceful
+ * degradation, with the degraded-mode speedup profiled from a
+ * half-step Stable Diffusion pipeline). The paper frames serving at
+ * "100 million weekly users" scale; this closes the loop from its
+ * per-request characterization to what operators actually tune when
+ * fleets lose capacity (ServeGen, arXiv:2505.09999; Lee et al.,
+ * arXiv:2410.00215).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "models/stable_diffusion.hh"
+#include "serving/simulator.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace mmgen;
+
+    std::cout << "=== Serving resilience on 8x A100 "
+                 "(StableDiffusion, batch <= 4) ===\n\n";
+
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    const models::StableDiffusionConfig full_cfg;
+    models::StableDiffusionConfig cheap_cfg = full_cfg;
+    cheap_cfg.denoiseSteps = full_cfg.denoiseSteps / 2;
+    const graph::Pipeline full =
+        models::buildStableDiffusion(full_cfg);
+    const serving::LatencyModel latency =
+        serving::profileLatencyModel(full, gpu);
+    serving::DegradationPolicy degradation =
+        serving::degradationFromPipelines(
+            full, models::buildStableDiffusion(cheap_cfg), gpu,
+            /*qualityCost=*/0.5);
+    degradation.queueThreshold = 16;
+
+    std::cout << "batch-1 latency " << formatTime(latency.baseSeconds)
+              << "; degraded mode (" << cheap_cfg.denoiseSteps
+              << " of " << full_cfg.denoiseSteps
+              << " denoising steps) scales service by "
+              << formatFixed(degradation.serviceScale, 2) << "\n\n";
+
+    serving::ServingConfig base;
+    base.numGpus = 8;
+    base.maxBatch = 4;
+    base.horizonSeconds = 600.0;
+    const double capacity =
+        static_cast<double>(base.maxBatch) /
+        latency.batchSeconds(base.maxBatch) * base.numGpus;
+    const double deadline = 6.0 * latency.baseSeconds;
+
+    TextTable table({"MTBF", "Avail", "Load", "Goodput (bare)",
+                     "p95 (bare)", "Goodput (resilient)",
+                     "p95 (resilient)", "Degraded", "Shed"});
+    int points = 0;
+    int recovered = 0;
+    for (double mtbf : {0.0, 1800.0, 600.0, 200.0}) {
+        for (double load : {0.5, 0.8, 1.1}) {
+            serving::ServingConfig cfg = base;
+            cfg.arrivalRate = load * capacity;
+
+            serving::ResilienceConfig bare;
+            bare.faults.failureMtbfSeconds = mtbf;
+            bare.faults.failureMttrSeconds = 120.0;
+            bare.deadline.deadlineSeconds = deadline;
+
+            serving::ResilienceConfig resilient = bare;
+            resilient.retry.maxRetries = 3;
+            resilient.retry.backoffBaseSeconds = 0.5;
+            resilient.admission.maxQueueLength = 64;
+            resilient.degradation = degradation;
+
+            const serving::ServingReport a =
+                serving::simulateServing(cfg, latency, bare);
+            const serving::ServingReport b =
+                serving::simulateServing(cfg, latency, resilient);
+            ++points;
+            if (b.goodput >= a.goodput)
+                ++recovered;
+            table.addRow(
+                {mtbf > 0.0 ? formatTime(mtbf) : "none",
+                 formatPercent(a.meanAvailability),
+                 formatFixed(load, 1),
+                 formatFixed(a.goodput, 2) + " req/s",
+                 formatTime(a.p95Latency),
+                 formatFixed(b.goodput, 2) + " req/s",
+                 formatTime(b.p95Latency),
+                 formatPercent(b.degradedFraction),
+                 formatPercent(b.shedFraction)});
+        }
+    }
+    std::cout << table.render() << "\n";
+    std::cout << "retry + admission control + graceful degradation "
+                 "recovered >= the\n no-policy goodput at "
+              << recovered << "/" << points << " sweep points\n";
+    std::cout << "(degradation trades " << formatPercent(0.5)
+              << " of denoising steps for "
+              << formatFixed(1.0 / degradation.serviceScale, 2)
+              << "x service rate under pressure — the paper's "
+                 "quality/latency lever)\n";
+    return recovered == points ? 0 : 1;
+}

@@ -11,6 +11,7 @@
 #include "analytics/temporal_scaling.hh"
 #include "core/suite.hh"
 #include "models/make_a_video.hh"
+#include "serving/simulator.hh"
 #include "util/format.hh"
 #include "util/table.hh"
 
@@ -64,6 +65,68 @@ main()
     }
     std::cout << "\nHigher resolution delays the crossover, but movie-"
                  "length clips cross it\nat every resolution — temporal "
-                 "attention is the scaling bottleneck (Sec. VI).\n";
+                 "attention is the scaling bottleneck (Sec. VI).\n\n";
+
+    // 3. Serving the clip generator on a real (imperfect) fleet: GPUs
+    //    fail, and under pressure the operator's lever is quality —
+    //    halving the denoising steps of every cascade stage. The
+    //    degraded-mode speedup is profiled, not assumed.
+    std::cout << "=== Serving 16-frame clips on 16 faulty A100s "
+                 "(MTBF 20 min) ===\n\n";
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    const models::MakeAVideoConfig full_cfg;
+    models::MakeAVideoConfig cheap_cfg = full_cfg;
+    cheap_cfg.baseSteps = full_cfg.baseSteps / 2;
+    cheap_cfg.interpSteps = full_cfg.interpSteps / 2;
+    cheap_cfg.srSteps = full_cfg.srSteps / 2;
+    const graph::Pipeline video = models::buildMakeAVideo(full_cfg);
+    const serving::LatencyModel latency =
+        serving::profileLatencyModel(video, gpu);
+    serving::DegradationPolicy degradation =
+        serving::degradationFromPipelines(
+            video, models::buildMakeAVideo(cheap_cfg), gpu,
+            /*qualityCost=*/0.5);
+    degradation.queueThreshold = 16;
+
+    serving::ServingConfig scfg;
+    scfg.numGpus = 16;
+    scfg.maxBatch = 2;
+    scfg.horizonSeconds = 3600.0;
+    scfg.arrivalRate = 0.9 * scfg.numGpus * 2.0 /
+                       latency.batchSeconds(2); // 90% of capacity
+
+    TextTable serveTable({"Policies", "Avail", "Goodput", "p95",
+                          "Degraded", "Dropped"});
+    for (bool resilient : {false, true}) {
+        serving::ResilienceConfig res;
+        res.faults.failureMtbfSeconds = 1200.0;
+        res.faults.failureMttrSeconds = 180.0;
+        res.deadline.deadlineSeconds = 6.0 * latency.baseSeconds;
+        if (resilient) {
+            res.retry.maxRetries = 3;
+            res.retry.backoffBaseSeconds = 1.0;
+            res.admission.maxQueueLength = 64;
+            res.degradation = degradation;
+        }
+        const serving::ServingReport r =
+            serving::simulateServing(scfg, latency, res);
+        serveTable.addRow(
+            {resilient ? "retry+shed+degrade" : "none",
+             formatPercent(r.meanAvailability),
+             formatFixed(r.goodput, 3) + " req/s",
+             formatTime(r.p95Latency),
+             formatPercent(r.degradedFraction),
+             std::to_string(r.dropped)});
+    }
+    std::cout << serveTable.render() << "\n";
+    std::cout << "Degraded mode ("
+              << cheap_cfg.baseSteps << "/" << cheap_cfg.interpSteps
+              << "/" << cheap_cfg.srSteps << " steps vs "
+              << full_cfg.baseSteps << "/" << full_cfg.interpSteps
+              << "/" << full_cfg.srSteps << ") runs "
+              << formatFixed(1.0 / degradation.serviceScale, 2)
+              << "x faster per clip — under faults it converts lost "
+                 "capacity into kept deadlines\ninstead of a "
+                 "divergent queue.\n";
     return 0;
 }

@@ -1,0 +1,172 @@
+#include "faults.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mmgen::serving {
+
+namespace {
+
+// Stream-id bases keeping every stochastic process on its own split
+// Rng stream. Arrivals use the unsplit Rng(seed) stream, so fault
+// draws can never perturb the arrival sequence.
+constexpr std::uint64_t kFailureStream = 0x0001'0000;
+constexpr std::uint64_t kPreemptionStream = 0x0002'0000;
+constexpr std::uint64_t kStragglerStream = 0x0003'0000;
+
+/**
+ * Alternating up/down renewal process: up times ~ Exp(1/mtbf), down
+ * times ~ Exp(1/mttr), truncated at the horizon.
+ */
+std::vector<Outage>
+renewalOutages(Rng& rng, double mtbf, double mttr, OutageKind kind,
+               double horizon)
+{
+    std::vector<Outage> outages;
+    if (mtbf <= 0.0)
+        return outages;
+    double t = 0.0;
+    while (true) {
+        t += rng.exponential(1.0 / mtbf);
+        if (t >= horizon)
+            break;
+        Outage o;
+        o.start = t;
+        o.end = t + rng.exponential(1.0 / mttr);
+        o.kind = kind;
+        t = o.end;
+        outages.push_back(o);
+    }
+    return outages;
+}
+
+/** Merge overlapping windows; a Failure subsumes a Preemption. */
+std::vector<Outage>
+mergeOutages(std::vector<Outage> outages)
+{
+    std::sort(outages.begin(), outages.end(),
+              [](const Outage& a, const Outage& b) {
+                  return a.start < b.start;
+              });
+    std::vector<Outage> merged;
+    for (const Outage& o : outages) {
+        if (!merged.empty() && o.start <= merged.back().end) {
+            Outage& prev = merged.back();
+            prev.end = std::max(prev.end, o.end);
+            if (o.kind == OutageKind::Failure)
+                prev.kind = OutageKind::Failure;
+        } else {
+            merged.push_back(o);
+        }
+    }
+    return merged;
+}
+
+} // namespace
+
+bool
+FaultConfig::any() const
+{
+    return failureMtbfSeconds > 0.0 || preemptionMtbfSeconds > 0.0 ||
+           (stragglerFraction > 0.0 && stragglerSlowdown > 1.0);
+}
+
+double
+GpuFaultTimeline::availability(double horizonSeconds) const
+{
+    MMGEN_CHECK(horizonSeconds > 0.0, "horizon must be positive");
+    double down = 0.0;
+    for (const Outage& o : outages) {
+        const double start = std::min(o.start, horizonSeconds);
+        const double end = std::min(o.end, horizonSeconds);
+        down += end - start;
+    }
+    return 1.0 - down / horizonSeconds;
+}
+
+bool
+GpuFaultTimeline::downAt(double t) const
+{
+    for (const Outage& o : outages) {
+        if (t < o.start)
+            return false;
+        if (t < o.end)
+            return true;
+    }
+    return false;
+}
+
+double
+FleetFaultPlan::meanAvailability(double horizonSeconds) const
+{
+    if (gpus.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const GpuFaultTimeline& g : gpus)
+        sum += g.availability(horizonSeconds);
+    return sum / static_cast<double>(gpus.size());
+}
+
+std::int64_t
+FleetFaultPlan::totalOutages() const
+{
+    std::int64_t n = 0;
+    for (const GpuFaultTimeline& g : gpus)
+        n += static_cast<std::int64_t>(g.outages.size());
+    return n;
+}
+
+FleetFaultPlan
+planFaults(const FaultConfig& cfg, int numGpus, double horizonSeconds,
+           std::uint64_t seed)
+{
+    MMGEN_CHECK(numGpus >= 1, "need at least one GPU");
+    MMGEN_CHECK(horizonSeconds > 0.0, "horizon must be positive");
+    MMGEN_CHECK(cfg.failureMtbfSeconds >= 0.0 &&
+                    cfg.preemptionMtbfSeconds >= 0.0,
+                "MTBF must be non-negative");
+    MMGEN_CHECK(cfg.failureMtbfSeconds == 0.0 ||
+                    cfg.failureMttrSeconds > 0.0,
+                "failure MTTR must be positive");
+    MMGEN_CHECK(cfg.preemptionMtbfSeconds == 0.0 ||
+                    cfg.preemptionMeanSeconds > 0.0,
+                "preemption duration must be positive");
+    MMGEN_CHECK(cfg.stragglerFraction >= 0.0 &&
+                    cfg.stragglerFraction <= 1.0,
+                "straggler fraction out of [0, 1]");
+    MMGEN_CHECK(cfg.stragglerSlowdown >= 1.0,
+                "straggler slowdown must be >= 1");
+
+    FleetFaultPlan plan;
+    plan.gpus.resize(static_cast<std::size_t>(numGpus));
+    for (int g = 0; g < numGpus; ++g) {
+        GpuFaultTimeline& tl = plan.gpus[static_cast<std::size_t>(g)];
+        const std::uint64_t gid = static_cast<std::uint64_t>(g);
+
+        Rng fail = Rng::stream(seed, kFailureStream + gid);
+        std::vector<Outage> outages = renewalOutages(
+            fail, cfg.failureMtbfSeconds, cfg.failureMttrSeconds,
+            OutageKind::Failure, horizonSeconds);
+
+        Rng preempt = Rng::stream(seed, kPreemptionStream + gid);
+        std::vector<Outage> preemptions = renewalOutages(
+            preempt, cfg.preemptionMtbfSeconds,
+            cfg.preemptionMeanSeconds, OutageKind::Preemption,
+            horizonSeconds);
+        outages.insert(outages.end(), preemptions.begin(),
+                       preemptions.end());
+
+        tl.outages = mergeOutages(std::move(outages));
+
+        Rng straggle = Rng::stream(seed, kStragglerStream + gid);
+        if (cfg.stragglerFraction > 0.0 &&
+            straggle.uniform() < cfg.stragglerFraction) {
+            tl.slowdown = cfg.stragglerSlowdown;
+        }
+    }
+    return plan;
+}
+
+} // namespace mmgen::serving

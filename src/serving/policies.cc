@@ -1,0 +1,50 @@
+#include "policies.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serving/simulator.hh"
+#include "util/logging.hh"
+
+namespace mmgen::serving {
+
+double
+RetryPolicy::backoffSeconds(int attempt) const
+{
+    MMGEN_CHECK(attempt >= 1, "attempt is 1-based");
+    MMGEN_CHECK(backoffBaseSeconds >= 0.0 && backoffMultiplier >= 1.0,
+                "backoff must grow");
+    const double raw =
+        backoffBaseSeconds *
+        std::pow(backoffMultiplier, static_cast<double>(attempt - 1));
+    return std::min(raw, backoffCapSeconds);
+}
+
+DegradationPolicy
+degradationFromPipelines(const graph::Pipeline& full,
+                         const graph::Pipeline& degraded,
+                         const hw::GpuSpec& gpu, double qualityCost)
+{
+    const LatencyModel fullModel = profileLatencyModel(full, gpu);
+    const LatencyModel degradedModel =
+        profileLatencyModel(degraded, gpu);
+    MMGEN_CHECK(degradedModel.baseSeconds <= fullModel.baseSeconds,
+                "degraded pipeline '"
+                    << degraded.name << "' is slower than full '"
+                    << full.name << "' — not a degradation");
+    DegradationPolicy policy;
+    policy.serviceScale = std::clamp(
+        degradedModel.baseSeconds / fullModel.baseSeconds, 0.01, 1.0);
+    policy.qualityCost = qualityCost;
+    return policy;
+}
+
+bool
+ResilienceConfig::trivial() const
+{
+    return !faults.any() && retry.maxRetries == 0 &&
+           !deadline.hasDeadline() && !deadline.hasTimeout() &&
+           !admission.enabled() && !degradation.enabled();
+}
+
+} // namespace mmgen::serving

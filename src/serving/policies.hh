@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Serving resilience policies: what the fleet does when things go
+ * wrong. Deadlines and timeouts bound how long a request may take,
+ * bounded retry with exponential backoff recovers work destroyed by
+ * GPU faults, admission control sheds load before the queue grows
+ * unbounded, and graceful degradation shrinks per-request work under
+ * pressure (fewer denoising steps / smaller images), with the
+ * latency saving taken from the profiled pipeline rather than
+ * assumed — the quality/latency lever the multimodal-inference
+ * follow-up study (Lee et al., arXiv:2410.00215) identifies as the
+ * knob operators actually pull under load.
+ */
+
+#ifndef MMGEN_SERVING_POLICIES_HH
+#define MMGEN_SERVING_POLICIES_HH
+
+#include <cstdint>
+
+#include "graph/pipeline.hh"
+#include "hw/gpu_spec.hh"
+#include "serving/faults.hh"
+
+namespace mmgen::serving {
+
+/** Bounded retry with exponential backoff. */
+struct RetryPolicy
+{
+    /** Times a faulted request may be re-dispatched (0 = give up). */
+    int maxRetries = 0;
+    /** Backoff before the first retry, seconds. */
+    double backoffBaseSeconds = 1.0;
+    /** Multiplier applied per subsequent retry. */
+    double backoffMultiplier = 2.0;
+    /** Ceiling on any single backoff, seconds. */
+    double backoffCapSeconds = 60.0;
+
+    /** Backoff before retry `attempt` (1-based), seconds. */
+    double backoffSeconds(int attempt) const;
+};
+
+/** Per-request deadline and in-flight batch timeout. */
+struct DeadlinePolicy
+{
+    /** End-to-end SLO from arrival, seconds (0 = none). */
+    double deadlineSeconds = 0.0;
+    /**
+     * Abort a batch still running this long after dispatch and retry
+     * its requests elsewhere (0 = none). The straggler mitigation:
+     * a slow GPU's batches time out and land on healthy peers.
+     */
+    double batchTimeoutSeconds = 0.0;
+
+    bool hasDeadline() const { return deadlineSeconds > 0.0; }
+    bool hasTimeout() const { return batchTimeoutSeconds > 0.0; }
+};
+
+/** Queue-length-based load shedding at admission. */
+struct AdmissionPolicy
+{
+    /** Reject arrivals once this many requests wait (0 = admit all). */
+    std::int64_t maxQueueLength = 0;
+
+    bool enabled() const { return maxQueueLength > 0; }
+};
+
+/**
+ * Graceful degradation: past a queue-depth threshold, serve requests
+ * with a cheaper pipeline variant. `serviceScale` is the degraded
+ * service-time multiplier (< 1); `qualityCost` records what the
+ * cheaper variant gives up (e.g. fraction of denoising steps
+ * dropped) so reports can account for it.
+ */
+struct DegradationPolicy
+{
+    /** Degrade once this many requests wait (0 = never). */
+    std::int64_t queueThreshold = 0;
+    /** Degraded-mode service-time multiplier in (0, 1]. */
+    double serviceScale = 1.0;
+    /** Quality given up in degraded mode (reported, not modeled). */
+    double qualityCost = 0.0;
+
+    bool enabled() const
+    {
+        return queueThreshold > 0 && serviceScale < 1.0;
+    }
+};
+
+/**
+ * Build a degradation policy by profiling the full and degraded
+ * pipeline variants on the same GPU: `serviceScale` is the measured
+ * batch-1 latency ratio, so the policy's latency saving comes from
+ * the performance model, not a guess. The caller supplies the
+ * quality cost of the degraded variant and the queue threshold.
+ */
+DegradationPolicy
+degradationFromPipelines(const graph::Pipeline& full,
+                         const graph::Pipeline& degraded,
+                         const hw::GpuSpec& gpu, double qualityCost);
+
+/** Everything the fault-tolerant simulator needs beyond the basics. */
+struct ResilienceConfig
+{
+    FaultConfig faults;
+    RetryPolicy retry;
+    DeadlinePolicy deadline;
+    AdmissionPolicy admission;
+    DegradationPolicy degradation;
+
+    /**
+     * True when every knob is at its default — the simulator then
+     * reproduces the fault-free simulator's report bit-for-bit.
+     */
+    bool trivial() const;
+};
+
+} // namespace mmgen::serving
+
+#endif // MMGEN_SERVING_POLICIES_HH

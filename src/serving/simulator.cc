@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -49,18 +51,62 @@ profileLatencyModel(const graph::Pipeline& pipeline,
 
 namespace {
 
-/** One in-flight batch on a GPU. */
-struct Busy
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/** A request in the system; `arrival` is its first arrival time. */
+struct Request
 {
-    double finishTime;
+    double arrival = 0.0;
+    int attempts = 0;
+};
+
+/** One batch occupying a GPU. */
+struct InFlight
+{
+    double start = 0.0;
+    /** Resolution time: completion, or abort when `timedOut`. */
+    double finish = 0.0;
+    bool degraded = false;
+    /** The batch exceeds the batch timeout; `finish` is the abort. */
+    bool timedOut = false;
+    std::vector<Request> requests;
+};
+
+/** Completion-queue entry; `epoch` lazily invalidates killed work. */
+struct FinishEvent
+{
+    double time;
     int gpu;
-    std::vector<double> arrivalTimes;
+    std::uint64_t epoch;
 
     bool
-    operator>(const Busy& other) const
+    operator>(const FinishEvent& other) const
     {
-        return finishTime > other.finishTime;
+        return time > other.time;
     }
+};
+
+/** Retry-queue entry; `seq` keeps ties deterministic. */
+struct RetryEvent
+{
+    double ready;
+    std::uint64_t seq;
+    Request request;
+
+    bool
+    operator>(const RetryEvent& other) const
+    {
+        return ready != other.ready ? ready > other.ready
+                                    : seq > other.seq;
+    }
+};
+
+/** GPU up/down edge from the pre-generated fault plan. */
+struct Transition
+{
+    double time;
+    int gpu;
+    bool down;
 };
 
 } // namespace
@@ -68,13 +114,35 @@ struct Busy
 ServingReport
 simulateServing(const ServingConfig& cfg, const LatencyModel& latency)
 {
+    return simulateServing(cfg, latency, ResilienceConfig{});
+}
+
+ServingReport
+simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
+                const ResilienceConfig& resilience)
+{
     MMGEN_CHECK(cfg.arrivalRate > 0.0, "arrival rate must be positive");
     MMGEN_CHECK(cfg.numGpus >= 1, "need at least one GPU");
     MMGEN_CHECK(cfg.maxBatch >= 1, "need max batch >= 1");
     MMGEN_CHECK(cfg.horizonSeconds > 0.0, "horizon must be positive");
+    MMGEN_CHECK(resilience.degradation.serviceScale > 0.0 &&
+                    resilience.degradation.serviceScale <= 1.0,
+                "degraded service scale out of (0, 1]");
+    MMGEN_CHECK(resilience.retry.maxRetries >= 0,
+                "retry budget must be non-negative");
 
+    const double horizon = cfg.horizonSeconds;
+    const DeadlinePolicy& deadline = resilience.deadline;
+
+    // Arrivals draw from the unsplit Rng(seed) stream — exactly the
+    // fault-free simulator's stream — while the fault plan draws from
+    // split streams, so injecting faults never perturbs arrivals.
     Rng rng(cfg.seed);
+    const FleetFaultPlan plan = planFaults(
+        resilience.faults, cfg.numGpus, horizon, cfg.seed);
+
     ServingReport report;
+    report.meanAvailability = plan.meanAvailability(horizon);
 
     // Per-request max throughput of the pool at full batching.
     const double batch_rate =
@@ -83,85 +151,255 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency)
     report.offeredLoad =
         cfg.arrivalRate / (batch_rate * cfg.numGpus);
 
-    std::deque<double> queue; // arrival times of waiting requests
-    std::priority_queue<Busy, std::vector<Busy>, std::greater<Busy>>
-        busy;
-    std::vector<bool> gpu_free(static_cast<std::size_t>(cfg.numGpus),
-                               true);
+    // Flatten the fault plan into a time-sorted edge list.
+    std::vector<Transition> transitions;
+    for (int g = 0; g < cfg.numGpus; ++g) {
+        for (const Outage& o :
+             plan.gpus[static_cast<std::size_t>(g)].outages) {
+            transitions.push_back({o.start, g, true});
+            transitions.push_back({o.end, g, false});
+        }
+    }
+    std::sort(transitions.begin(), transitions.end(),
+              [](const Transition& a, const Transition& b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  if (a.gpu != b.gpu)
+                      return a.gpu < b.gpu;
+                  return a.down < b.down; // up-edge before down-edge
+              });
+
+    const std::size_t num_gpus = static_cast<std::size_t>(cfg.numGpus);
+    std::deque<Request> queue;
+    std::vector<std::optional<InFlight>> inflight(num_gpus);
+    std::vector<bool> gpu_down(num_gpus, false);
+    std::vector<std::uint64_t> epoch(num_gpus, 0);
+    int inflight_gpus = 0;
+
+    std::priority_queue<FinishEvent, std::vector<FinishEvent>,
+                        std::greater<FinishEvent>>
+        finishes;
+    std::priority_queue<RetryEvent, std::vector<RetryEvent>,
+                        std::greater<RetryEvent>>
+        retries;
+    std::uint64_t retry_seq = 0;
+
     std::vector<double> latencies;
     std::vector<double> batch_sizes;
-    double busy_gpu_seconds = 0.0;
+    double busy_in_horizon = 0.0;
+    std::int64_t goodput_count = 0;
+    std::int64_t deadline_misses = 0;
 
-    auto exponential_gap = [&rng, &cfg]() {
-        return -std::log(1.0 - rng.uniform()) / cfg.arrivalRate;
+    double next_arrival = rng.exponential(cfg.arrivalRate);
+
+    // Busy-time bookkeeping: the in-horizon share feeds utilization,
+    // the post-horizon share is reported as drain work (the seed
+    // simulator folded both into one clamped number).
+    auto account_busy = [&](double start, double end) {
+        busy_in_horizon += std::max(0.0, std::min(end, horizon) - start);
+        report.drainGpuSeconds +=
+            std::max(0.0, end - std::max(start, horizon));
     };
-    double next_arrival = exponential_gap();
+
+    // Requeue a faulted/timed-out request with backoff, or drop it.
+    auto retry_or_drop = [&](Request req, double now) {
+        if (req.attempts >= resilience.retry.maxRetries) {
+            ++report.dropped;
+            return;
+        }
+        ++req.attempts;
+        ++report.retries;
+        const double ready =
+            now + resilience.retry.backoffSeconds(req.attempts);
+        retries.push({ready, retry_seq++, std::move(req)});
+    };
+
+    // Kill the batch on a GPU (fault hit or timeout fired).
+    auto abort_inflight = [&](int g, double now) {
+        InFlight& fl = *inflight[static_cast<std::size_t>(g)];
+        account_busy(fl.start, now);
+        report.lostGpuSeconds += now - fl.start;
+        for (Request& req : fl.requests)
+            retry_or_drop(std::move(req), now);
+        inflight[static_cast<std::size_t>(g)].reset();
+        ++epoch[static_cast<std::size_t>(g)];
+        --inflight_gpus;
+    };
 
     auto dispatch = [&](double now) {
         while (!queue.empty()) {
+            // Lazily expire queued requests whose deadline already
+            // passed — serving them would be wasted work.
+            if (deadline.hasDeadline()) {
+                while (!queue.empty() &&
+                       queue.front().arrival +
+                               deadline.deadlineSeconds <=
+                           now) {
+                    ++report.expired;
+                    queue.pop_front();
+                }
+                if (queue.empty())
+                    return;
+            }
             int free_gpu = -1;
             for (int g = 0; g < cfg.numGpus; ++g) {
-                if (gpu_free[static_cast<std::size_t>(g)]) {
+                const std::size_t gi = static_cast<std::size_t>(g);
+                if (!inflight[gi].has_value() && !gpu_down[gi]) {
                     free_gpu = g;
                     break;
                 }
             }
             if (free_gpu < 0)
                 return;
+            const std::size_t gi = static_cast<std::size_t>(free_gpu);
+            const bool degrade =
+                resilience.degradation.enabled() &&
+                static_cast<std::int64_t>(queue.size()) >=
+                    resilience.degradation.queueThreshold;
             const int batch = static_cast<int>(
                 std::min<std::size_t>(queue.size(),
                                       static_cast<std::size_t>(
                                           cfg.maxBatch)));
-            Busy b;
-            b.gpu = free_gpu;
-            const double service = latency.batchSeconds(batch);
-            b.finishTime = now + service;
+            double service = latency.batchSeconds(batch) *
+                             plan.gpus[gi].slowdown;
+            if (degrade)
+                service *= resilience.degradation.serviceScale;
+            InFlight fl;
+            fl.start = now;
+            fl.degraded = degrade;
+            if (deadline.hasTimeout() &&
+                service > deadline.batchTimeoutSeconds) {
+                fl.timedOut = true;
+                fl.finish = now + deadline.batchTimeoutSeconds;
+            } else {
+                fl.finish = now + service;
+            }
             for (int i = 0; i < batch; ++i) {
-                b.arrivalTimes.push_back(queue.front());
+                fl.requests.push_back(queue.front());
                 queue.pop_front();
             }
-            gpu_free[static_cast<std::size_t>(free_gpu)] = false;
-            busy_gpu_seconds += service;
             batch_sizes.push_back(static_cast<double>(batch));
-            busy.push(std::move(b));
+            finishes.push({fl.finish, free_gpu, ++epoch[gi]});
+            inflight[gi] = std::move(fl);
+            ++inflight_gpus;
         }
     };
 
+    std::size_t ti = 0;
     while (true) {
+        // Drop stale finish events (their batch was killed).
+        while (!finishes.empty()) {
+            const FinishEvent& top = finishes.top();
+            const std::size_t gi =
+                static_cast<std::size_t>(top.gpu);
+            if (inflight[gi].has_value() && epoch[gi] == top.epoch)
+                break;
+            finishes.pop();
+        }
+        // kNever (not the seed's horizon + 1 sentinel): with no
+        // pending completion, an arrival gap jumping past horizon + 1
+        // must still break in the arrival branch, never fall through
+        // to pop an empty completion queue.
         const double next_finish =
-            busy.empty() ? cfg.horizonSeconds + 1.0
-                         : busy.top().finishTime;
-        if (next_arrival <= next_finish) {
-            if (next_arrival > cfg.horizonSeconds)
+            finishes.empty() ? kNever : finishes.top().time;
+        const double next_fault =
+            ti < transitions.size() ? transitions[ti].time : kNever;
+        const double next_retry =
+            retries.empty() ? kNever : retries.top().ready;
+        const double next_other =
+            std::min({next_finish, next_fault, next_retry});
+
+        if (next_arrival <= next_other) {
+            if (next_arrival > horizon)
                 break;
             // Arrival event.
-            queue.push_back(next_arrival);
-            ++report.arrived;
             const double now = next_arrival;
-            next_arrival += exponential_gap();
+            ++report.arrived;
+            if (resilience.admission.enabled() &&
+                static_cast<std::int64_t>(queue.size()) >=
+                    resilience.admission.maxQueueLength) {
+                ++report.shed;
+            } else {
+                queue.push_back({now, 0});
+            }
+            next_arrival += rng.exponential(cfg.arrivalRate);
+            dispatch(now);
+        } else if (next_fault <= std::min(next_finish, next_retry)) {
+            // GPU availability edge.
+            const Transition tr = transitions[ti++];
+            const std::size_t gi = static_cast<std::size_t>(tr.gpu);
+            if (tr.down) {
+                gpu_down[gi] = true;
+                if (inflight[gi].has_value())
+                    abort_inflight(tr.gpu, tr.time);
+            } else {
+                gpu_down[gi] = false;
+                dispatch(tr.time);
+            }
+        } else if (next_retry <= next_finish) {
+            // Backed-off requests re-enter the queue.
+            const double now = next_retry;
+            while (!retries.empty() && retries.top().ready <= now) {
+                queue.push_back(retries.top().request);
+                retries.pop();
+            }
             dispatch(now);
         } else {
             // Completion event (may run past the horizon to drain).
-            const Busy done = busy.top();
-            busy.pop();
-            gpu_free[static_cast<std::size_t>(done.gpu)] = true;
-            for (double arrival : done.arrivalTimes) {
-                latencies.push_back(done.finishTime - arrival);
-                ++report.completed;
+            const FinishEvent ev = finishes.top();
+            finishes.pop();
+            const std::size_t gi = static_cast<std::size_t>(ev.gpu);
+            InFlight fl = std::move(*inflight[gi]);
+            inflight[gi].reset();
+            ++epoch[gi];
+            --inflight_gpus;
+            if (fl.timedOut) {
+                account_busy(fl.start, ev.time);
+                report.lostGpuSeconds += ev.time - fl.start;
+                for (Request& req : fl.requests)
+                    retry_or_drop(std::move(req), ev.time);
+            } else {
+                account_busy(fl.start, fl.finish);
+                if (fl.degraded)
+                    report.degraded += static_cast<std::int64_t>(
+                        fl.requests.size());
+                for (const Request& req : fl.requests) {
+                    const double lat = fl.finish - req.arrival;
+                    latencies.push_back(lat);
+                    ++report.completed;
+                    if (fl.finish > horizon)
+                        ++report.drainCompleted;
+                    const bool in_deadline =
+                        !deadline.hasDeadline() ||
+                        lat <= deadline.deadlineSeconds;
+                    if (!in_deadline)
+                        ++deadline_misses;
+                    if (fl.finish <= horizon && in_deadline)
+                        ++goodput_count;
+                }
             }
-            if (done.finishTime > cfg.horizonSeconds && queue.empty() &&
-                busy.empty()) {
+            if (ev.time > horizon && queue.empty() &&
+                inflight_gpus == 0 && retries.empty()) {
                 break;
             }
-            dispatch(done.finishTime);
+            dispatch(ev.time);
         }
     }
 
     report.backlog = static_cast<std::int64_t>(queue.size());
-    while (!busy.empty()) {
+    for (std::size_t gi = 0; gi < num_gpus; ++gi) {
+        if (!inflight[gi].has_value())
+            continue;
         report.backlog += static_cast<std::int64_t>(
-            busy.top().arrivalTimes.size());
-        busy.pop();
+            inflight[gi]->requests.size());
+        // Batches cut off by the end of the run still occupied their
+        // GPU inside the horizon.
+        account_busy(inflight[gi]->start,
+                     std::min(inflight[gi]->finish, horizon));
+    }
+    while (!retries.empty()) {
+        ++report.backlog;
+        retries.pop();
     }
 
     if (!latencies.empty()) {
@@ -173,10 +411,24 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency)
     if (!batch_sizes.empty())
         report.meanBatch = summarize(batch_sizes).mean;
     report.throughput =
-        static_cast<double>(report.completed) / cfg.horizonSeconds;
-    report.gpuUtilization = std::min(
-        1.0, busy_gpu_seconds /
-                 (cfg.horizonSeconds * static_cast<double>(cfg.numGpus)));
+        static_cast<double>(report.completed - report.drainCompleted) /
+        horizon;
+    report.goodput = static_cast<double>(goodput_count) / horizon;
+    report.gpuUtilization =
+        busy_in_horizon /
+        (horizon * static_cast<double>(cfg.numGpus));
+    if (report.completed > 0) {
+        report.deadlineMissRate =
+            static_cast<double>(deadline_misses) /
+            static_cast<double>(report.completed);
+        report.degradedFraction =
+            static_cast<double>(report.degraded) /
+            static_cast<double>(report.completed);
+    }
+    if (report.arrived > 0) {
+        report.shedFraction = static_cast<double>(report.shed) /
+                              static_cast<double>(report.arrived);
+    }
     return report;
 }
 

@@ -8,7 +8,9 @@
  * per-request inference latency — produced by the profiler — to
  * fleet-facing serving metrics: a seeded Poisson arrival process, a
  * pool of simulated GPUs, greedy request batching, and tail-latency /
- * utilization reporting.
+ * utilization reporting. The fault-tolerant overload layers the
+ * `faults.hh` injection model and the `policies.hh` retry / deadline /
+ * admission / degradation machinery on the same event loop.
  */
 
 #ifndef MMGEN_SERVING_SIMULATOR_HH
@@ -18,6 +20,7 @@
 
 #include "graph/pipeline.hh"
 #include "hw/gpu_spec.hh"
+#include "serving/policies.hh"
 
 namespace mmgen::serving {
 
@@ -63,24 +66,70 @@ struct ServingConfig
 struct ServingReport
 {
     std::int64_t arrived = 0;
+    /** Requests completed, including drain-window completions. */
     std::int64_t completed = 0;
+    /** In-horizon completions per second (drain work excluded). */
     double throughput = 0.0;
     double meanLatency = 0.0;
     double p50Latency = 0.0;
     double p95Latency = 0.0;
     double meanBatch = 0.0;
-    /** Fraction of GPU-time spent serving. */
+    /** Fraction of in-horizon GPU-time occupied (never clamped). */
     double gpuUtilization = 0.0;
     /** Requests still queued or in flight at the horizon. */
     std::int64_t backlog = 0;
 
     /** Offered load versus capacity (>= 1 means saturation). */
     double offeredLoad = 0.0;
+
+    // -- drain-window accounting (post-horizon work, reported
+    //    separately so it cannot inflate throughput/utilization) --
+
+    /** Of `completed`, how many finished after the horizon. */
+    std::int64_t drainCompleted = 0;
+    /** GPU busy-seconds spent past the horizon. */
+    double drainGpuSeconds = 0.0;
+
+    // -- resilience metrics (zero on the fault-free default path) --
+
+    /** In-horizon, within-deadline completions per second. */
+    double goodput = 0.0;
+    /** Fraction of completed requests that missed their deadline. */
+    double deadlineMissRate = 0.0;
+    /** Re-dispatch attempts after faults/timeouts. */
+    std::int64_t retries = 0;
+    /** Arrivals rejected by admission control. */
+    std::int64_t shed = 0;
+    /** `shed` as a fraction of arrivals. */
+    double shedFraction = 0.0;
+    /** Requests dropped unserved: deadline passed while queued. */
+    std::int64_t expired = 0;
+    /** Requests abandoned after exhausting the retry budget. */
+    std::int64_t dropped = 0;
+    /** Requests served in degraded (cheaper) mode. */
+    std::int64_t degraded = 0;
+    /** `degraded` as a fraction of completions. */
+    double degradedFraction = 0.0;
+    /** GPU busy-seconds destroyed by faults and batch timeouts. */
+    double lostGpuSeconds = 0.0;
+    /** Mean per-GPU availability under the injected fault plan. */
+    double meanAvailability = 1.0;
 };
 
-/** Run the discrete-event simulation. */
+/** Run the discrete-event simulation (fault-free, no policies). */
 ServingReport simulateServing(const ServingConfig& cfg,
                               const LatencyModel& latency);
+
+/**
+ * Run the fault-tolerant simulation. With a default-constructed
+ * `ResilienceConfig` this reproduces the two-argument overload's
+ * report bit-for-bit on identical seeds: fault and policy machinery
+ * draw from split RNG streams and add no events, so the arrival
+ * sequence and every metric are unchanged.
+ */
+ServingReport simulateServing(const ServingConfig& cfg,
+                              const LatencyModel& latency,
+                              const ResilienceConfig& resilience);
 
 } // namespace mmgen::serving
 

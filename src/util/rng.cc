@@ -31,6 +31,17 @@ Rng::Rng(std::uint64_t seed)
         word = splitmix64(sm);
 }
 
+Rng
+Rng::stream(std::uint64_t seed, std::uint64_t streamId)
+{
+    // Hash the stream id through splitmix64 and fold it into the
+    // seed, so stream 0 differs from the plain Rng(seed) stream and
+    // adjacent stream ids land far apart in seed space.
+    std::uint64_t id = streamId + 0x6a09e667f3bcc909ULL;
+    const std::uint64_t mixed = splitmix64(id);
+    return Rng(seed ^ mixed);
+}
+
 std::uint64_t
 Rng::nextU64()
 {
@@ -93,6 +104,12 @@ double
 Rng::logNormal(double mu, double sigma)
 {
     return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double rate)
+{
+    return -std::log(1.0 - uniform()) / rate;
 }
 
 } // namespace mmgen

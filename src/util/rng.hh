@@ -24,6 +24,16 @@ class Rng
     /** Seed the generator; the same seed yields the same stream. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    /**
+     * Derive an independent deterministic stream from a base seed.
+     * `stream(seed, a)` and `stream(seed, b)` are decorrelated from
+     * each other and from `Rng(seed)`, so a simulation can hand each
+     * stochastic process (arrivals, failures, preemptions, ...) its
+     * own stream: adding draws to one process never perturbs another,
+     * and runs stay bit-reproducible.
+     */
+    static Rng stream(std::uint64_t seed, std::uint64_t streamId);
+
     /** Next raw 64-bit value. */
     std::uint64_t nextU64();
 
@@ -44,6 +54,9 @@ class Rng
 
     /** Log-normal deviate parameterized by the underlying normal. */
     double logNormal(double mu, double sigma);
+
+    /** Exponential deviate with the given rate (mean 1/rate). */
+    double exponential(double rate);
 
   private:
     std::uint64_t s[4];

@@ -130,6 +130,97 @@ TEST(Simulator, MoreGpusLowerLatency)
     EXPECT_LT(four.offeredLoad, one.offeredLoad);
 }
 
+TEST(Simulator, DeterministicFullReport)
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 1.7;
+    cfg.numGpus = 3;
+    cfg.maxBatch = 4;
+    cfg.horizonSeconds = 400.0;
+    const ServingReport a = simulateServing(cfg, unitModel());
+    const ServingReport b = simulateServing(cfg, unitModel());
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.drainCompleted, b.drainCompleted);
+    EXPECT_EQ(a.backlog, b.backlog);
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.meanLatency, b.meanLatency);
+    EXPECT_EQ(a.p50Latency, b.p50Latency);
+    EXPECT_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_EQ(a.meanBatch, b.meanBatch);
+    EXPECT_EQ(a.gpuUtilization, b.gpuUtilization);
+    EXPECT_EQ(a.drainGpuSeconds, b.drainGpuSeconds);
+    EXPECT_EQ(a.offeredLoad, b.offeredLoad);
+}
+
+TEST(Simulator, SaturationBacklogGrowsWithHorizon)
+{
+    // At offered load > 1 the queue diverges: doubling the horizon
+    // should roughly double the backlog, not plateau.
+    ServingConfig cfg;
+    cfg.arrivalRate = 2.0;
+    cfg.maxBatch = 1;
+    cfg.horizonSeconds = 200.0;
+    const ServingReport short_r = simulateServing(cfg, unitModel());
+    cfg.horizonSeconds = 400.0;
+    const ServingReport long_r = simulateServing(cfg, unitModel());
+    EXPECT_GT(short_r.offeredLoad, 1.0);
+    EXPECT_GT(long_r.backlog, short_r.backlog * 3 / 2);
+}
+
+TEST(Simulator, DrainWorkDoesNotInflateThroughput)
+{
+    // Saturated single GPU: the seed simulator drained completions
+    // past the horizon into `throughput` and let busy time exceed the
+    // horizon (masked by the min(1, .) clamp). In-horizon throughput
+    // is bounded by service capacity, utilization by 1.
+    ServingConfig cfg;
+    cfg.arrivalRate = 3.0;
+    cfg.maxBatch = 1;
+    cfg.horizonSeconds = 300.0;
+    const ServingReport r = simulateServing(cfg, unitModel());
+    EXPECT_LE(r.throughput, 1.0 / unitModel().baseSeconds + 1e-9);
+    EXPECT_LE(r.gpuUtilization, 1.0 + 1e-12);
+    EXPECT_GT(r.gpuUtilization, 0.95);
+    EXPECT_EQ(r.completed,
+              static_cast<std::int64_t>(r.throughput *
+                                        cfg.horizonSeconds + 0.5) +
+                  r.drainCompleted);
+}
+
+TEST(Simulator, SingleLongRequestSpanningHorizon)
+{
+    // One request whose service time dwarfs the horizon: it never
+    // completes, occupies its GPU to the horizon, and counts as
+    // backlog — with no phantom throughput or over-unity utilization.
+    LatencyModel slow;
+    slow.baseSeconds = 1000.0;
+    slow.overheadFraction = 0.0;
+    ServingConfig cfg;
+    cfg.arrivalRate = 0.05;
+    cfg.maxBatch = 1;
+    cfg.horizonSeconds = 100.0;
+    const ServingReport r = simulateServing(cfg, slow);
+    ASSERT_GE(r.arrived, 1);
+    EXPECT_EQ(r.completed, 0);
+    EXPECT_EQ(r.drainCompleted, 0);
+    EXPECT_DOUBLE_EQ(r.throughput, 0.0);
+    EXPECT_EQ(r.backlog, r.arrived);
+    EXPECT_GT(r.gpuUtilization, 0.0);
+    EXPECT_LE(r.gpuUtilization, 1.0);
+}
+
+TEST(Simulator, MaxBatchOneNeverBatches)
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 2.0;
+    cfg.maxBatch = 1;
+    cfg.numGpus = 2;
+    cfg.horizonSeconds = 300.0;
+    const ServingReport r = simulateServing(cfg, unitModel());
+    EXPECT_DOUBLE_EQ(r.meanBatch, 1.0);
+}
+
 TEST(Simulator, Validation)
 {
     ServingConfig cfg;

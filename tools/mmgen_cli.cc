@@ -15,6 +15,7 @@
  *   --backend baseline|flash|flash_decode   attention backend
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,7 +25,9 @@
 #include "core/reports.hh"
 #include "core/suite.hh"
 #include "core/taxonomy.hh"
+#include "models/stable_diffusion.hh"
 #include "profiler/chrome_trace.hh"
+#include "serving/simulator.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 
@@ -44,9 +47,20 @@ usage()
         << "  taxonomy                    Table I labels\n"
         << "  footprint                   peak-memory report\n"
         << "  trace <model> <out.json>    Chrome trace export\n"
+        << "  serve <model> [options]     fault-tolerant serving sim\n"
         << "options:\n"
         << "  --gpu a100|v100|h100        (default a100)\n"
-        << "  --backend baseline|flash|flash_decode\n";
+        << "  --backend baseline|flash|flash_decode\n"
+        << "serve options:\n"
+        << "  --rate R --gpus N --batch B --horizon S --seed S\n"
+        << "  --mtbf S --mttr S           per-GPU failure process\n"
+        << "  --preempt-mtbf S --preempt-mean S\n"
+        << "  --straggler-frac F --straggler-slowdown X\n"
+        << "  --deadline S --timeout S    request SLO / batch abort\n"
+        << "  --retries N --max-queue N   retry budget / admission\n"
+        << "  --degrade-threshold N       queue depth to degrade at\n"
+        << "  --degrade-steps F           fraction of denoise steps\n"
+        << "                              kept in degraded mode\n";
     return 2;
 }
 
@@ -88,11 +102,47 @@ parseModel(const std::string& name)
                                          << "'; see `mmgen list`");
 }
 
+double
+parseDouble(const std::string& arg, const std::string& value)
+{
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(value, &pos);
+    } catch (const std::logic_error&) {
+        pos = 0;
+    }
+    MMGEN_CHECK(!value.empty() && pos == value.size(),
+                arg << " needs a number, got '" << value << "'");
+    return v;
+}
+
+std::int64_t
+parseInt(const std::string& arg, const std::string& value)
+{
+    std::size_t pos = 0;
+    std::int64_t v = 0;
+    try {
+        v = static_cast<std::int64_t>(std::stoll(value, &pos));
+    } catch (const std::logic_error&) {
+        pos = 0;
+    }
+    MMGEN_CHECK(!value.empty() && pos == value.size(),
+                arg << " needs an integer, got '" << value << "'");
+    return v;
+}
+
 struct Options
 {
     hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
     graph::AttentionBackend backend = graph::AttentionBackend::Flash;
     std::vector<std::string> positional;
+
+    // serve subcommand knobs
+    serving::ServingConfig serving;
+    serving::ResilienceConfig resilience;
+    std::int64_t degradeThreshold = 0;
+    double degradeStepsKept = 0.5;
 };
 
 Options
@@ -105,10 +155,51 @@ parseOptions(int argc, char** argv, int first)
             MMGEN_CHECK(i + 1 < argc, arg << " needs a value");
             return argv[++i];
         };
+        auto nextDouble = [&]() { return parseDouble(arg, next()); };
+        auto nextInt = [&]() { return parseInt(arg, next()); };
         if (arg == "--gpu")
             opts.gpu = parseGpu(next());
         else if (arg == "--backend")
             opts.backend = parseBackend(next());
+        else if (arg == "--rate")
+            opts.serving.arrivalRate = nextDouble();
+        else if (arg == "--gpus")
+            opts.serving.numGpus = static_cast<int>(nextInt());
+        else if (arg == "--batch")
+            opts.serving.maxBatch = static_cast<int>(nextInt());
+        else if (arg == "--horizon")
+            opts.serving.horizonSeconds = nextDouble();
+        else if (arg == "--seed")
+            opts.serving.seed =
+                static_cast<std::uint64_t>(nextInt());
+        else if (arg == "--mtbf")
+            opts.resilience.faults.failureMtbfSeconds = nextDouble();
+        else if (arg == "--mttr")
+            opts.resilience.faults.failureMttrSeconds = nextDouble();
+        else if (arg == "--preempt-mtbf")
+            opts.resilience.faults.preemptionMtbfSeconds =
+                nextDouble();
+        else if (arg == "--preempt-mean")
+            opts.resilience.faults.preemptionMeanSeconds =
+                nextDouble();
+        else if (arg == "--straggler-frac")
+            opts.resilience.faults.stragglerFraction = nextDouble();
+        else if (arg == "--straggler-slowdown")
+            opts.resilience.faults.stragglerSlowdown = nextDouble();
+        else if (arg == "--deadline")
+            opts.resilience.deadline.deadlineSeconds = nextDouble();
+        else if (arg == "--timeout")
+            opts.resilience.deadline.batchTimeoutSeconds =
+                nextDouble();
+        else if (arg == "--retries")
+            opts.resilience.retry.maxRetries =
+                static_cast<int>(nextInt());
+        else if (arg == "--max-queue")
+            opts.resilience.admission.maxQueueLength = nextInt();
+        else if (arg == "--degrade-threshold")
+            opts.degradeThreshold = nextInt();
+        else if (arg == "--degrade-steps")
+            opts.degradeStepsKept = nextDouble();
         else if (!arg.empty() && arg[0] == '-')
             MMGEN_CHECK(false, "unknown option " << arg);
         else
@@ -212,6 +303,77 @@ cmdFootprint(const Options& opts)
 }
 
 int
+cmdServe(const Options& opts)
+{
+    MMGEN_CHECK(opts.positional.size() == 1,
+                "serve needs exactly one model name");
+    const models::ModelId id = parseModel(opts.positional[0]);
+    const graph::Pipeline pipeline = models::buildModel(id);
+    const serving::LatencyModel latency =
+        serving::profileLatencyModel(pipeline, opts.gpu);
+
+    serving::ResilienceConfig res = opts.resilience;
+    if (opts.degradeThreshold > 0) {
+        // For Stable Diffusion the degraded variant is profiled for
+        // real (fewer denoising steps); for other models the kept
+        // fraction approximates the service scale, since generator
+        // iterations dominate and scale linearly with steps.
+        if (id == models::ModelId::StableDiffusion) {
+            models::StableDiffusionConfig cheap;
+            cheap.denoiseSteps = std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       static_cast<double>(cheap.denoiseSteps) *
+                       opts.degradeStepsKept));
+            res.degradation = serving::degradationFromPipelines(
+                pipeline, models::buildStableDiffusion(cheap),
+                opts.gpu, 1.0 - opts.degradeStepsKept);
+        } else {
+            res.degradation.serviceScale = opts.degradeStepsKept;
+            res.degradation.qualityCost =
+                1.0 - opts.degradeStepsKept;
+        }
+        res.degradation.queueThreshold = opts.degradeThreshold;
+    }
+
+    const serving::ServingReport r =
+        serving::simulateServing(opts.serving, latency, res);
+
+    std::cout << pipeline.name << " on " << opts.serving.numGpus
+              << "x " << opts.gpu.name << " (batch-1 latency "
+              << formatTime(latency.baseSeconds) << ")\n\n";
+    TextTable table({"Metric", "Value"});
+    table.addRow({"offered load", formatFixed(r.offeredLoad, 2)});
+    table.addRow({"mean availability",
+                  formatPercent(r.meanAvailability)});
+    table.addRow({"arrived", std::to_string(r.arrived)});
+    table.addRow({"completed", std::to_string(r.completed)});
+    table.addRow({"throughput",
+                  formatFixed(r.throughput, 2) + " req/s"});
+    table.addRow({"goodput", formatFixed(r.goodput, 2) + " req/s"});
+    table.addRow({"p50 / p95 latency", formatTime(r.p50Latency) +
+                                           " / " +
+                                           formatTime(r.p95Latency)});
+    table.addRow({"mean batch", formatFixed(r.meanBatch, 2)});
+    table.addRow({"GPU utilization",
+                  formatPercent(r.gpuUtilization)});
+    table.addRow({"deadline miss rate",
+                  formatPercent(r.deadlineMissRate)});
+    table.addRow({"retries", std::to_string(r.retries)});
+    table.addRow({"shed / expired / dropped",
+                  std::to_string(r.shed) + " / " +
+                      std::to_string(r.expired) + " / " +
+                      std::to_string(r.dropped)});
+    table.addRow({"degraded", formatPercent(r.degradedFraction)});
+    table.addRow({"backlog", std::to_string(r.backlog)});
+    table.addRow({"drain completions",
+                  std::to_string(r.drainCompleted)});
+    table.addRow({"lost GPU-seconds",
+                  formatFixed(r.lostGpuSeconds, 1)});
+    std::cout << table.render();
+    return 0;
+}
+
+int
 cmdTrace(const Options& opts)
 {
     MMGEN_CHECK(opts.positional.size() == 2,
@@ -256,6 +418,8 @@ main(int argc, char** argv)
             return cmdFootprint(opts);
         if (cmd == "trace")
             return cmdTrace(opts);
+        if (cmd == "serve")
+            return cmdServe(opts);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
     } catch (const mmgen::FatalError& e) {
