@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Model-zoo lint driver: runs the structural verifier and the
+ * physics-consistency checks over suite models and their profiled
+ * results. This is what `mmgen lint` and the CI gate execute.
+ */
+
+#ifndef MMGEN_CORE_LINT_HH
+#define MMGEN_CORE_LINT_HH
+
+#include <vector>
+
+#include "graph/pipeline.hh"
+#include "hw/gpu_spec.hh"
+#include "models/model_suite.hh"
+#include "verify/verify.hh"
+
+namespace mmgen::core {
+
+/** Knobs for one lint run. */
+struct LintOptions
+{
+    hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+
+    /** Attention backends the physics lints are evaluated under. */
+    std::vector<graph::AttentionBackend> backends = {
+        graph::AttentionBackend::Baseline,
+        graph::AttentionBackend::Flash,
+    };
+
+    /** Run per-op and profile-level physics lints. */
+    bool physics = true;
+
+    /**
+     * Run behavioural probes: latency monotonicity in stage
+     * iterations and cache-hit-rate range checks (profiles the
+     * pipeline a few extra times).
+     */
+    bool probes = true;
+};
+
+/** Lint one pipeline (structural, then physics when clean). */
+verify::DiagnosticReport lintPipeline(const graph::Pipeline& pipeline,
+                                      const LintOptions& opts = {});
+
+/** Lint one suite model by id. */
+verify::DiagnosticReport lintModel(models::ModelId id,
+                                   const LintOptions& opts = {});
+
+/** Lint every suite model; merged report. */
+verify::DiagnosticReport lintAll(const LintOptions& opts = {});
+
+} // namespace mmgen::core
+
+#endif // MMGEN_CORE_LINT_HH

@@ -100,8 +100,12 @@ struct ConvAttrs
     std::int64_t groups = 1;
     bool hasBias = true;
 
-    std::int64_t outH() const { return inH / strideH; }
-    std::int64_t outW() const { return inW / strideW; }
+    // Same-padding semantics: a stride-s conv over n rows emits
+    // ceil(n / s) outputs. The builder additionally requires exact
+    // divisibility, so rounding up only matters for hand-built attrs
+    // (where truncation would silently shrink the output grid).
+    std::int64_t outH() const { return (inH + strideH - 1) / strideH; }
+    std::int64_t outW() const { return (inW + strideW - 1) / strideW; }
     std::int64_t outD() const { return inD; }
 };
 

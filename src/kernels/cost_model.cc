@@ -203,6 +203,8 @@ CostModel::costConv(const Op& op) const
         d(db);
     const double out_bytes = d(m * n) * d(db);
     kc.hbmBytes = in_bytes + w_bytes + out_bytes;
+    if (a.hasBias)
+        kc.hbmBytes += d(a.outChannels) * d(db);
     kc.launches = 1;
     kc.computeEff = convComputeEff(gpu_, params_, m, n, k);
     kc.memEff = streamMemEff(params_,

@@ -2,6 +2,7 @@
 
 #include "kernels/attention.hh"
 #include "util/logging.hh"
+#include "verify/verify.hh"
 
 namespace mmgen::profiler {
 
@@ -85,6 +86,8 @@ Profiler::accumulateTrace(const graph::Trace& trace,
 ProfileResult
 Profiler::profile(const graph::Pipeline& pipeline) const
 {
+    if (verify::runtimeChecksEnabled())
+        verify::verifyPipelineOrThrow(pipeline);
     const kernels::CostModel model(opts.gpu, opts.backend,
                                    opts.efficiency);
     ProfileResult result;
@@ -110,6 +113,16 @@ Profiler::profile(const graph::Pipeline& pipeline) const
         result.stageSeconds.emplace_back(stage.name, stage_s);
         result.stageBreakdowns.emplace_back(stage.name,
                                             std::move(stage_breakdown));
+    }
+    if (verify::runtimeChecksEnabled()) {
+        verify::DiagnosticReport physics;
+        verify::checkObservation(
+            verify::SimObservation{result.model + " total",
+                                   result.totalFlops,
+                                   result.totalHbmBytes,
+                                   result.totalSeconds, pipeline.dtype},
+            opts.gpu, physics);
+        verify::throwOnErrors(physics);
     }
     return result;
 }

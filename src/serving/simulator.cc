@@ -10,6 +10,7 @@
 
 #include "profiler/engine.hh"
 #include "util/logging.hh"
+#include "verify/verify.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 
@@ -31,6 +32,8 @@ LatencyModel
 profileLatencyModel(const graph::Pipeline& pipeline,
                     const hw::GpuSpec& gpu)
 {
+    if (verify::runtimeChecksEnabled())
+        verify::verifyPipelineOrThrow(pipeline);
     profiler::ProfileOptions opts;
     opts.gpu = gpu;
     opts.backend = graph::AttentionBackend::Flash;

@@ -1,0 +1,195 @@
+#include "diagnostic.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mmgen::verify {
+
+namespace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warn:
+        return "warn";
+      case Severity::Info:
+        return "info";
+    }
+    MMGEN_ASSERT(false, "unknown severity");
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity) << "[" << rule << "]";
+    if (!model.empty() || !stage.empty()) {
+        oss << " " << model;
+        if (!stage.empty())
+            oss << "/" << stage;
+    }
+    if (!scope.empty())
+        oss << " " << scope;
+    oss << ": " << message;
+    if (!hint.empty())
+        oss << " (fix: " << hint << ")";
+    return oss.str();
+}
+
+void
+DiagnosticReport::add(Diagnostic d)
+{
+    switch (d.severity) {
+      case Severity::Error:
+        ++errors;
+        break;
+      case Severity::Warn:
+        ++warnings;
+        break;
+      case Severity::Info:
+        ++infos;
+        break;
+    }
+    int kept = 0;
+    for (const Diagnostic& existing : diags) {
+        if (existing.rule == d.rule && existing.stage == d.stage)
+            ++kept;
+    }
+    if (kept >= kMaxPerRulePerStage) {
+        ++suppressed;
+        return;
+    }
+    diags.push_back(std::move(d));
+}
+
+void
+DiagnosticReport::merge(const DiagnosticReport& other)
+{
+    for (const Diagnostic& d : other.diags)
+        add(d);
+    suppressed += other.suppressed;
+}
+
+std::int64_t
+DiagnosticReport::count(Severity s) const
+{
+    switch (s) {
+      case Severity::Error:
+        return errors;
+      case Severity::Warn:
+        return warnings;
+      case Severity::Info:
+        return infos;
+    }
+    MMGEN_ASSERT(false, "unknown severity");
+}
+
+std::vector<Diagnostic>
+DiagnosticReport::forRule(const std::string& rule) const
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic& d : diags) {
+        if (d.rule == rule)
+            out.push_back(d);
+    }
+    return out;
+}
+
+bool
+DiagnosticReport::fired(const std::string& rule) const
+{
+    return std::any_of(
+        diags.begin(), diags.end(),
+        [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::vector<std::string>
+DiagnosticReport::firedRules() const
+{
+    std::vector<std::string> out;
+    for (const Diagnostic& d : diags) {
+        if (std::find(out.begin(), out.end(), d.rule) == out.end())
+            out.push_back(d.rule);
+    }
+    return out;
+}
+
+std::string
+DiagnosticReport::render() const
+{
+    std::ostringstream oss;
+    for (const Diagnostic& d : diags)
+        oss << d.str() << "\n";
+    oss << errors << " error(s), " << warnings << " warning(s), "
+        << infos << " note(s)";
+    if (suppressed > 0)
+        oss << ", " << suppressed << " suppressed";
+    oss << "\n";
+    return oss.str();
+}
+
+std::string
+DiagnosticReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic& d = diags[i];
+        if (i > 0)
+            oss << ",";
+        oss << "\n  {\"severity\": \"" << severityName(d.severity)
+            << "\", \"rule\": \"" << jsonEscape(d.rule)
+            << "\", \"model\": \"" << jsonEscape(d.model)
+            << "\", \"stage\": \"" << jsonEscape(d.stage)
+            << "\", \"scope\": \"" << jsonEscape(d.scope)
+            << "\", \"message\": \"" << jsonEscape(d.message)
+            << "\", \"hint\": \"" << jsonEscape(d.hint) << "\"}";
+    }
+    if (!diags.empty())
+        oss << "\n";
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace mmgen::verify

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Diagnostic records produced by the static-analysis passes.
+ *
+ * Every rule violation the verifier finds becomes one Diagnostic:
+ * a severity, the rule id that fired, where in the pipeline it fired
+ * (model / stage / op scope), a human-readable message and a fix
+ * hint. A DiagnosticReport collects them, caps per-rule noise, and
+ * renders either a text listing or a JSON array for tooling.
+ */
+
+#ifndef MMGEN_VERIFY_DIAGNOSTIC_HH
+#define MMGEN_VERIFY_DIAGNOSTIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmgen::verify {
+
+/** How bad a finding is. Errors gate CI; warnings do not. */
+enum class Severity : std::uint8_t {
+    Error,
+    Warn,
+    Info,
+};
+
+/** Lowercase severity name ("error" / "warn" / "info"). */
+std::string severityName(Severity s);
+
+/** One finding of one rule at one site. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Rule id, e.g. "S003". */
+    std::string rule;
+    /** Model / pipeline name the finding belongs to (may be empty). */
+    std::string model;
+    /** Pipeline stage name (may be empty for result-level checks). */
+    std::string stage;
+    /** Dotted op scope, e.g. "unet.down0.attn.self" (may be empty). */
+    std::string scope;
+    /** What is wrong, with the offending numbers. */
+    std::string message;
+    /** How a model author would fix it (may be empty). */
+    std::string hint;
+
+    /** One-line rendering: "error[S003] model/stage scope: msg". */
+    std::string str() const;
+};
+
+/**
+ * An ordered collection of diagnostics with severity bookkeeping.
+ *
+ * To keep a corrupted model from producing thousands of copies of the
+ * same finding, a report caps the diagnostics it keeps per (rule,
+ * stage) pair and counts the rest as suppressed.
+ */
+class DiagnosticReport
+{
+  public:
+    /** Findings kept per (rule, stage) before suppression kicks in. */
+    static constexpr int kMaxPerRulePerStage = 8;
+
+    /** Record one finding (may be suppressed; always counted). */
+    void add(Diagnostic d);
+
+    /** Append every finding of another report. */
+    void merge(const DiagnosticReport& other);
+
+    const std::vector<Diagnostic>& diagnostics() const { return diags; }
+
+    /** Total findings counted at a severity, including suppressed. */
+    std::int64_t count(Severity s) const;
+
+    std::int64_t errorCount() const { return count(Severity::Error); }
+    bool hasErrors() const { return errorCount() > 0; }
+
+    /** Findings (kept, not suppressed) for one rule id. */
+    std::vector<Diagnostic> forRule(const std::string& rule) const;
+
+    /** True if any kept finding fired the given rule. */
+    bool fired(const std::string& rule) const;
+
+    /** Distinct rule ids among kept findings, in first-seen order. */
+    std::vector<std::string> firedRules() const;
+
+    /** Findings dropped by the per-rule cap. */
+    std::int64_t suppressedCount() const { return suppressed; }
+
+    /** Multi-line human-readable listing plus a summary line. */
+    std::string render() const;
+
+    /** JSON array of the kept findings. */
+    std::string toJson() const;
+
+  private:
+    std::vector<Diagnostic> diags;
+    std::int64_t errors = 0;
+    std::int64_t warnings = 0;
+    std::int64_t infos = 0;
+    std::int64_t suppressed = 0;
+};
+
+} // namespace mmgen::verify
+
+#endif // MMGEN_VERIFY_DIAGNOSTIC_HH

@@ -1,0 +1,248 @@
+#include "physics.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "kernels/attention.hh"
+
+namespace mmgen::verify {
+
+namespace {
+
+/** Relative slack for floating-point bound comparisons. */
+constexpr double kRelTol = 1e-6;
+
+void
+addError(DiagnosticReport& report, const char* rule,
+         const PhysicsContext& ctx, const std::string& scope,
+         std::string msg, std::string hint = "")
+{
+    report.add(Diagnostic{Severity::Error, rule, ctx.model, ctx.stage,
+                          scope, std::move(msg), std::move(hint)});
+}
+
+/** P006: a simulated quantity must be finite and non-negative. */
+bool
+finiteNonNegative(DiagnosticReport& report, const PhysicsContext& ctx,
+                  const std::string& scope, const char* what,
+                  double value)
+{
+    if (std::isfinite(value) && value >= 0.0)
+        return true;
+    std::ostringstream oss;
+    oss << what << " = " << value << " is not finite and non-negative";
+    addError(report, rules::FiniteResult, ctx, scope, oss.str());
+    return false;
+}
+
+} // namespace
+
+double
+compulsoryOpBytes(const graph::Op& op)
+{
+    const double e = static_cast<double>(dtypeBytes(op.dtype));
+    switch (op.kind) {
+      case graph::OpKind::Conv2D:
+      case graph::OpKind::Conv3D: {
+        const auto& a = op.as<graph::ConvAttrs>();
+        const double in = static_cast<double>(a.batch) * a.inChannels *
+                          a.inD * a.inH * a.inW;
+        const double out = static_cast<double>(a.batch) *
+                           a.outChannels * a.outD() * a.outH() *
+                           a.outW();
+        double weights = static_cast<double>(a.kernelH) * a.kernelW *
+                         a.kernelD * (a.inChannels / a.groups) *
+                         a.outChannels;
+        if (a.hasBias)
+            weights += static_cast<double>(a.outChannels);
+        return e * (in + weights + out);
+      }
+      case graph::OpKind::Linear: {
+        const auto& a = op.as<graph::LinearAttrs>();
+        double bytes = static_cast<double>(a.rows) * a.inFeatures +
+                       static_cast<double>(a.inFeatures) *
+                           a.outFeatures +
+                       static_cast<double>(a.rows) * a.outFeatures;
+        if (a.hasBias)
+            bytes += static_cast<double>(a.outFeatures);
+        return e * bytes;
+      }
+      case graph::OpKind::Matmul: {
+        const auto& a = op.as<graph::MatmulAttrs>();
+        return e * a.batch *
+               (static_cast<double>(a.m) * a.k +
+                static_cast<double>(a.k) * a.n +
+                static_cast<double>(a.m) * a.n);
+      }
+      case graph::OpKind::Attention:
+        // Q/K/V read once, O written once: the flash lower bound.
+        return kernels::qkvoBytes(op.as<graph::AttentionAttrs>(),
+                                  dtypeBytes(op.dtype));
+      case graph::OpKind::GroupNorm:
+      case graph::OpKind::LayerNorm:
+        return e * 2.0 * op.as<graph::NormAttrs>().numel;
+      case graph::OpKind::Softmax: {
+        const auto& a = op.as<graph::SoftmaxAttrs>();
+        return e * 2.0 * static_cast<double>(a.rows) * a.cols;
+      }
+      case graph::OpKind::Elementwise: {
+        const auto& a = op.as<graph::ElemAttrs>();
+        return e * (a.arity + 1.0) * a.numel;
+      }
+      case graph::OpKind::Embedding: {
+        // A gather touches only the rows it gathers, not the table.
+        const auto& a = op.as<graph::EmbeddingAttrs>();
+        return e * 2.0 * static_cast<double>(a.tokens) * a.dim;
+      }
+      case graph::OpKind::Upsample:
+      case graph::OpKind::Downsample: {
+        const auto& a = op.as<graph::ResampleAttrs>();
+        return e * (static_cast<double>(a.numelIn) + a.numelOut);
+      }
+      case graph::OpKind::Copy:
+        return 2.0 * static_cast<double>(op.as<graph::CopyAttrs>().bytes);
+    }
+    return 0.0;
+}
+
+void
+checkOpPhysics(const graph::Op& op, const kernels::CostModel& model,
+               const PhysicsContext& ctx, DiagnosticReport& report)
+{
+    const kernels::OpCost cost = model.cost(op);
+    const kernels::OpTime time = model.time(cost, op.dtype, op.repeat);
+    const double repeat = static_cast<double>(op.repeat);
+    const double flops = cost.totalFlops() * repeat;
+    const double bytes = cost.totalBytes() * repeat;
+
+    if (!finiteNonNegative(report, ctx, op.scope, "flops", flops) ||
+        !finiteNonNegative(report, ctx, op.scope, "hbm bytes", bytes) ||
+        !finiteNonNegative(report, ctx, op.scope, "seconds",
+                           time.seconds))
+        return;
+    if (time.seconds <= 0.0) {
+        addError(report, rules::FiniteResult, ctx, op.scope,
+                 "op takes zero time despite launch overhead");
+        return;
+    }
+
+    const double peak = model.gpu().peakFlops(op.dtype);
+    if (peak > 0.0 && flops / time.seconds > peak * (1.0 + kRelTol)) {
+        std::ostringstream oss;
+        oss << "achieved " << flops / time.seconds
+            << " FLOP/s exceeds the " << dtypeName(op.dtype)
+            << " peak " << peak;
+        addError(report, rules::AbovePeakFlops, ctx, op.scope,
+                 oss.str(),
+                 "efficiency factors must stay in (0, 1]");
+    }
+    const double bw = model.gpu().hbmBandwidth;
+    if (bw > 0.0 && bytes / time.seconds > bw * (1.0 + kRelTol)) {
+        std::ostringstream oss;
+        oss << "achieved " << bytes / time.seconds
+            << " bytes/s exceeds the HBM bandwidth " << bw;
+        addError(report, rules::AbovePeakBandwidth, ctx, op.scope,
+                 oss.str());
+    }
+
+    const double floor = compulsoryOpBytes(op) * repeat;
+    if (bytes < floor * (1.0 - kRelTol)) {
+        std::ostringstream oss;
+        oss << "modeled HBM traffic " << bytes
+            << " below the compulsory minimum " << floor;
+        addError(report, rules::BelowCompulsoryBytes, ctx, op.scope,
+                 oss.str(),
+                 "every operand must be read and every result written "
+                 "at least once");
+    }
+}
+
+DiagnosticReport
+verifyTracePhysics(const graph::Trace& trace,
+                   const kernels::CostModel& model,
+                   const PhysicsContext& ctx)
+{
+    DiagnosticReport report;
+    for (const graph::Op& op : trace.ops())
+        checkOpPhysics(op, model, ctx, report);
+    return report;
+}
+
+void
+checkObservation(const SimObservation& obs, const hw::GpuSpec& gpu,
+                 DiagnosticReport& report)
+{
+    const PhysicsContext ctx{obs.label, ""};
+    if (!finiteNonNegative(report, ctx, "", "flops", obs.flops) ||
+        !finiteNonNegative(report, ctx, "", "hbm bytes",
+                           obs.hbmBytes) ||
+        !finiteNonNegative(report, ctx, "", "seconds", obs.seconds))
+        return;
+    if (obs.seconds <= 0.0) {
+        if (obs.flops > 0.0 || obs.hbmBytes > 0.0)
+            addError(report, rules::FiniteResult, ctx, "",
+                     "work was performed in zero simulated time");
+        return;
+    }
+    const double peak = gpu.peakFlops(obs.dtype);
+    if (peak > 0.0 &&
+        obs.flops / obs.seconds > peak * (1.0 + kRelTol)) {
+        std::ostringstream oss;
+        oss << "achieved " << obs.flops / obs.seconds
+            << " FLOP/s exceeds the " << dtypeName(obs.dtype)
+            << " peak " << peak;
+        addError(report, rules::AbovePeakFlops, ctx, "", oss.str());
+    }
+    if (gpu.hbmBandwidth > 0.0 &&
+        obs.hbmBytes / obs.seconds >
+            gpu.hbmBandwidth * (1.0 + kRelTol)) {
+        std::ostringstream oss;
+        oss << "achieved " << obs.hbmBytes / obs.seconds
+            << " bytes/s exceeds the HBM bandwidth "
+            << gpu.hbmBandwidth;
+        addError(report, rules::AbovePeakBandwidth, ctx, "",
+                 oss.str());
+    }
+}
+
+void
+checkHitRate(const std::string& label, double rate,
+             DiagnosticReport& report)
+{
+    if (std::isfinite(rate) && rate >= 0.0 && rate <= 1.0)
+        return;
+    std::ostringstream oss;
+    oss << "hit rate " << rate << " outside [0, 1]";
+    report.add(Diagnostic{Severity::Error, rules::HitRateRange, label,
+                          "", "", oss.str(), ""});
+}
+
+void
+checkLatencyMonotone(
+    const std::string& label,
+    const std::vector<std::pair<double, double>>& series,
+    DiagnosticReport& report)
+{
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const PhysicsContext ctx{label, ""};
+        if (!finiteNonNegative(report, ctx, "", "latency",
+                               series[i].second))
+            return;
+        if (i == 0)
+            continue;
+        const auto& [x0, y0] = series[i - 1];
+        const auto& [x1, y1] = series[i];
+        if (x1 > x0 && y1 < y0 * (1.0 - kRelTol)) {
+            std::ostringstream oss;
+            oss << "latency fell from " << y0 << "s to " << y1
+                << "s as work grew from " << x0 << " to " << x1;
+            report.add(Diagnostic{Severity::Error,
+                                  rules::LatencyMonotonicity, label,
+                                  "", "", oss.str(),
+                                  "more steps or pixels can never be "
+                                  "faster"});
+        }
+    }
+}
+
+} // namespace mmgen::verify

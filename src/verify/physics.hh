@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Physics-consistency lints over simulated results.
+ *
+ * A shape-driven simulator has no hardware to keep it honest, so these
+ * rules play that role: no op may attain more FLOP/s than the dtype
+ * peak of the simulated GPU, move fewer HBM bytes than the compulsory
+ * (cold-cache) minimum its operands imply, or exceed the HBM
+ * bandwidth; cache hit rates stay in [0, 1]; latency is monotone in
+ * work. Every figure the repo reproduces runs under these checks.
+ */
+
+#ifndef MMGEN_VERIFY_PHYSICS_HH
+#define MMGEN_VERIFY_PHYSICS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/trace.hh"
+#include "hw/gpu_spec.hh"
+#include "kernels/cost_model.hh"
+#include "verify/diagnostic.hh"
+#include "verify/rules.hh"
+
+namespace mmgen::verify {
+
+/** Where physics findings are attributed. */
+struct PhysicsContext
+{
+    std::string model;
+    std::string stage;
+};
+
+/**
+ * Compulsory HBM traffic of one op instance (repeat not applied):
+ * every distinct operand read once and every result written once, with
+ * no cache holding anything across kernels. An embedding gather only
+ * touches the rows it gathers, and fused attention only Q/K/V/O, so
+ * this is a strictly weaker bound than the resident working set.
+ */
+double compulsoryOpBytes(const graph::Op& op);
+
+/** Run every per-op physics rule for one op under one cost model. */
+void checkOpPhysics(const graph::Op& op,
+                    const kernels::CostModel& model,
+                    const PhysicsContext& ctx,
+                    DiagnosticReport& report);
+
+/** checkOpPhysics over every op of a trace. */
+DiagnosticReport verifyTracePhysics(const graph::Trace& trace,
+                                    const kernels::CostModel& model,
+                                    const PhysicsContext& ctx);
+
+/** Aggregate quantities of one simulated run (any granularity). */
+struct SimObservation
+{
+    /** Where the numbers came from, e.g. "StableDiffusion total". */
+    std::string label;
+    double flops = 0.0;
+    double hbmBytes = 0.0;
+    double seconds = 0.0;
+    DType dtype = DType::F16;
+};
+
+/** Aggregate-level physics rules (peak FLOP/s, peak BW, finiteness). */
+void checkObservation(const SimObservation& obs, const hw::GpuSpec& gpu,
+                      DiagnosticReport& report);
+
+/** P004: a cache hit rate must be finite and in [0, 1]. */
+void checkHitRate(const std::string& label, double rate,
+                  DiagnosticReport& report);
+
+/**
+ * P005: latencies must be non-decreasing along increasing work. The
+ * series is (work, seconds) pairs in increasing-work order.
+ */
+void checkLatencyMonotone(
+    const std::string& label,
+    const std::vector<std::pair<double, double>>& series,
+    DiagnosticReport& report);
+
+} // namespace mmgen::verify
+
+#endif // MMGEN_VERIFY_PHYSICS_HH

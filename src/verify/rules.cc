@@ -1,0 +1,61 @@
+#include "rules.hh"
+
+#include "util/logging.hh"
+
+namespace mmgen::verify {
+
+const std::vector<RuleInfo>&
+allRules()
+{
+    static const std::vector<RuleInfo> registry = {
+        {rules::NonPositiveDim, Severity::Error, "structural",
+         "every dimension that sizes work must be positive"},
+        {rules::OverflowRisk, Severity::Error, "structural",
+         "shape products must stay within exact 64-bit arithmetic"},
+        {rules::ConvStrideDivisibility, Severity::Error, "structural",
+         "conv input extents divisible by stride; channels by groups"},
+        {rules::ChannelContinuity, Severity::Error, "structural",
+         "feature maps flow continuously between adjacent ops"},
+        {rules::SpatialAttention, Severity::Error, "structural",
+         "spatial self-attention attends exactly the H*W positions"},
+        {rules::CrossAttention, Severity::Error, "structural",
+         "cross-attention attends the encoded prompt length"},
+        {rules::TemporalAttention, Severity::Error, "structural",
+         "temporal attention attends frames with F*H*W feature stride"},
+        {rules::DtypeConsistency, Severity::Error, "structural",
+         "ops carry the pipeline element type"},
+        {rules::RepeatSanity, Severity::Error, "structural",
+         "repeat and iteration counts are positive and plausible"},
+        {rules::ParamCount, Severity::Error, "structural",
+         "independent parameter recount matches Pipeline::totalParams"},
+        {rules::CausalAttention, Severity::Error, "structural",
+         "causal self-attention masks multi-token queries"},
+        {rules::TraceFailure, Severity::Error, "structural",
+         "every stage emitter traces without throwing"},
+        {rules::AbovePeakFlops, Severity::Error, "physics",
+         "achieved FLOP/s never exceeds the dtype peak"},
+        {rules::BelowCompulsoryBytes, Severity::Error, "physics",
+         "HBM traffic at least the compulsory cold-cache minimum"},
+        {rules::AbovePeakBandwidth, Severity::Error, "physics",
+         "achieved bytes/s never exceeds the HBM bandwidth"},
+        {rules::HitRateRange, Severity::Error, "physics",
+         "cache hit rates lie in [0, 1]"},
+        {rules::LatencyMonotonicity, Severity::Error, "physics",
+         "latency is monotone in steps and resolution"},
+        {rules::FiniteResult, Severity::Error, "physics",
+         "simulated quantities are finite and non-negative"},
+    };
+    return registry;
+}
+
+const RuleInfo&
+ruleInfo(const std::string& id)
+{
+    for (const RuleInfo& r : allRules()) {
+        if (id == r.id)
+            return r;
+    }
+    MMGEN_CHECK(false, "unknown verifier rule id '" << id << "'");
+}
+
+} // namespace mmgen::verify

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structural lints over operator graphs.
+ *
+ * These passes run over a traced Pipeline (or a raw Trace) without
+ * executing any cost model. They enforce the shape invariants the
+ * paper's characterization rests on: a UNet's spatial attention
+ * attends exactly its H*W positions, temporal attention views the
+ * video tensor with frame stride H*W and feature stride F*H*W
+ * (Figs. 10-12), conv ladders halve resolutions exactly, and every
+ * dimension that sizes simulated work is positive and
+ * overflow-safe. A model-zoo entry that violates one of these would
+ * silently skew every figure built on it.
+ *
+ * The verifier is conservative: context-dependent checks (e.g.
+ * seqQ == H*W) only fire when the trace itself establishes the
+ * context (a live convolutional feature map), so pure transformer
+ * stacks are not mis-linted.
+ */
+
+#ifndef MMGEN_VERIFY_STRUCTURAL_HH
+#define MMGEN_VERIFY_STRUCTURAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/pipeline.hh"
+#include "graph/trace.hh"
+#include "verify/diagnostic.hh"
+#include "verify/rules.hh"
+
+namespace mmgen::verify {
+
+/** Context one trace is verified under. */
+struct TraceContext
+{
+    /** Model name for diagnostics. */
+    std::string model;
+    /** Stage name for diagnostics. */
+    std::string stage;
+    /** Element type every op is expected to carry. */
+    DType dtype = DType::F16;
+    /**
+     * Encoded prompt length cross-attention must attend; 0 when
+     * unknown (the check is skipped).
+     */
+    std::int64_t promptLen = 0;
+    /** Iteration count of the enclosing stage (for repeat sanity). */
+    std::int64_t stageIterations = 1;
+};
+
+/** Run every structural rule over one trace. */
+DiagnosticReport verifyTrace(const graph::Trace& trace,
+                             const TraceContext& ctx);
+
+/**
+ * Run every structural rule over a whole pipeline: each stage is
+ * traced at sampled iterations (first/middle/last for per-iteration
+ * stages) and verified, the encoded prompt length is recovered from
+ * the text-encoder stage, and the parameter count is independently
+ * recomputed and cross-checked against Pipeline::totalParams().
+ */
+DiagnosticReport verifyPipeline(const graph::Pipeline& pipeline);
+
+/**
+ * Throw FatalError with the rendered report when a report carries
+ * Error-severity findings; no-op otherwise.
+ */
+void throwOnErrors(const DiagnosticReport& report);
+
+/** verifyPipeline + throwOnErrors. */
+void verifyPipelineOrThrow(const graph::Pipeline& pipeline);
+
+} // namespace mmgen::verify
+
+#endif // MMGEN_VERIFY_STRUCTURAL_HH

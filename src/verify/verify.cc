@@ -1,0 +1,29 @@
+#include "verify.hh"
+
+namespace mmgen::verify {
+
+namespace {
+
+#ifdef NDEBUG
+bool runtime_checks = false;
+#else
+bool runtime_checks = true;
+#endif
+
+} // namespace
+
+bool
+runtimeChecksEnabled()
+{
+    return runtime_checks;
+}
+
+bool
+setRuntimeChecks(bool enabled)
+{
+    const bool previous = runtime_checks;
+    runtime_checks = enabled;
+    return previous;
+}
+
+} // namespace mmgen::verify

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Umbrella header for the verifier, plus the runtime-check toggle
+ * the profiler and serving layers consult before running
+ * verifyPipelineOrThrow on every profiled pipeline.
+ */
+
+#ifndef MMGEN_VERIFY_VERIFY_HH
+#define MMGEN_VERIFY_VERIFY_HH
+
+#include "verify/diagnostic.hh"
+#include "verify/physics.hh"
+#include "verify/rules.hh"
+#include "verify/structural.hh"
+
+namespace mmgen::verify {
+
+/**
+ * Whether execution paths (profiler, serving) verify every pipeline
+ * they touch. Defaults to on in debug builds and off in release
+ * builds; tests and tools can override either way.
+ */
+bool runtimeChecksEnabled();
+
+/** Override the runtime-check default (returns the previous value). */
+bool setRuntimeChecks(bool enabled);
+
+} // namespace mmgen::verify
+
+#endif // MMGEN_VERIFY_VERIFY_HH

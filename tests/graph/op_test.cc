@@ -37,8 +37,71 @@ TEST(OpCategory, MatchesPaperBreakdownLegend)
               OpCategory::OtherNorm);
     EXPECT_EQ(opCategory(makeOp(OpKind::Softmax, SoftmaxAttrs{})),
               OpCategory::Elementwise);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Elementwise, ElemAttrs{})),
+              OpCategory::Elementwise);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Embedding, EmbeddingAttrs{})),
+              OpCategory::Memory);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Upsample, ResampleAttrs{})),
+              OpCategory::Memory);
+    EXPECT_EQ(opCategory(makeOp(OpKind::Downsample, ResampleAttrs{})),
+              OpCategory::Memory);
     EXPECT_EQ(opCategory(makeOp(OpKind::Copy, CopyAttrs{})),
               OpCategory::Memory);
+}
+
+TEST(OpParamCount, Conv3DCountsTemporalKernel)
+{
+    ConvAttrs a;
+    a.inChannels = 64;
+    a.outChannels = 64;
+    a.kernelH = a.kernelW = 1;
+    a.kernelD = 3;
+    a.hasBias = true;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Conv3D, a)),
+              3 * 64 * 64 + 64);
+}
+
+TEST(OpParamCount, LinearBiasAndLayerNormAffine)
+{
+    LinearAttrs l;
+    l.inFeatures = 768;
+    l.outFeatures = 3072;
+    l.hasBias = true;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Linear, l)),
+              768LL * 3072 + 3072);
+
+    NormAttrs n;
+    n.channels = 768;
+    n.groups = 1;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::LayerNorm, n)), 2 * 768);
+}
+
+TEST(OpParamCount, ResampleSoftmaxEmbeddingEdges)
+{
+    // Resampling and copies move data; they own no weights.
+    ResampleAttrs r;
+    r.numelIn = 1 << 20;
+    r.numelOut = 4 << 20;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Upsample, r)), 0);
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Downsample, r)), 0);
+
+    SoftmaxAttrs s;
+    s.rows = 4096;
+    s.cols = 4096;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Softmax, s)), 0);
+
+    CopyAttrs c;
+    c.bytes = 1 << 30;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Copy, c)), 0);
+
+    // An empty embedding table owns nothing; a real one vocab * dim.
+    EmbeddingAttrs e;
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Embedding, e)), 0);
+    e.vocab = 49408;
+    e.dim = 768;
+    e.tokens = 77; // gathered tokens never add parameters
+    EXPECT_EQ(opParamCount(makeOp(OpKind::Embedding, e)),
+              49408LL * 768);
 }
 
 TEST(OpParamCount, ConvCountsWeightsAndBias)

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Physics-consistency lint tests: the cost model must respect every
+ * physics rule on real traces, and each rule must fire on fabricated
+ * impossible observations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cache/attention_study.hh"
+#include "models/model_suite.hh"
+#include "verify/verify.hh"
+
+namespace mmgen::verify {
+namespace {
+
+const hw::GpuSpec kGpu = hw::GpuSpec::a100_80gb();
+
+TEST(PhysicsVerifier, CostModelRespectsPhysicsOnZooTraces)
+{
+    // One representative per family: latent diffusion (conv + three
+    // attention flavours via MakeAVideo), AR decode (LLaMA).
+    const std::vector<models::ModelId> reps = {
+        models::ModelId::MakeAVideo, models::ModelId::LLaMA};
+    const std::vector<graph::AttentionBackend> backends = {
+        graph::AttentionBackend::Baseline,
+        graph::AttentionBackend::Flash,
+        graph::AttentionBackend::FlashDecode,
+    };
+    for (models::ModelId id : reps) {
+        const graph::Pipeline p = models::buildModel(id);
+        for (graph::AttentionBackend backend : backends) {
+            const kernels::CostModel model(
+                kGpu, backend, kernels::EfficiencyParams::defaults());
+            for (std::size_t si = 0; si < p.stages.size(); ++si) {
+                const graph::Trace t = p.traceStage(si, 0);
+                const PhysicsContext ctx{p.name, p.stages[si].name};
+                const DiagnosticReport report =
+                    verifyTracePhysics(t, model, ctx);
+                EXPECT_FALSE(report.hasErrors())
+                    << p.name << " stage " << p.stages[si].name
+                    << ":\n"
+                    << report.render();
+            }
+        }
+    }
+}
+
+TEST(PhysicsVerifier, CompulsoryBytesAreAFloorNotTraffic)
+{
+    // An embedding gather reads the gathered rows, not the table.
+    graph::Op op;
+    op.kind = graph::OpKind::Embedding;
+    op.scope = "test.embed";
+    graph::EmbeddingAttrs a;
+    a.tokens = 77;
+    a.dim = 1024;
+    a.vocab = 50'000;
+    op.attrs = a;
+    const double floor = compulsoryOpBytes(op);
+    EXPECT_DOUBLE_EQ(floor, 2.0 * 2.0 * 77.0 * 1024.0);
+    EXPECT_LT(floor, 2.0 * 50'000.0 * 1024.0); // well below the table
+}
+
+TEST(PhysicsVerifier, ImpossibleFlopsFiresP001)
+{
+    DiagnosticReport report;
+    checkObservation(SimObservation{"fabricated", 1e21, 1e9, 1.0,
+                                    DType::F16},
+                     kGpu, report);
+    EXPECT_TRUE(report.fired(rules::AbovePeakFlops))
+        << report.render();
+}
+
+TEST(PhysicsVerifier, ImpossibleBandwidthFiresP003)
+{
+    DiagnosticReport report;
+    checkObservation(SimObservation{"fabricated", 1e9, 1e18, 1.0,
+                                    DType::F16},
+                     kGpu, report);
+    EXPECT_TRUE(report.fired(rules::AbovePeakBandwidth))
+        << report.render();
+}
+
+TEST(PhysicsVerifier, NonFiniteResultFiresP006)
+{
+    DiagnosticReport report;
+    checkObservation(
+        SimObservation{"fabricated",
+                       std::numeric_limits<double>::quiet_NaN(), 0.0,
+                       1.0, DType::F16},
+        kGpu, report);
+    EXPECT_TRUE(report.fired(rules::FiniteResult)) << report.render();
+
+    DiagnosticReport negative;
+    checkObservation(SimObservation{"fabricated", -1.0, 0.0, 1.0,
+                                    DType::F16},
+                     kGpu, negative);
+    EXPECT_TRUE(negative.fired(rules::FiniteResult))
+        << negative.render();
+}
+
+TEST(PhysicsVerifier, ZeroTimeWithWorkFiresP006)
+{
+    DiagnosticReport report;
+    checkObservation(SimObservation{"fabricated", 1e9, 1e9, 0.0,
+                                    DType::F16},
+                     kGpu, report);
+    EXPECT_TRUE(report.fired(rules::FiniteResult)) << report.render();
+}
+
+TEST(PhysicsVerifier, HitRateRangeFiresP004)
+{
+    DiagnosticReport report;
+    checkHitRate("ok", 0.0, report);
+    checkHitRate("ok", 1.0, report);
+    checkHitRate("ok", 0.37, report);
+    EXPECT_FALSE(report.hasErrors());
+    checkHitRate("bad", 1.5, report);
+    checkHitRate("bad", -0.1, report);
+    EXPECT_EQ(report.forRule(rules::HitRateRange).size(), 2u);
+}
+
+TEST(PhysicsVerifier, CacheStudyHitRatesAreProbabilities)
+{
+    graph::AttentionAttrs a;
+    a.kind = graph::AttentionKind::Temporal;
+    a.batch = 64;
+    a.heads = 4;
+    a.seqQ = 8;
+    a.seqKv = 8;
+    a.headDim = 64;
+    a.seqStrideElems = 64;
+    a.featureStrideElems = 8 * 64;
+    const cache::AttentionCacheReport study =
+        cache::runAttentionCacheStudy(kGpu, a, DType::F16,
+                                      /*max_batches=*/2);
+    DiagnosticReport report;
+    for (const auto& [klass, stats] : study.stats) {
+        checkHitRate(kernels::kernelClassName(klass) + " L1",
+                     study.l1HitRate(klass), report);
+        checkHitRate(kernels::kernelClassName(klass) + " L2",
+                     study.l2HitRate(klass), report);
+    }
+    EXPECT_FALSE(report.hasErrors()) << report.render();
+}
+
+TEST(PhysicsVerifier, LatencyMonotonicityFiresP005OnDips)
+{
+    DiagnosticReport ok;
+    checkLatencyMonotone("ok", {{1, 1.0}, {2, 1.5}, {4, 1.5}, {8, 3.0}},
+                         ok);
+    EXPECT_FALSE(ok.hasErrors()) << ok.render();
+
+    DiagnosticReport dip;
+    checkLatencyMonotone("dip", {{1, 1.0}, {2, 0.5}}, dip);
+    EXPECT_TRUE(dip.fired(rules::LatencyMonotonicity))
+        << dip.render();
+}
+
+} // namespace
+} // namespace mmgen::verify

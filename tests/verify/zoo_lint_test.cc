@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Model-zoo sweep: `lint` must report zero errors for every suite
+ * model, the paper's scaling knobs must be latency-monotone, and the
+ * profiler/serving debug hooks must reject corrupted pipelines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lint.hh"
+#include "models/stable_diffusion.hh"
+#include "profiler/engine.hh"
+#include "serving/simulator.hh"
+#include "util/logging.hh"
+
+namespace mmgen::core {
+namespace {
+
+using mmgen::verify::DiagnosticReport;
+
+TEST(ZooLint, EverySuiteModelIsCleanUnderFullLint)
+{
+    LintOptions opts;
+    for (models::ModelId id : models::allModels()) {
+        const DiagnosticReport report = lintModel(id, opts);
+        EXPECT_EQ(report.errorCount(), 0)
+            << models::modelName(id) << ":\n"
+            << report.render();
+    }
+}
+
+TEST(ZooLint, StructuralOnlyLintIsAlsoClean)
+{
+    LintOptions opts;
+    opts.physics = false;
+    opts.probes = false;
+    const DiagnosticReport report = lintAll(opts);
+    EXPECT_EQ(report.errorCount(), 0) << report.render();
+}
+
+TEST(ZooLint, LatencyMonotoneInDenoiseStepsAndResolution)
+{
+    profiler::ProfileOptions popts;
+    auto seconds = [&](const models::StableDiffusionConfig& cfg) {
+        return profiler::Profiler(popts)
+            .profile(models::buildStableDiffusion(cfg))
+            .totalSeconds;
+    };
+    models::StableDiffusionConfig cfg;
+    cfg.denoiseSteps = 10;
+    const double base = seconds(cfg);
+    cfg.denoiseSteps = 20;
+    const double more_steps = seconds(cfg);
+    cfg.imageSize = 1024;
+    const double more_pixels = seconds(cfg);
+
+    verify::DiagnosticReport report;
+    verify::checkLatencyMonotone("sd denoise steps",
+                                 {{10, base}, {20, more_steps}},
+                                 report);
+    verify::checkLatencyMonotone(
+        "sd resolution", {{512, more_steps}, {1024, more_pixels}},
+        report);
+    EXPECT_FALSE(report.hasErrors()) << report.render();
+}
+
+TEST(ZooLint, ProfilerHookRejectsCorruptPipelineWhenEnabled)
+{
+    graph::Pipeline p;
+    p.name = "corrupt";
+    graph::Stage st;
+    st.name = "stage";
+    st.iterations = 1;
+    st.emit = [](graph::GraphBuilder& b, std::int64_t) {
+        // An unmasked multi-token "causal" prefill: emittable, but
+        // the verifier must reject it (rule S011).
+        b.attention(graph::AttentionKind::CausalSelf, 1, 8, 128, 128,
+                    64, /*seq_stride=*/0, /*causal=*/false);
+    };
+    p.stages.push_back(st);
+
+    const bool previous = verify::setRuntimeChecks(true);
+    profiler::ProfileOptions popts;
+    EXPECT_THROW(profiler::Profiler(popts).profile(p), FatalError);
+    EXPECT_THROW(
+        serving::profileLatencyModel(p, hw::GpuSpec::a100_80gb()),
+        FatalError);
+    verify::setRuntimeChecks(previous);
+}
+
+TEST(ZooLint, ProfilerHookAcceptsCleanPipelineWhenEnabled)
+{
+    const bool previous = verify::setRuntimeChecks(true);
+    profiler::ProfileOptions popts;
+    const profiler::ProfileResult res =
+        profiler::Profiler(popts).profile(
+            models::buildModel(models::ModelId::Muse));
+    EXPECT_GT(res.totalSeconds, 0.0);
+    verify::setRuntimeChecks(previous);
+}
+
+} // namespace
+} // namespace mmgen::core

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analytics/inference_footprint.hh"
+#include "core/lint.hh"
 #include "core/reports.hh"
 #include "core/suite.hh"
 #include "core/taxonomy.hh"
@@ -48,6 +49,7 @@ usage()
         << "  footprint                   peak-memory report\n"
         << "  trace <model> <out.json>    Chrome trace export\n"
         << "  serve <model> [options]     fault-tolerant serving sim\n"
+        << "  lint [--model X|--all]      graph & physics verifier\n"
         << "options:\n"
         << "  --gpu a100|v100|h100        (default a100)\n"
         << "  --backend baseline|flash|flash_decode\n"
@@ -60,7 +62,12 @@ usage()
         << "  --retries N --max-queue N   retry budget / admission\n"
         << "  --degrade-threshold N       queue depth to degrade at\n"
         << "  --degrade-steps F           fraction of denoise steps\n"
-        << "                              kept in degraded mode\n";
+        << "                              kept in degraded mode\n"
+        << "lint options:\n"
+        << "  --model X | --all           lint one model or the zoo\n"
+        << "  --json                      machine-readable findings\n"
+        << "  --rules                     list the rule registry\n"
+        << "  --no-physics --no-probes    structural checks only\n";
     return 2;
 }
 
@@ -138,6 +145,13 @@ struct Options
     graph::AttentionBackend backend = graph::AttentionBackend::Flash;
     std::vector<std::string> positional;
 
+    // lint subcommand knobs
+    bool lintAll = false;
+    bool lintJson = false;
+    bool lintRules = false;
+    bool lintPhysics = true;
+    bool lintProbes = true;
+
     // serve subcommand knobs
     serving::ServingConfig serving;
     serving::ResilienceConfig resilience;
@@ -196,6 +210,18 @@ parseOptions(int argc, char** argv, int first)
                 static_cast<int>(nextInt());
         else if (arg == "--max-queue")
             opts.resilience.admission.maxQueueLength = nextInt();
+        else if (arg == "--model")
+            opts.positional.push_back(next());
+        else if (arg == "--all")
+            opts.lintAll = true;
+        else if (arg == "--json")
+            opts.lintJson = true;
+        else if (arg == "--rules")
+            opts.lintRules = true;
+        else if (arg == "--no-physics")
+            opts.lintPhysics = false;
+        else if (arg == "--no-probes")
+            opts.lintProbes = false;
         else if (arg == "--degrade-threshold")
             opts.degradeThreshold = nextInt();
         else if (arg == "--degrade-steps")
@@ -374,6 +400,47 @@ cmdServe(const Options& opts)
 }
 
 int
+cmdLint(const Options& opts)
+{
+    if (opts.lintRules) {
+        TextTable table({"Rule", "Severity", "Family", "Invariant"});
+        for (const verify::RuleInfo& r : verify::allRules())
+            table.addRow({r.id, verify::severityName(r.severity),
+                          r.family, r.summary});
+        std::cout << table.render();
+        return 0;
+    }
+
+    core::LintOptions lopts;
+    lopts.gpu = opts.gpu;
+    lopts.physics = opts.lintPhysics;
+    lopts.probes = opts.lintProbes;
+
+    std::vector<models::ModelId> targets;
+    if (opts.lintAll) {
+        MMGEN_CHECK(opts.positional.empty(),
+                    "--all and --model are mutually exclusive");
+        targets = models::allModels();
+    } else {
+        MMGEN_CHECK(opts.positional.size() == 1,
+                    "lint needs --model <name> or --all");
+        targets = {parseModel(opts.positional[0])};
+    }
+
+    verify::DiagnosticReport report;
+    for (models::ModelId id : targets) {
+        if (!opts.lintJson)
+            std::cout << "linting " << models::modelName(id) << "...\n";
+        report.merge(core::lintModel(id, lopts));
+    }
+    if (opts.lintJson)
+        std::cout << report.toJson() << "\n";
+    else
+        std::cout << report.render();
+    return report.hasErrors() ? 1 : 0;
+}
+
+int
 cmdTrace(const Options& opts)
 {
     MMGEN_CHECK(opts.positional.size() == 2,
@@ -420,6 +487,8 @@ main(int argc, char** argv)
             return cmdTrace(opts);
         if (cmd == "serve")
             return cmdServe(opts);
+        if (cmd == "lint")
+            return cmdLint(opts);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
     } catch (const mmgen::FatalError& e) {
