@@ -17,6 +17,7 @@
 #include "util/csv.hh"
 #include "core/suite.hh"
 #include "models/stable_diffusion.hh"
+#include "runtime/parallel.hh"
 #include "util/format.hh"
 #include "util/table.hh"
 
@@ -58,33 +59,64 @@ main(int argc, char** argv)
                      "Convolution (ms)", "Attn / Conv"});
     std::vector<double> sizes_d, base_attn, base_conv, flash_attn,
         flash_conv;
-    for (std::int64_t size : image_sizes) {
-        models::StableDiffusionConfig cfg;
-        cfg.imageSize = size;
-        const graph::Pipeline p = unetOnly(cfg);
+
+    // Profile the (image size x backend) sweep data-parallel; each
+    // point is an independent deterministic profile and the results
+    // come back in sweep order, so the rendered table is identical
+    // at any --jobs count.
+    struct SizeResult
+    {
+        double baseAttn = 0.0, baseConv = 0.0;
+        double flashAttn = 0.0, flashConv = 0.0;
+    };
+    const std::vector<SizeResult> swept = runtime::parallelMap(
+        static_cast<std::int64_t>(image_sizes.size()),
+        [&](std::int64_t i) {
+            models::StableDiffusionConfig cfg;
+            cfg.imageSize = image_sizes[static_cast<std::size_t>(i)];
+            const graph::Pipeline p = unetOnly(cfg);
+            SizeResult r;
+            for (graph::AttentionBackend backend :
+                 {graph::AttentionBackend::Baseline,
+                  graph::AttentionBackend::Flash}) {
+                const profiler::ProfileResult res =
+                    suite.profileOne(p, backend);
+                const double attn = res.breakdown.categorySeconds(
+                    graph::OpCategory::Attention);
+                const double conv = res.breakdown.categorySeconds(
+                    graph::OpCategory::Convolution);
+                if (backend == graph::AttentionBackend::Baseline) {
+                    r.baseAttn = attn;
+                    r.baseConv = conv;
+                } else {
+                    r.flashAttn = attn;
+                    r.flashConv = conv;
+                }
+            }
+            return r;
+        });
+
+    for (std::size_t i = 0; i < image_sizes.size(); ++i) {
+        const std::int64_t size = image_sizes[i];
+        const SizeResult& r = swept[i];
         for (graph::AttentionBackend backend :
              {graph::AttentionBackend::Baseline,
               graph::AttentionBackend::Flash}) {
-            const profiler::ProfileResult res =
-                suite.profileOne(p, backend);
-            const double attn = res.breakdown.categorySeconds(
-                graph::OpCategory::Attention);
-            const double conv = res.breakdown.categorySeconds(
-                graph::OpCategory::Convolution);
+            const bool base =
+                backend == graph::AttentionBackend::Baseline;
+            const double attn = base ? r.baseAttn : r.flashAttn;
+            const double conv = base ? r.baseConv : r.flashConv;
             table.addRow({std::to_string(size) + "x" +
                               std::to_string(size),
                           graph::attentionBackendName(backend),
                           formatFixed(attn * 1e3, 2),
                           formatFixed(conv * 1e3, 2),
                           formatFixed(attn / conv, 2)});
-            if (backend == graph::AttentionBackend::Baseline) {
-                base_attn.push_back(attn);
-                base_conv.push_back(conv);
-            } else {
-                flash_attn.push_back(attn);
-                flash_conv.push_back(conv);
-            }
         }
+        base_attn.push_back(r.baseAttn);
+        base_conv.push_back(r.baseConv);
+        flash_attn.push_back(r.flashAttn);
+        flash_conv.push_back(r.flashConv);
         sizes_d.push_back(static_cast<double>(size));
         table.addSeparator();
     }

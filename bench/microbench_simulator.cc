@@ -12,6 +12,7 @@
 #include "kernels/cost_model.hh"
 #include "models/model_suite.hh"
 #include "profiler/engine.hh"
+#include "runtime/profile_cache.hh"
 
 namespace {
 
@@ -47,6 +48,42 @@ BM_ProfileStableDiffusion(benchmark::State& state)
     }
 }
 BENCHMARK(BM_ProfileStableDiffusion);
+
+/**
+ * The same repeated-profile workload through the profile memo: after
+ * the first iteration every profile is an LRU hit, so this measures
+ * the cache's fast path (fingerprint + key hash + lookup + copy-out).
+ * Compare against BM_ProfileStableDiffusion for the cache-off cost.
+ */
+void
+BM_ProfileStableDiffusionCached(benchmark::State& state)
+{
+    const graph::Pipeline p =
+        models::buildModel(models::ModelId::StableDiffusion);
+    const profiler::ProfileOptions opts;
+    runtime::ProfileCache cache(16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            *cache.getOrCompute(runtime::profileKey(p, opts), [&] {
+                return profiler::Profiler(opts).profile(p);
+            }));
+    }
+    const runtime::ProfileCacheStats stats = cache.stats();
+    state.counters["hit_rate"] = stats.hitRate();
+}
+BENCHMARK(BM_ProfileStableDiffusionCached);
+
+/** Cost of the cache key itself: structural pipeline fingerprint. */
+void
+BM_PipelineFingerprint(benchmark::State& state)
+{
+    const graph::Pipeline p =
+        models::buildModel(models::ModelId::StableDiffusion);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(p.fingerprint());
+    }
+}
+BENCHMARK(BM_PipelineFingerprint);
 
 void
 BM_CacheSimSmallAttention(benchmark::State& state)

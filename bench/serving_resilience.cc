@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "models/stable_diffusion.hh"
+#include "runtime/parallel.hh"
 #include "serving/simulator.hh"
 #include "util/format.hh"
 #include "util/table.hh"
@@ -60,15 +61,36 @@ main()
     TextTable table({"MTBF", "Avail", "Load", "Goodput (bare)",
                      "p95 (bare)", "Goodput (resilient)",
                      "p95 (resilient)", "Degraded", "Shed"});
-    int points = 0;
-    int recovered = 0;
-    for (double mtbf : {0.0, 1800.0, 600.0, 200.0}) {
-        for (double load : {0.5, 0.8, 1.1}) {
+
+    struct GridPoint
+    {
+        double mtbf = 0.0;
+        double load = 0.0;
+    };
+    std::vector<GridPoint> grid;
+    for (double mtbf : {0.0, 1800.0, 600.0, 200.0})
+        for (double load : {0.5, 0.8, 1.1})
+            grid.push_back({mtbf, load});
+
+    // Every grid point is a pair of independent seeded simulations
+    // (faults and arrivals draw from split Rng streams keyed by the
+    // config, not by execution order), so the availability x load
+    // sweep runs data-parallel with bit-identical reports at any
+    // --jobs count; parallelMap returns them in grid order.
+    struct PointResult
+    {
+        serving::ServingReport bare;
+        serving::ServingReport resilient;
+    };
+    const std::vector<PointResult> results = runtime::parallelMap(
+        static_cast<std::int64_t>(grid.size()),
+        [&](std::int64_t i) {
+            const GridPoint& pt = grid[static_cast<std::size_t>(i)];
             serving::ServingConfig cfg = base;
-            cfg.arrivalRate = load * capacity;
+            cfg.arrivalRate = pt.load * capacity;
 
             serving::ResilienceConfig bare;
-            bare.faults.failureMtbfSeconds = mtbf;
+            bare.faults.failureMtbfSeconds = pt.mtbf;
             bare.faults.failureMttrSeconds = 120.0;
             bare.deadline.deadlineSeconds = deadline;
 
@@ -78,24 +100,29 @@ main()
             resilient.admission.maxQueueLength = 64;
             resilient.degradation = degradation;
 
-            const serving::ServingReport a =
-                serving::simulateServing(cfg, latency, bare);
-            const serving::ServingReport b =
-                serving::simulateServing(cfg, latency, resilient);
-            ++points;
-            if (b.goodput >= a.goodput)
-                ++recovered;
-            table.addRow(
-                {mtbf > 0.0 ? formatTime(mtbf) : "none",
-                 formatPercent(a.meanAvailability),
-                 formatFixed(load, 1),
-                 formatFixed(a.goodput, 2) + " req/s",
-                 formatTime(a.p95Latency),
-                 formatFixed(b.goodput, 2) + " req/s",
-                 formatTime(b.p95Latency),
-                 formatPercent(b.degradedFraction),
-                 formatPercent(b.shedFraction)});
-        }
+            return PointResult{
+                serving::simulateServing(cfg, latency, bare),
+                serving::simulateServing(cfg, latency, resilient)};
+        });
+
+    int points = 0;
+    int recovered = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const GridPoint& pt = grid[i];
+        const serving::ServingReport& a = results[i].bare;
+        const serving::ServingReport& b = results[i].resilient;
+        ++points;
+        if (b.goodput >= a.goodput)
+            ++recovered;
+        table.addRow({pt.mtbf > 0.0 ? formatTime(pt.mtbf) : "none",
+                      formatPercent(a.meanAvailability),
+                      formatFixed(pt.load, 1),
+                      formatFixed(a.goodput, 2) + " req/s",
+                      formatTime(a.p95Latency),
+                      formatFixed(b.goodput, 2) + " req/s",
+                      formatTime(b.p95Latency),
+                      formatPercent(b.degradedFraction),
+                      formatPercent(b.shedFraction)});
     }
     std::cout << table.render() << "\n";
     std::cout << "retry + admission control + graceful degradation "

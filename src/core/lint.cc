@@ -6,6 +6,8 @@
 
 #include "cache/attention_study.hh"
 #include "profiler/engine.hh"
+#include "runtime/parallel.hh"
+#include "runtime/profile_cache.hh"
 #include "util/logging.hh"
 
 namespace mmgen::core {
@@ -122,7 +124,7 @@ probeIterationMonotonicity(const graph::Pipeline& p,
     popts.gpu = opts.gpu;
     popts.backend = graph::AttentionBackend::Flash;
     const double longer_seconds =
-        profiler::Profiler(popts).profile(longer).totalSeconds;
+        runtime::cachedProfile(longer, popts)->totalSeconds;
 
     const double base_iters = static_cast<double>(
         p.stages[busiest].iterations);
@@ -187,11 +189,11 @@ lintPipeline(const graph::Pipeline& pipeline, const LintOptions& opts)
         profiler::ProfileOptions popts;
         popts.gpu = opts.gpu;
         popts.backend = backend;
-        const profiler::ProfileResult res =
-            profiler::Profiler(popts).profile(pipeline);
-        lintProfile(pipeline, opts, backend, res, report);
+        const std::shared_ptr<const profiler::ProfileResult> res =
+            runtime::cachedProfile(pipeline, popts);
+        lintProfile(pipeline, opts, backend, *res, report);
         if (backend == graph::AttentionBackend::Flash)
-            flash_seconds = res.totalSeconds;
+            flash_seconds = res->totalSeconds;
     }
 
     if (opts.probes) {
@@ -200,8 +202,7 @@ lintPipeline(const graph::Pipeline& pipeline, const LintOptions& opts)
             popts.gpu = opts.gpu;
             popts.backend = graph::AttentionBackend::Flash;
             flash_seconds =
-                profiler::Profiler(popts).profile(pipeline)
-                    .totalSeconds;
+                runtime::cachedProfile(pipeline, popts)->totalSeconds;
         }
         probeIterationMonotonicity(pipeline, opts, flash_seconds,
                                    report);
@@ -219,9 +220,23 @@ lintModel(models::ModelId id, const LintOptions& opts)
 verify::DiagnosticReport
 lintAll(const LintOptions& opts)
 {
+    // The runtime-check toggle is process-global; hoist one guard
+    // over the whole parallel region so the per-pipeline guards
+    // inside lintPipeline become no-ops (they capture and restore
+    // "disabled") and the restore order across pool threads cannot
+    // matter.
+    RuntimeCheckGuard guard(false);
+    const std::vector<models::ModelId>& ids = models::allModels();
+    std::vector<verify::DiagnosticReport> reports =
+        runtime::parallelMap(
+            static_cast<std::int64_t>(ids.size()),
+            [&](std::int64_t i) {
+                return lintModel(ids[static_cast<std::size_t>(i)],
+                                 opts);
+            });
     verify::DiagnosticReport report;
-    for (models::ModelId id : models::allModels())
-        report.merge(lintModel(id, opts));
+    for (verify::DiagnosticReport& r : reports)
+        report.merge(r);
     return report;
 }
 

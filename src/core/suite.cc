@@ -1,5 +1,7 @@
 #include "suite.hh"
 
+#include "runtime/parallel.hh"
+#include "runtime/profile_cache.hh"
 #include "util/logging.hh"
 
 namespace mmgen::core {
@@ -59,11 +61,14 @@ std::vector<ModelRunResult>
 CharacterizationSuite::runAll(
     const std::vector<models::ModelId>& ids) const
 {
-    std::vector<ModelRunResult> results;
-    results.reserve(ids.size());
-    for (models::ModelId id : ids)
-        results.push_back(run(id));
-    return results;
+    // Each model profile is independent and deterministic, and
+    // parallelMap orders results by index, so this is bit-identical
+    // to the serial loop at any --jobs count.
+    return runtime::parallelMap(
+        static_cast<std::int64_t>(ids.size()),
+        [&](std::int64_t i) {
+            return run(ids[static_cast<std::size_t>(i)]);
+        });
 }
 
 profiler::ProfileResult
@@ -73,8 +78,7 @@ CharacterizationSuite::profileOne(const graph::Pipeline& pipeline,
     profiler::ProfileOptions opts;
     opts.gpu = gpu_;
     opts.backend = backend;
-    profiler::Profiler prof(opts);
-    return prof.profile(pipeline);
+    return *runtime::cachedProfile(pipeline, opts);
 }
 
 } // namespace mmgen::core

@@ -90,6 +90,21 @@ struct Pipeline
      */
     std::int64_t totalParams() const;
 
+    /**
+     * Stable structural hash of the pipeline: name, class, dtype, and
+     * for every stage its metadata plus the full op stream (kind,
+     * scope, dtype, repeat, every attribute field) of sampled
+     * iterations — iteration 0 for shape-invariant stages (the only
+     * iteration the profiler traces) and first/middle/last for
+     * per-iteration-shape stages, together with the iteration count.
+     * Emitters must be pure functions of (captured config, iter),
+     * which every model in this repo satisfies; under that contract
+     * equal fingerprints mean equal profiles. This is the
+     * `runtime::ProfileCache` key material and is cheap relative to a
+     * profile (it never traces more than three iterations per stage).
+     */
+    std::uint64_t fingerprint() const;
+
     /** Trace one iteration of one stage (by index) into a fresh trace. */
     Trace traceStage(std::size_t stage_idx, std::int64_t iter) const;
 };

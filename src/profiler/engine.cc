@@ -1,5 +1,7 @@
 #include "engine.hh"
 
+#include <algorithm>
+
 #include "kernels/attention.hh"
 #include "util/logging.hh"
 #include "verify/verify.hh"
@@ -32,6 +34,20 @@ Profiler::accumulateTrace(const graph::Trace& trace,
                           ProfileResult& result, double& stage_s,
                           BreakdownReport& stage_breakdown) const
 {
+    const auto record_cap =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            opts.maxOpRecords, 0));
+    if (opts.keepOpRecords) {
+        // Reserve capped and amortized (never grow by less than 2x),
+        // so a thousand-iteration decode stage does not reallocate
+        // per traced step and a sweep cannot blow memory past the cap.
+        const std::size_t want = std::min(
+            result.records.size() + trace.size(), record_cap);
+        if (want > result.records.capacity())
+            result.records.reserve(std::min(
+                std::max(want, result.records.capacity() * 2),
+                record_cap));
+    }
     for (const auto& op : trace.ops()) {
         const kernels::OpCost cost = model.cost(op);
         const kernels::OpTime time = model.time(cost, op.dtype, repeat);
@@ -78,8 +94,12 @@ Profiler::accumulateTrace(const graph::Trace& trace,
             static_cast<double>(repeat);
         stage_s += rec.seconds;
 
-        if (opts.keepOpRecords)
-            result.records.push_back(std::move(rec));
+        if (opts.keepOpRecords) {
+            if (result.records.size() < record_cap)
+                result.records.push_back(std::move(rec));
+            else
+                result.recordsTruncated = true;
+        }
     }
 }
 

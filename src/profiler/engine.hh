@@ -36,6 +36,15 @@ struct ProfileOptions
      * always produced regardless.
      */
     bool keepOpRecords = false;
+
+    /**
+     * Upper bound on retained OpRecords. Sweeps that profile
+     * autoregressive models with records enabled used to grow
+     * `ProfileResult::records` without bound; past this cap further
+     * records are dropped and `ProfileResult::recordsTruncated` is
+     * set. Aggregate metrics are never affected.
+     */
+    std::int64_t maxOpRecords = 1'000'000;
 };
 
 /** Everything one profiling run produces. */
@@ -71,6 +80,9 @@ struct ProfileResult
 
     /** Per-op records (only when ProfileOptions::keepOpRecords). */
     std::vector<OpRecord> records;
+
+    /** True when `records` hit ProfileOptions::maxOpRecords. */
+    bool recordsTruncated = false;
 
     /** Seconds spent in the Attention category. */
     double attentionSeconds() const;

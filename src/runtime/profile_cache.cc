@@ -1,0 +1,178 @@
+#include "profile_cache.hh"
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace mmgen::runtime {
+
+ProfileCache::ProfileCache(std::size_t capacity)
+    : cap(capacity)
+{
+    MMGEN_CHECK(capacity >= 1, "profile cache capacity must be >= 1");
+}
+
+void
+ProfileCache::touch(std::list<Entry>::iterator it) const
+{
+    lru.splice(lru.begin(), lru, it);
+}
+
+std::shared_ptr<const profiler::ProfileResult>
+ProfileCache::getOrCompute(std::uint64_t key, const Compute& compute)
+{
+    std::shared_ptr<InFlight> flight;
+    bool owner = false;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        if (const auto it = index.find(key); it != index.end()) {
+            ++hits;
+            touch(it->second);
+            return it->second->result;
+        }
+        if (const auto fit = inflight.find(key);
+            fit != inflight.end()) {
+            // Someone is already computing this key; wait for them.
+            // The waiter did no profiling work, so it counts as a hit
+            // and totals stay schedule-independent.
+            ++hits;
+            flight = fit->second;
+        } else {
+            ++misses;
+            flight = std::make_shared<InFlight>();
+            inflight.emplace(key, flight);
+            owner = true;
+        }
+    }
+
+    if (!owner) {
+        std::unique_lock<std::mutex> lock(flight->mu);
+        flight->cv.wait(lock, [&] { return flight->done; });
+        if (flight->error)
+            std::rethrow_exception(flight->error);
+        return flight->result;
+    }
+
+    std::shared_ptr<const profiler::ProfileResult> result;
+    std::exception_ptr error;
+    try {
+        result = std::make_shared<const profiler::ProfileResult>(
+            compute());
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!error) {
+            lru.push_front(Entry{key, result});
+            index[key] = lru.begin();
+            while (lru.size() > cap) {
+                index.erase(lru.back().key);
+                lru.pop_back();
+                ++evictions;
+            }
+        }
+        inflight.erase(key);
+    }
+    {
+        const std::lock_guard<std::mutex> lock(flight->mu);
+        flight->done = true;
+        flight->result = result;
+        flight->error = error;
+        flight->cv.notify_all();
+    }
+    if (error)
+        std::rethrow_exception(error);
+    return result;
+}
+
+std::shared_ptr<const profiler::ProfileResult>
+ProfileCache::peek(std::uint64_t key) const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = index.find(key);
+    return it != index.end() ? it->second->result : nullptr;
+}
+
+ProfileCacheStats
+ProfileCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    ProfileCacheStats s;
+    s.hits = hits;
+    s.misses = misses;
+    s.evictions = evictions;
+    s.entries = static_cast<std::int64_t>(lru.size());
+    return s;
+}
+
+void
+ProfileCache::clear()
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    lru.clear();
+    index.clear();
+}
+
+std::size_t
+ProfileCache::capacity() const
+{
+    return cap;
+}
+
+ProfileCache&
+ProfileCache::global()
+{
+    static ProfileCache cache(256);
+    return cache;
+}
+
+std::uint64_t
+profileKey(const graph::Pipeline& pipeline,
+           const profiler::ProfileOptions& options)
+{
+    HashBuilder h;
+    h.mix(pipeline.fingerprint());
+    const hw::GpuSpec& gpu = options.gpu;
+    h.mix(std::string_view(gpu.name));
+    h.mix(gpu.numSms);
+    h.mix(gpu.peakF16Flops);
+    h.mix(gpu.peakI8Flops);
+    h.mix(gpu.peakF32Flops);
+    h.mix(gpu.hbmBytes);
+    h.mix(gpu.hbmBandwidth);
+    h.mix(gpu.l2Bytes);
+    h.mix(static_cast<std::int64_t>(gpu.l1BytesPerSm));
+    h.mix(gpu.cacheLineBytes);
+    h.mix(gpu.kernelLaunchOverhead);
+    h.mix(static_cast<std::uint64_t>(options.backend));
+    const kernels::EfficiencyParams& e = options.efficiency;
+    h.mix(e.gemmPeakFraction);
+    h.mix(e.convPeakFraction);
+    h.mix(e.flashPeakFraction);
+    h.mix(e.streamMemFraction);
+    h.mix(e.smallMatrixOverheadBytes);
+    h.mix(e.attentionMatrixOverheadBytes);
+    h.mix(e.gemmKHalfDepth);
+    h.mix(e.causalFlashFlopFraction);
+    h.mix(e.baselineSimilarityUpcast);
+    h.mix(e.efficiencyFloor);
+    h.mix(e.ctasPerSm);
+    return h.digest();
+}
+
+std::shared_ptr<const profiler::ProfileResult>
+cachedProfile(const graph::Pipeline& pipeline,
+              const profiler::ProfileOptions& options)
+{
+    if (options.keepOpRecords) {
+        return std::make_shared<const profiler::ProfileResult>(
+            profiler::Profiler(options).profile(pipeline));
+    }
+    return ProfileCache::global().getOrCompute(
+        profileKey(pipeline, options), [&] {
+            return profiler::Profiler(options).profile(pipeline);
+        });
+}
+
+} // namespace mmgen::runtime

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Memoization cache for pipeline profiles.
+ *
+ * The figure drivers, the zoo lint, and every serving setup
+ * re-profile the same pipelines under the same (GPU, backend,
+ * calibration) over and over — `serving_capacity` alone profiles
+ * Stable Diffusion once per sweep point. A profile is a pure function
+ * of (pipeline structure, GpuSpec, backend, EfficiencyParams), so the
+ * cache keys on a structural hash of exactly those inputs
+ * (`profileKey`, built on `Pipeline::fingerprint()`) and memoizes the
+ * full `ProfileResult`.
+ *
+ * The cache is thread-safe, bounded (LRU eviction), counts hits /
+ * misses / evictions, and is *single-flight*: concurrent requests for
+ * the same missing key compute once while the rest wait, so counter
+ * totals are schedule-independent (misses == unique keys) and a
+ * parallel sweep never duplicates work.
+ */
+
+#ifndef MMGEN_RUNTIME_PROFILE_CACHE_HH
+#define MMGEN_RUNTIME_PROFILE_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/pipeline.hh"
+#include "profiler/engine.hh"
+
+namespace mmgen::runtime {
+
+/** Cache effectiveness counters (monotonic over the cache lifetime). */
+struct ProfileCacheStats
+{
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t entries = 0;
+
+    std::int64_t lookups() const { return hits + misses; }
+
+    /** Hit fraction in [0, 1]; 0 when nothing was looked up. */
+    double
+    hitRate() const
+    {
+        const std::int64_t total = lookups();
+        return total > 0
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+};
+
+/**
+ * Bounded, thread-safe, single-flight LRU memo of profile results.
+ */
+class ProfileCache
+{
+  public:
+    using Compute = std::function<profiler::ProfileResult()>;
+
+    explicit ProfileCache(std::size_t capacity = 256);
+
+    /**
+     * Return the cached result for `key`, computing it via `compute`
+     * on a miss. Waiters on an in-flight computation of the same key
+     * block and count as hits (they did no work). If `compute`
+     * throws, nothing is cached and every waiter observes the same
+     * exception.
+     */
+    std::shared_ptr<const profiler::ProfileResult>
+    getOrCompute(std::uint64_t key, const Compute& compute);
+
+    /** Peek without counting or computing; null when absent. */
+    std::shared_ptr<const profiler::ProfileResult>
+    peek(std::uint64_t key) const;
+
+    ProfileCacheStats stats() const;
+
+    /** Drop all entries (counters keep accumulating). */
+    void clear();
+
+    /** Maximum resident entries. */
+    std::size_t capacity() const;
+
+    /** The process-wide cache every cached-profile helper consults. */
+    static ProfileCache& global();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        std::shared_ptr<const profiler::ProfileResult> result;
+    };
+
+    /** One in-flight computation other threads can wait on. */
+    struct InFlight
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<const profiler::ProfileResult> result;
+        std::exception_ptr error;
+    };
+
+    void touch(std::list<Entry>::iterator it) const;
+
+    mutable std::mutex mu;
+    std::size_t cap;
+    /** Front = most recently used. */
+    mutable std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>>
+        inflight;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+};
+
+/**
+ * Cache key for one profiling run: `Pipeline::fingerprint()` combined
+ * with every profile input the result depends on (GpuSpec datasheet
+ * fields, attention backend, the full `EfficiencyParams` calibration
+ * surface).
+ */
+std::uint64_t profileKey(const graph::Pipeline& pipeline,
+                         const profiler::ProfileOptions& options);
+
+/**
+ * Profile through the global cache: O(1) for a repeated
+ * (pipeline, options) setup. Requests with `keepOpRecords` set bypass
+ * the cache entirely (per-op records are too large to memoize and the
+ * exporters that need them never profile repeatedly).
+ */
+std::shared_ptr<const profiler::ProfileResult>
+cachedProfile(const graph::Pipeline& pipeline,
+              const profiler::ProfileOptions& options);
+
+} // namespace mmgen::runtime
+
+#endif // MMGEN_RUNTIME_PROFILE_CACHE_HH

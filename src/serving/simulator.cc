@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "profiler/engine.hh"
+#include "runtime/profile_cache.hh"
 #include "util/logging.hh"
 #include "verify/verify.hh"
 #include "util/rng.hh"
@@ -37,18 +38,20 @@ profileLatencyModel(const graph::Pipeline& pipeline,
     profiler::ProfileOptions opts;
     opts.gpu = gpu;
     opts.backend = graph::AttentionBackend::Flash;
-    const profiler::ProfileResult res =
-        profiler::Profiler(opts).profile(pipeline);
+    // Serving sweeps rebuild their latency model per grid point; the
+    // profile memo makes every repeated setup O(1).
+    const std::shared_ptr<const profiler::ProfileResult> res =
+        runtime::cachedProfile(pipeline, opts);
 
     LatencyModel model;
-    model.baseSeconds = res.totalSeconds;
+    model.baseSeconds = res->totalSeconds;
     // Launch overhead and small-kernel ramp time do not scale with
     // batch; approximate the non-scaling share from the launch count.
     const double overhead_s =
-        static_cast<double>(res.totalLaunches) *
+        static_cast<double>(res->totalLaunches) *
         gpu.kernelLaunchOverhead;
     model.overheadFraction =
-        std::clamp(overhead_s / res.totalSeconds, 0.02, 0.5);
+        std::clamp(overhead_s / res->totalSeconds, 0.02, 0.5);
     return model;
 }
 

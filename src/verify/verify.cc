@@ -1,13 +1,17 @@
 #include "verify.hh"
 
+#include <atomic>
+
 namespace mmgen::verify {
 
 namespace {
 
+// Atomic because the parallel zoo lint and sweep drivers read (and
+// the lint's scope guards toggle) this flag from pool threads.
 #ifdef NDEBUG
-bool runtime_checks = false;
+std::atomic<bool> runtime_checks{false};
 #else
-bool runtime_checks = true;
+std::atomic<bool> runtime_checks{true};
 #endif
 
 } // namespace
@@ -15,15 +19,14 @@ bool runtime_checks = true;
 bool
 runtimeChecksEnabled()
 {
-    return runtime_checks;
+    return runtime_checks.load(std::memory_order_relaxed);
 }
 
 bool
 setRuntimeChecks(bool enabled)
 {
-    const bool previous = runtime_checks;
-    runtime_checks = enabled;
-    return previous;
+    return runtime_checks.exchange(enabled,
+                                   std::memory_order_relaxed);
 }
 
 } // namespace mmgen::verify

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for Pipeline::fingerprint(): the structural hash that keys
+ * the profile memoization cache. Stable across rebuilds, sensitive to
+ * every structural input, and distinct across the whole model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/pipeline.hh"
+#include "models/model_suite.hh"
+
+namespace mmgen::graph {
+namespace {
+
+Pipeline
+toyPipeline()
+{
+    Pipeline p;
+    p.name = "toy";
+    p.klass = ModelClass::DiffusionLatent;
+
+    Stage enc;
+    enc.name = "encoder";
+    enc.iterations = 1;
+    enc.emit = [](GraphBuilder& b, std::int64_t) {
+        b.linear(TensorDesc({1, 8, 16}, DType::F16), 32);
+    };
+    p.stages.push_back(std::move(enc));
+
+    Stage loop;
+    loop.name = "loop";
+    loop.iterations = 10;
+    loop.perIterationShapes = true;
+    loop.emit = [](GraphBuilder& b, std::int64_t iter) {
+        b.attention(AttentionKind::CausalSelf, 1, 4, 1, iter + 1, 16);
+    };
+    p.stages.push_back(std::move(loop));
+    return p;
+}
+
+TEST(Fingerprint, StableAcrossRebuilds)
+{
+    // Two independently built pipelines with identical structure hash
+    // identically — the property the profile cache keys on.
+    EXPECT_EQ(toyPipeline().fingerprint(), toyPipeline().fingerprint());
+    for (models::ModelId id : models::allModels())
+        EXPECT_EQ(models::buildModel(id).fingerprint(),
+                  models::buildModel(id).fingerprint())
+            << models::modelName(id);
+}
+
+TEST(Fingerprint, SensitiveToName)
+{
+    Pipeline a = toyPipeline();
+    Pipeline b = toyPipeline();
+    b.name = "toy2";
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, SensitiveToDtype)
+{
+    Pipeline a = toyPipeline();
+    Pipeline b = toyPipeline();
+    b.dtype = DType::I8;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, SensitiveToIterationCount)
+{
+    Pipeline a = toyPipeline();
+    Pipeline b = toyPipeline();
+    b.stages[1].iterations = 20;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, SensitiveToTracedShapes)
+{
+    Pipeline a = toyPipeline();
+    Pipeline b = toyPipeline();
+    b.stages[0].emit = [](GraphBuilder& bld, std::int64_t) {
+        bld.linear(TensorDesc({1, 8, 16}, DType::F16), 64);
+    };
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, SensitiveToStageOrder)
+{
+    Pipeline a = toyPipeline();
+    Pipeline b = toyPipeline();
+    std::swap(b.stages[0], b.stages[1]);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Fingerprint, ZooModelsArePairwiseDistinct)
+{
+    std::set<std::uint64_t> seen;
+    for (models::ModelId id : models::allModels()) {
+        const std::uint64_t fp = models::buildModel(id).fingerprint();
+        EXPECT_TRUE(seen.insert(fp).second)
+            << "fingerprint collision at " << models::modelName(id);
+    }
+}
+
+} // namespace
+} // namespace mmgen::graph

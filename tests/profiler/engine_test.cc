@@ -155,6 +155,42 @@ TEST(Profiler, RecordsOnlyWhenRequested)
     EXPECT_EQ(res.records[0].repeat, 2);
     EXPECT_EQ(res.records[1].seqLen, 256);
     EXPECT_EQ(res.records[1].seqKv, 256);
+    EXPECT_FALSE(res.recordsTruncated);
+}
+
+TEST(Profiler, MaxOpRecordsCapsRetentionWithoutSkewingTotals)
+{
+    // A per-iteration-shape stage emits records every iteration; the
+    // cap must bound retention, set the truncation flag, and leave
+    // aggregate metrics untouched.
+    Pipeline p;
+    p.name = "ar";
+    Stage s;
+    s.name = "decode";
+    s.iterations = 64;
+    s.perIterationShapes = true;
+    s.emit = [](GraphBuilder& b, std::int64_t iter) {
+        b.attention(graph::AttentionKind::CausalSelf, 1, 2, 1,
+                    iter + 1, 16);
+    };
+    p.stages.push_back(std::move(s));
+
+    ProfileOptions full;
+    full.keepOpRecords = true;
+    const ProfileResult all = Profiler(full).profile(p);
+    ASSERT_EQ(all.records.size(), 64u);
+    EXPECT_FALSE(all.recordsTruncated);
+
+    ProfileOptions capped = full;
+    capped.maxOpRecords = 10;
+    const ProfileResult few = Profiler(capped).profile(p);
+    EXPECT_EQ(few.records.size(), 10u);
+    EXPECT_TRUE(few.recordsTruncated);
+    // The first records are the retained prefix, and totals match.
+    EXPECT_EQ(few.records[0].seqKv, all.records[0].seqKv);
+    EXPECT_EQ(few.totalSeconds, all.totalSeconds);
+    EXPECT_EQ(few.totalFlops, all.totalFlops);
+    EXPECT_EQ(few.totalLaunches, all.totalLaunches);
 }
 
 TEST(Profiler, CrossAttentionExcludedFromSeqSeries)

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool and the deterministic
+ * parallel loops: every index runs exactly once, results are ordered,
+ * failure is deterministic, and seeded maps are bit-identical at any
+ * job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.hh"
+#include "runtime/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace mmgen::runtime {
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::int64_t n = 10000;
+    std::vector<std::atomic<int>> counts(n);
+    pool.forEach(n, [&](std::int64_t i) {
+        counts[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineOnCaller)
+{
+    ThreadPool pool(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    bool all_inline = true;
+    pool.forEach(64, [&](std::int64_t) {
+        all_inline &= std::this_thread::get_id() == caller;
+    });
+    EXPECT_TRUE(all_inline);
+    EXPECT_EQ(pool.threads(), 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountsAreNoOps)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.forEach(0, [&](std::int64_t) { ++calls; });
+    pool.forEach(-5, [&](std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, LowestThrowingIndexWins)
+{
+    ThreadPool pool(4);
+    std::atomic<std::int64_t> executed{0};
+    try {
+        pool.forEach(100, [&](std::int64_t i) {
+            executed.fetch_add(1);
+            if (i == 17 || i == 63)
+                throw std::runtime_error("boom " + std::to_string(i));
+        });
+        FAIL() << "expected forEach to rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom 17");
+    }
+    // Failure is deterministic but not short-circuiting: every index
+    // still ran.
+    EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPool, NestedForEachRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<std::int64_t> total{0};
+    pool.forEach(8, [&](std::int64_t) {
+        // A nested loop from a worker must not wait on the pool.
+        ThreadPool::global().forEach(
+            16, [&](std::int64_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SubmitDrainsBeforeDestruction)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 500; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+    } // destructor joins after the queue drains
+    EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPool, ResolveJobsHonorsRequestAndClamps)
+{
+    EXPECT_EQ(ThreadPool::resolveJobs(5), 5);
+    EXPECT_EQ(ThreadPool::resolveJobs(1), 1);
+    EXPECT_EQ(ThreadPool::resolveJobs(100000), 256);
+    const int autod = ThreadPool::resolveJobs(0);
+    EXPECT_GE(autod, 1);
+    EXPECT_LE(autod, 256);
+}
+
+TEST(ThreadPool, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(ThreadPool pool(0), FatalError);
+}
+
+TEST(Parallel, MapReturnsResultsInIndexOrder)
+{
+    const std::vector<std::int64_t> out =
+        parallelMap(257, [](std::int64_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::int64_t i = 0; i < 257; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(Parallel, SeededMapIsBitIdenticalAcrossJobCounts)
+{
+    constexpr std::uint64_t seed = 1234;
+    constexpr std::int64_t n = 64;
+    const auto draw = [](std::int64_t i, Rng& rng) {
+        // Draw a task-dependent number of variates so any stream
+        // sharing between tasks would skew later draws.
+        double acc = 0.0;
+        for (std::int64_t k = 0; k <= i % 7; ++k)
+            acc += rng.normal();
+        return acc;
+    };
+    ThreadPool::setGlobalJobs(1);
+    const std::vector<double> serial =
+        parallelMapSeeded(seed, n, draw);
+    for (const int jobs : {2, 8}) {
+        ThreadPool::setGlobalJobs(jobs);
+        const std::vector<double> parallel =
+            parallelMapSeeded(seed, n, draw);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(parallel[i], serial[i]) // bitwise, not NEAR
+                << "jobs=" << jobs << " index=" << i;
+    }
+    ThreadPool::setGlobalJobs(0);
+}
+
+TEST(Parallel, StressManySmallLoops)
+{
+    ThreadPool::setGlobalJobs(8);
+    std::int64_t grand = 0;
+    for (int round = 0; round < 50; ++round) {
+        const std::vector<std::int64_t> out =
+            parallelMap(97, [&](std::int64_t i) { return i + round; });
+        grand += std::accumulate(out.begin(), out.end(),
+                                 std::int64_t{0});
+    }
+    // sum_{round<50} sum_{i<97} (i + round) = 50*4656 + 97*1225
+    EXPECT_EQ(grand, 50 * (96 * 97 / 2) + 97 * (49 * 50 / 2));
+    ThreadPool::setGlobalJobs(0);
+}
+
+} // namespace
+} // namespace mmgen::runtime

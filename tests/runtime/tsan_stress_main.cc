@@ -1,0 +1,144 @@
+/**
+ * @file
+ * ThreadSanitizer stress driver for the work-stealing thread pool.
+ *
+ * Plain `main` (no gtest — the sanitize flow for this binary swaps
+ * the whole toolchain to -fsanitize=thread, and TSan must see every
+ * synchronizing object, so we keep the dependency surface to the pool
+ * itself). Hammers every concurrency path: submit + work stealing,
+ * the shared-cursor forEach, nested loops, exception propagation, and
+ * pool teardown with queued work. Exits nonzero on any lost or
+ * duplicated index; TSan failures abort the process by themselves.
+ *
+ * Built and run by the `tsan` CMake preset (MMGEN_TSAN=ON) and also
+ * registered un-instrumented in the default test flow as a cheap
+ * stress test.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.hh"
+#include "runtime/thread_pool.hh"
+
+namespace {
+
+using mmgen::runtime::ThreadPool;
+
+int failures = 0;
+
+void
+check(bool ok, const char* what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ++failures;
+    }
+}
+
+/** Every index of a large loop runs exactly once, many rounds. */
+void
+stressForEach()
+{
+    ThreadPool pool(8);
+    constexpr std::int64_t n = 20000;
+    for (int round = 0; round < 10; ++round) {
+        std::vector<std::atomic<int>> counts(n);
+        pool.forEach(n, [&](std::int64_t i) {
+            counts[static_cast<std::size_t>(i)].fetch_add(
+                1, std::memory_order_relaxed);
+        });
+        for (std::int64_t i = 0; i < n; ++i)
+            if (counts[static_cast<std::size_t>(i)].load() != 1) {
+                check(false, "forEach index count != 1");
+                return;
+            }
+    }
+}
+
+/** Fire-and-forget submits racing work stealing and teardown. */
+void
+stressSubmit()
+{
+    std::atomic<std::int64_t> ran{0};
+    {
+        ThreadPool pool(8);
+        for (int i = 0; i < 20000; ++i)
+            pool.submit([&] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+    } // destructor must drain the queues before joining
+    check(ran.load() == 20000, "submit drained before destruction");
+}
+
+/** Nested loops from inside workers must run inline, not deadlock. */
+void
+stressNested()
+{
+    ThreadPool pool(4);
+    std::atomic<std::int64_t> total{0};
+    pool.forEach(64, [&](std::int64_t) {
+        ThreadPool::global().forEach(64, [&](std::int64_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    check(total.load() == 64 * 64, "nested forEach completed");
+}
+
+/** Exceptions under contention: lowest index wins, all indices run. */
+void
+stressExceptions()
+{
+    ThreadPool pool(8);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::int64_t> executed{0};
+        bool threw = false;
+        try {
+            pool.forEach(512, [&](std::int64_t i) {
+                executed.fetch_add(1, std::memory_order_relaxed);
+                if (i % 31 == 7)
+                    throw std::runtime_error("stress");
+            });
+        } catch (const std::runtime_error&) {
+            threw = true;
+        }
+        check(threw, "exception propagated");
+        check(executed.load() == 512, "all indices ran despite throw");
+    }
+}
+
+/** Concurrent parallelMap through the global pool, resized midway. */
+void
+stressGlobalResize()
+{
+    for (const int jobs : {1, 2, 8, 4}) {
+        ThreadPool::setGlobalJobs(jobs);
+        const std::vector<std::int64_t> out =
+            mmgen::runtime::parallelMap(
+                4096, [](std::int64_t i) { return i; });
+        for (std::int64_t i = 0; i < 4096; ++i)
+            if (out[static_cast<std::size_t>(i)] != i) {
+                check(false, "parallelMap order after resize");
+                return;
+            }
+    }
+    ThreadPool::setGlobalJobs(0);
+}
+
+} // namespace
+
+int
+main()
+{
+    stressForEach();
+    stressSubmit();
+    stressNested();
+    stressExceptions();
+    stressGlobalResize();
+    if (failures == 0)
+        std::printf("tsan_stress: all clear\n");
+    return failures == 0 ? 0 : 1;
+}

@@ -28,6 +28,7 @@
 #include "core/taxonomy.hh"
 #include "models/stable_diffusion.hh"
 #include "profiler/chrome_trace.hh"
+#include "runtime/thread_pool.hh"
 #include "serving/simulator.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -53,6 +54,9 @@ usage()
         << "options:\n"
         << "  --gpu a100|v100|h100        (default a100)\n"
         << "  --backend baseline|flash|flash_decode\n"
+        << "  --jobs N                    parallel sweep/lint lanes\n"
+        << "                              (default: MMGEN_JOBS env,\n"
+        << "                              else hardware threads)\n"
         << "serve options:\n"
         << "  --rate R --gpus N --batch B --horizon S --seed S\n"
         << "  --mtbf S --mttr S           per-GPU failure process\n"
@@ -175,6 +179,13 @@ parseOptions(int argc, char** argv, int first)
             opts.gpu = parseGpu(next());
         else if (arg == "--backend")
             opts.backend = parseBackend(next());
+        else if (arg == "--jobs") {
+            const std::int64_t jobs = nextInt();
+            MMGEN_CHECK(jobs >= 1, "--jobs must be >= 1, got "
+                                       << jobs);
+            runtime::ThreadPool::setGlobalJobs(
+                static_cast<int>(jobs));
+        }
         else if (arg == "--rate")
             opts.serving.arrivalRate = nextDouble();
         else if (arg == "--gpus")
