@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Timeline-overlap bench: what the event-timeline scheduler buys over
+ * the seed's serialized accounting, per model.
+ *
+ * For every suite model (Flash backend, A100) the pipeline is lowered
+ * once per lowering config and scheduled three ways:
+ *
+ *   default   — single stream, synchronous launches: bit-identical to
+ *               the old summed profile, the baseline makespan
+ *   overlap   — weight-stream splitting + a second (copy) stream +
+ *               launch-queue depth 2: weight prefetch hides under
+ *               compute and launch overhead hides under execution
+ *   overlap+g — overlap plus CUDA-graph launch amortization for
+ *               folded repeats (replays pay 10% of a launch)
+ *
+ * Emits `BENCH_timeline_overlap.json` (path overridable via argv[1])
+ * with the three makespans and latency reductions per model. Exits
+ * nonzero if enabling overlap ever *increases* any model's makespan —
+ * the scheduler's overlap paths must be monotone improvements, so a
+ * regression here is a scheduling bug, not a tuning issue.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exec/plan.hh"
+#include "exec/schedule.hh"
+#include "hw/gpu_spec.hh"
+#include "kernels/cost_model.hh"
+#include "models/model_suite.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace mmgen;
+
+/** Relative slack so ulp-level noise never flips the gate. */
+constexpr double kRelTol = 1e-9;
+
+struct Row
+{
+    std::string model;
+    double defaultSeconds = 0.0;
+    double overlapSeconds = 0.0;
+    double graphSeconds = 0.0;
+
+    double overlapReduction() const
+    {
+        return 1.0 - overlapSeconds / defaultSeconds;
+    }
+    double graphReduction() const
+    {
+        return 1.0 - graphSeconds / defaultSeconds;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_timeline_overlap.json";
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    const kernels::CostModel model(gpu, graph::AttentionBackend::Flash,
+                                   kernels::EfficiencyParams::defaults());
+
+    exec::LoweringOptions plain_lower;
+    exec::LoweringOptions split_lower;
+    split_lower.splitWeightStreams = true;
+
+    const exec::TimelineScheduler baseline(gpu, exec::ScheduleOptions{});
+
+    exec::ScheduleOptions overlap_opts;
+    overlap_opts.streams = 2;
+    overlap_opts.launchQueueDepth = 2;
+    const exec::TimelineScheduler overlap(gpu, overlap_opts);
+
+    exec::ScheduleOptions graph_opts = overlap_opts;
+    graph_opts.graphLaunch = true;
+    graph_opts.graphReplayOverheadFraction = 0.1;
+    const exec::TimelineScheduler graphed(gpu, graph_opts);
+
+    std::vector<Row> rows;
+    bool regressed = false;
+    for (const models::ModelId id : models::allModels()) {
+        const graph::Pipeline pipeline = models::buildModel(id);
+        const exec::ExecutionPlan plain =
+            exec::lowerPipeline(pipeline, model, plain_lower);
+        const exec::ExecutionPlan split =
+            exec::lowerPipeline(pipeline, model, split_lower);
+
+        Row row;
+        row.model = pipeline.name;
+        row.defaultSeconds = baseline.schedule(plain).makespan;
+        row.overlapSeconds = overlap.schedule(split).makespan;
+        row.graphSeconds = graphed.schedule(split).makespan;
+        if (row.overlapSeconds >
+                row.defaultSeconds * (1.0 + kRelTol) ||
+            row.graphSeconds > row.defaultSeconds * (1.0 + kRelTol)) {
+            std::cerr << "REGRESSION: overlap slower than default for "
+                      << row.model << " (default "
+                      << row.defaultSeconds << "s, overlap "
+                      << row.overlapSeconds << "s, overlap+graph "
+                      << row.graphSeconds << "s)\n";
+            regressed = true;
+        }
+        rows.push_back(row);
+    }
+
+    TextTable table({"Model", "Default", "Overlap", "Overlap+graph",
+                     "Saved", "Saved+graph"});
+    for (const Row& r : rows) {
+        table.addRow({r.model, formatTime(r.defaultSeconds),
+                      formatTime(r.overlapSeconds),
+                      formatTime(r.graphSeconds),
+                      formatPercent(r.overlapReduction()),
+                      formatPercent(r.graphReduction())});
+    }
+    std::cout << "Timeline overlap on " << gpu.name
+              << " (flash backend):\n\n"
+              << table.render();
+
+    std::ofstream out(out_path);
+    out << "{\n  \"bench\": \"timeline_overlap\",\n  \"gpu\": \""
+        << gpu.name << "\",\n  \"models\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        out << "    {\"model\": \"" << r.model
+            << "\", \"default_seconds\": " << formatFixed(
+                   r.defaultSeconds, 9)
+            << ", \"overlap_seconds\": " << formatFixed(
+                   r.overlapSeconds, 9)
+            << ", \"overlap_graph_seconds\": " << formatFixed(
+                   r.graphSeconds, 9)
+            << ", \"overlap_reduction\": " << formatFixed(
+                   r.overlapReduction(), 6)
+            << ", \"overlap_graph_reduction\": " << formatFixed(
+                   r.graphReduction(), 6)
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"regressed\": "
+        << (regressed ? "true" : "false") << "\n}\n";
+    std::cout << "\nwrote " << out_path << "\n";
+
+    if (regressed) {
+        std::cerr << "\noverlap made at least one model slower; "
+                     "failing\n";
+        return 1;
+    }
+    return 0;
+}

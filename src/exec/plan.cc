@@ -1,0 +1,181 @@
+#include "plan.hh"
+
+#include "hw/roofline.hh"
+#include "util/logging.hh"
+
+namespace mmgen::exec {
+
+std::string
+laneName(Lane lane)
+{
+    return lane == Lane::Compute ? "compute" : "copy";
+}
+
+std::int64_t
+ExecutionPlan::totalLaunches() const
+{
+    std::int64_t total = 0;
+    for (const PlanNode& node : nodes)
+        total += static_cast<std::int64_t>(node.launches) * node.repeat;
+    return total;
+}
+
+namespace {
+
+/**
+ * True when the kernel stays memory-bound under the roofline, so
+ * peeling its weight traffic onto the copy lane can only shorten (or
+ * at worst preserve) the compute-lane critical path.
+ */
+bool
+worthStreaming(const hw::GpuSpec& gpu, const kernels::SubKernelCost& part,
+               DType dtype, const LoweringOptions& options)
+{
+    if (!options.splitWeightStreams)
+        return false;
+    if (part.weightBytes <
+            static_cast<double>(options.minStreamedWeightBytes) ||
+        part.weightBytes >= part.hbmBytes)
+        return false;
+    hw::TimeEstimateInputs in;
+    in.flops = part.flops;
+    in.hbmBytes = part.hbmBytes;
+    in.computeEfficiency = part.computeEff;
+    in.memoryEfficiency = part.memEff;
+    in.launches = part.launches;
+    in.dtype = dtype;
+    const hw::TimeEstimate est = hw::estimateTime(gpu, in);
+    return est.memorySeconds >= est.computeSeconds;
+}
+
+struct LoweringState
+{
+    std::int32_t lastComputeNode = -1;
+    std::int32_t lastCopyNode = -1;
+};
+
+void
+lowerTrace(const graph::Trace& trace, std::size_t stage_index,
+           std::int64_t repeat, const kernels::CostModel& model,
+           const LoweringOptions& options, LoweringState& state,
+           ExecutionPlan& plan)
+{
+    plan.ops.reserve(plan.ops.size() + trace.size());
+    for (const auto& op : trace.ops()) {
+        const kernels::OpCost cost = model.cost(op);
+
+        PlanOp pop;
+        pop.stageIndex = stage_index;
+        pop.kind = op.kind;
+        pop.category = graph::opCategory(op);
+        pop.scope = op.scope;
+        pop.dtype = op.dtype;
+        pop.repeat = repeat;
+        pop.paramCount = graph::opParamCount(op);
+        if (op.kind == graph::OpKind::Attention) {
+            const auto& a = op.as<graph::AttentionAttrs>();
+            pop.seqQ = a.seqQ;
+            pop.seqKv = a.seqKv;
+            pop.attnKind = a.kind;
+        }
+        pop.firstNode = plan.nodes.size();
+
+        std::int32_t weight_node = -1;
+        // Weight-stream nodes precede the kernels that consume them so
+        // node order remains a valid serial execution order.
+        for (const auto& part : cost.parts) {
+            if (!worthStreaming(model.gpu(), part, op.dtype, options))
+                continue;
+            PlanNode w;
+            w.opIndex = plan.ops.size();
+            w.klass = kernels::KernelClass::Memory;
+            w.label = part.label + ".weight_stream";
+            w.lane = Lane::Copy;
+            w.weightStream = true;
+            w.flops = 0.0;
+            w.hbmBytes = part.weightBytes;
+            // The streamed traffic was issued by the original kernel's
+            // launch; the copy lane adds no host-side launches.
+            w.launches = 0;
+            w.computeEff = 1.0;
+            w.memEff = part.memEff;
+            w.repeat = repeat;
+            w.dtype = op.dtype;
+            if (state.lastCopyNode >= 0)
+                w.deps.push_back(state.lastCopyNode);
+            weight_node = static_cast<std::int32_t>(plan.nodes.size());
+            state.lastCopyNode = weight_node;
+            plan.nodes.push_back(std::move(w));
+            plan.hasWeightStreams = true;
+            break; // every weight-carrying op lowers to one kernel
+        }
+
+        bool first_compute = true;
+        for (const auto& part : cost.parts) {
+            PlanNode node;
+            node.opIndex = plan.ops.size();
+            node.klass = part.klass;
+            node.label = part.label;
+            node.lane = Lane::Compute;
+            node.flops = part.flops;
+            node.hbmBytes = weight_node >= 0
+                                ? part.hbmBytes - part.weightBytes
+                                : part.hbmBytes;
+            node.launches = part.launches;
+            node.computeEff = part.computeEff;
+            node.memEff = part.memEff;
+            node.repeat = repeat;
+            node.dtype = op.dtype;
+            if (first_compute) {
+                if (state.lastComputeNode >= 0)
+                    node.deps.push_back(state.lastComputeNode);
+                if (weight_node >= 0)
+                    node.deps.push_back(weight_node);
+            } else {
+                node.deps.push_back(state.lastComputeNode);
+            }
+            state.lastComputeNode =
+                static_cast<std::int32_t>(plan.nodes.size());
+            plan.nodes.push_back(std::move(node));
+            first_compute = false;
+        }
+
+        pop.nodeCount = plan.nodes.size() - pop.firstNode;
+        plan.ops.push_back(std::move(pop));
+    }
+}
+
+} // namespace
+
+ExecutionPlan
+lowerPipeline(const graph::Pipeline& pipeline,
+              const kernels::CostModel& model,
+              const LoweringOptions& options)
+{
+    MMGEN_CHECK(options.minStreamedWeightBytes >= 0,
+                "minStreamedWeightBytes must be non-negative");
+    ExecutionPlan plan;
+    plan.model = pipeline.name;
+    plan.backend = model.backend();
+    plan.dtype = pipeline.dtype;
+    plan.totalParams = pipeline.totalParams();
+
+    LoweringState state;
+    for (std::size_t si = 0; si < pipeline.stages.size(); ++si) {
+        const graph::Stage& stage = pipeline.stages[si];
+        plan.stageNames.push_back(stage.name);
+        if (stage.perIterationShapes) {
+            for (std::int64_t it = 0; it < stage.iterations; ++it) {
+                const graph::Trace trace = pipeline.traceStage(si, it);
+                lowerTrace(trace, si, 1, model, options, state, plan);
+            }
+        } else {
+            const graph::Trace trace = pipeline.traceStage(si, 0);
+            lowerTrace(trace, si, stage.iterations, model, options,
+                       state, plan);
+        }
+    }
+    return plan;
+}
+
+} // namespace mmgen::exec

@@ -1,0 +1,191 @@
+#include "schedule.hh"
+
+#include <algorithm>
+
+#include "hw/roofline.hh"
+#include "util/logging.hh"
+
+namespace mmgen::exec {
+
+bool
+ScheduleOptions::isDefault() const
+{
+    return streams == 1 && launchQueueDepth == 0 && !graphLaunch &&
+           graphReplayOverheadFraction == 0.0;
+}
+
+TimelineScheduler::TimelineScheduler(hw::GpuSpec gpu,
+                                     ScheduleOptions options)
+    : gpu_(std::move(gpu)), opts(options)
+{
+    MMGEN_CHECK(opts.streams >= 1, "need at least one stream, got "
+                                       << opts.streams);
+    MMGEN_CHECK(opts.launchQueueDepth >= 0,
+                "launch queue depth must be non-negative");
+    MMGEN_CHECK(opts.graphReplayOverheadFraction >= 0.0 &&
+                    opts.graphReplayOverheadFraction <= 1.0,
+                "graph replay fraction out of [0, 1]");
+}
+
+namespace {
+
+hw::TimeEstimate
+nodeEstimate(const hw::GpuSpec& gpu, const PlanNode& node)
+{
+    hw::TimeEstimateInputs in;
+    in.flops = node.flops;
+    in.hbmBytes = node.hbmBytes;
+    in.computeEfficiency = node.computeEff;
+    in.memoryEfficiency = node.memEff;
+    in.launches = node.launches;
+    in.dtype = node.dtype;
+    return hw::estimateTime(gpu, in);
+}
+
+/**
+ * Serial back-to-back schedule. Every node runs on stream 0 in
+ * program order; per op the duration is (sum of part roofline
+ * seconds) * repeat — the exact arithmetic the seed profiler used, so
+ * the makespan is bit-identical to the old summed totalSeconds.
+ * Events subdivide each op's span at part granularity.
+ */
+Timeline
+scheduleSerial(const hw::GpuSpec& gpu, const ExecutionPlan& plan)
+{
+    Timeline tl;
+    tl.events.reserve(plan.nodes.size());
+    tl.nodeSeconds.reserve(plan.nodes.size());
+    tl.opSeconds.reserve(plan.ops.size());
+    tl.streamBusySeconds.assign(1, 0.0);
+
+    double clock = 0.0;
+    std::vector<double> part_seconds;
+    for (std::size_t oi = 0; oi < plan.ops.size(); ++oi) {
+        const PlanOp& op = plan.ops[oi];
+        const double r = static_cast<double>(op.repeat);
+
+        part_seconds.clear();
+        double block_sum = 0.0;
+        for (std::size_t n = op.firstNode;
+             n < op.firstNode + op.nodeCount; ++n) {
+            const hw::TimeEstimate est =
+                nodeEstimate(gpu, plan.nodes[n]);
+            part_seconds.push_back(est.seconds);
+            block_sum += est.seconds;
+            tl.nodeSeconds.push_back(est.seconds * r);
+            tl.launchOverheadSeconds += est.overheadSeconds * r;
+        }
+        const double block_dur = block_sum * r;
+
+        double prefix = 0.0;
+        for (std::size_t p = 0; p < part_seconds.size(); ++p) {
+            TimelineEvent ev;
+            ev.node = op.firstNode + p;
+            ev.op = oi;
+            ev.stream = 0;
+            ev.startSeconds = clock + prefix * r;
+            prefix += part_seconds[p];
+            ev.endSeconds = p + 1 == part_seconds.size()
+                                ? clock + block_dur
+                                : clock + prefix * r;
+            tl.events.push_back(ev);
+        }
+        clock += block_dur;
+        tl.opSeconds.push_back(block_dur);
+        tl.streamBusySeconds[0] += block_dur;
+    }
+    tl.makespan = clock;
+    return tl;
+}
+
+} // namespace
+
+Timeline
+TimelineScheduler::schedule(const ExecutionPlan& plan) const
+{
+    const bool copy_stream =
+        opts.streams >= 2 && plan.hasWeightStreams;
+    if (!copy_stream && opts.launchQueueDepth == 0 &&
+        !opts.graphLaunch) {
+        return scheduleSerial(gpu_, plan);
+    }
+
+    const int num_streams = copy_stream ? 2 : 1;
+    const int q = opts.launchQueueDepth;
+    const double replay_frac = opts.graphReplayOverheadFraction;
+
+    Timeline tl;
+    tl.events.reserve(plan.nodes.size());
+    tl.nodeSeconds.reserve(plan.nodes.size());
+    tl.opSeconds.assign(plan.ops.size(), 0.0);
+    tl.streamBusySeconds.assign(
+        static_cast<std::size_t>(num_streams), 0.0);
+
+    std::vector<double> cursor(static_cast<std::size_t>(num_streams),
+                               0.0);
+    // Host launch pipeline: issue times in node order; the host may
+    // run at most q unstarted launches ahead of the device.
+    double host_clock = 0.0;
+    std::vector<double> start_times;
+    start_times.reserve(plan.nodes.size());
+
+    for (std::size_t n = 0; n < plan.nodes.size(); ++n) {
+        const PlanNode& node = plan.nodes[n];
+        const hw::TimeEstimate est = nodeEstimate(gpu_, node);
+        const double r = static_cast<double>(node.repeat);
+        const double exec =
+            std::max(est.computeSeconds, est.memorySeconds) * r;
+        const double overhead =
+            opts.graphLaunch
+                ? est.overheadSeconds *
+                      (1.0 + (r - 1.0) * replay_frac)
+                : est.overheadSeconds * r;
+        tl.launchOverheadSeconds += overhead;
+
+        double launched = 0.0;
+        double duration = exec;
+        if (q == 0) {
+            // Synchronous launches: overhead serializes inline.
+            duration += overhead;
+        } else {
+            // The host issues launches in program order, stalling when
+            // the queue already holds q kernels the device has not
+            // started.
+            double issue = host_clock;
+            if (n >= static_cast<std::size_t>(q))
+                issue = std::max(
+                    issue,
+                    start_times[n - static_cast<std::size_t>(q)]);
+            host_clock = issue + overhead;
+            launched = host_clock;
+        }
+
+        const int stream =
+            copy_stream && node.lane == Lane::Copy ? 1 : 0;
+        double start =
+            std::max(cursor[static_cast<std::size_t>(stream)],
+                     launched);
+        for (const std::int32_t dep : node.deps)
+            start = std::max(
+                start,
+                tl.events[static_cast<std::size_t>(dep)].endSeconds);
+
+        TimelineEvent ev;
+        ev.node = n;
+        ev.op = node.opIndex;
+        ev.stream = stream;
+        ev.startSeconds = start;
+        ev.endSeconds = start + duration;
+        cursor[static_cast<std::size_t>(stream)] = ev.endSeconds;
+        tl.streamBusySeconds[static_cast<std::size_t>(stream)] +=
+            duration;
+        tl.nodeSeconds.push_back(duration);
+        tl.opSeconds[node.opIndex] += duration;
+        tl.makespan = std::max(tl.makespan, ev.endSeconds);
+        start_times.push_back(start);
+        tl.events.push_back(ev);
+    }
+    return tl;
+}
+
+} // namespace mmgen::exec

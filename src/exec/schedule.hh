@@ -1,0 +1,140 @@
+/**
+ * @file
+ * TimelineScheduler: a deterministic discrete-event scheduler that
+ * plays an ExecutionPlan onto a GpuSpec.
+ *
+ * This is the second half of the profiler split. The scheduler walks
+ * the plan in program order and assigns every node a real [start, end)
+ * interval on a stream, modeling:
+ *
+ *  - per-stream in-order (FIFO) execution,
+ *  - compute/copy overlap when `streams >= 2` routes the Copy lane
+ *    onto its own stream,
+ *  - host launch-queue depth: with `launchQueueDepth == 0` every
+ *    launch is synchronous and its overhead serializes with execution
+ *    (the seed profiler's semantics); with depth q >= 1 the host runs
+ *    up to q launches ahead so overhead hides under execution,
+ *  - CUDA-graph-style launch amortization: a folded node with repeat r
+ *    pays full launch overhead once plus a replay fraction for the
+ *    remaining r - 1 iterations.
+ *
+ * With every option at its default the schedule is one back-to-back
+ * stream and the makespan reproduces the seed profiler's summed
+ * `totalSeconds` bit for bit: per op the scheduler sums the roofline
+ * seconds of its kernels in part order and multiplies by the repeat
+ * count — the exact arithmetic `CostModel::time` performed.
+ */
+
+#ifndef MMGEN_EXEC_SCHEDULE_HH
+#define MMGEN_EXEC_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/plan.hh"
+#include "hw/gpu_spec.hh"
+
+namespace mmgen::exec {
+
+/** Scheduler knobs. Defaults reproduce the seed profiler exactly. */
+struct ScheduleOptions
+{
+    /**
+     * Concurrent hardware streams. 1 serializes every lane onto one
+     * stream; >= 2 gives the Copy lane its own stream so weight
+     * streaming overlaps compute.
+     */
+    int streams = 1;
+
+    /**
+     * Host launch-queue depth. 0 means synchronous launches: each
+     * kernel's launch overhead is paid inline before it executes
+     * (exactly the seed cost model). Depth q >= 1 lets the host queue
+     * up to q launches ahead of device execution, hiding overhead
+     * under running kernels.
+     */
+    int launchQueueDepth = 0;
+
+    /** Replay repeated iterations as a captured CUDA graph. */
+    bool graphLaunch = false;
+
+    /**
+     * Fraction of a node's per-iteration launch overhead each graph
+     * replay still pays (0 = replays are free, 1 = no amortization).
+     * Only meaningful when graphLaunch is set.
+     */
+    double graphReplayOverheadFraction = 0.0;
+
+    /** True when every knob has its seed-reproducing default. */
+    bool isDefault() const;
+};
+
+/** One scheduled kernel occurrence on the timeline. */
+struct TimelineEvent
+{
+    /** Index into ExecutionPlan::nodes. */
+    std::size_t node = 0;
+    /** Index into ExecutionPlan::ops. */
+    std::size_t op = 0;
+    /** Stream the node ran on (0 = compute, 1 = copy). */
+    int stream = 0;
+    double startSeconds = 0.0;
+    double endSeconds = 0.0;
+
+    double durationSeconds() const { return endSeconds - startSeconds; }
+};
+
+/** The scheduled timeline of one plan. */
+struct Timeline
+{
+    /** One event per plan node, in node order. */
+    std::vector<TimelineEvent> events;
+
+    /** End-to-end latency: the last event end. */
+    double makespan = 0.0;
+
+    /** Busy seconds per stream (indexed by stream id). */
+    std::vector<double> streamBusySeconds;
+
+    /**
+     * Roofline busy seconds per node (repeats applied), in node
+     * order. This is the per-kernel attribution quantity (what
+     * kernel-class breakdowns sum); it matches each event's duration
+     * up to the last ulp of the op-level grouping arithmetic.
+     */
+    std::vector<double> nodeSeconds;
+
+    /**
+     * Busy seconds per plan op (sum of its nodes' durations), aligned
+     * with ExecutionPlan::ops. Under overlap these can sum to more
+     * than the makespan, like GPU-busy time in a real profile.
+     */
+    std::vector<double> opSeconds;
+
+    /** Total host launch overhead (seconds, repeats applied). */
+    double launchOverheadSeconds = 0.0;
+};
+
+/**
+ * Plays ExecutionPlans onto a GPU under fixed scheduling options.
+ */
+class TimelineScheduler
+{
+  public:
+    explicit TimelineScheduler(hw::GpuSpec gpu,
+                               ScheduleOptions options =
+                                   ScheduleOptions());
+
+    /** Schedule one plan; deterministic for equal inputs. */
+    Timeline schedule(const ExecutionPlan& plan) const;
+
+    const ScheduleOptions& options() const { return opts; }
+
+  private:
+    hw::GpuSpec gpu_;
+    ScheduleOptions opts;
+};
+
+} // namespace mmgen::exec
+
+#endif // MMGEN_EXEC_SCHEDULE_HH

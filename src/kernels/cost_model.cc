@@ -203,8 +203,11 @@ CostModel::costConv(const Op& op) const
         d(db);
     const double out_bytes = d(m * n) * d(db);
     kc.hbmBytes = in_bytes + w_bytes + out_bytes;
-    if (a.hasBias)
+    kc.weightBytes = w_bytes;
+    if (a.hasBias) {
         kc.hbmBytes += d(a.outChannels) * d(db);
+        kc.weightBytes += d(a.outChannels) * d(db);
+    }
     kc.launches = 1;
     kc.computeEff = convComputeEff(gpu_, params_, m, n, k);
     kc.memEff = streamMemEff(params_,
@@ -227,8 +230,11 @@ CostModel::costLinear(const Op& op) const
                    d(a.inFeatures * a.outFeatures) +
                    d(a.rows * a.outFeatures)) *
                   d(db);
-    if (a.hasBias)
+    kc.weightBytes = d(a.inFeatures * a.outFeatures) * d(db);
+    if (a.hasBias) {
         kc.hbmBytes += d(a.outFeatures) * d(db);
+        kc.weightBytes += d(a.outFeatures) * d(db);
+    }
     kc.launches = 1;
     kc.computeEff =
         gemmComputeEff(gpu_, params_, 1, a.rows, a.outFeatures,
@@ -327,6 +333,8 @@ CostModel::costEmbedding(const Op& op) const
     kc.label = "embedding";
     kc.flops = 0.0;
     kc.hbmBytes = 2.0 * d(a.tokens) * d(a.dim) * d(db);
+    // The gathered table rows are parameter reads.
+    kc.weightBytes = d(a.tokens) * d(a.dim) * d(db);
     kc.launches = 1;
     kc.computeEff = 1.0;
     kc.memEff = streamMemEff(params_,

@@ -47,6 +47,12 @@ struct SubKernelCost
     double computeEff = 1.0;
     /** Fraction of peak bandwidth this kernel attains (0, 1]. */
     double memEff = 1.0;
+    /**
+     * Portion of hbmBytes that is weight traffic (parameter reads).
+     * Lowering may peel this onto a copy-lane weight-stream node;
+     * kernels with no trainable parameters leave it at 0.
+     */
+    double weightBytes = 0.0;
 };
 
 /** All kernels an op lowers to, with aggregate helpers. */

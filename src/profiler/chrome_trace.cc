@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
+#include <set>
 
 #include "util/logging.hh"
 
@@ -41,21 +41,16 @@ jsonEscape(const std::string& s)
 }
 
 void
-writeChromeTrace(std::ostream& out, const ProfileResult& result,
+writeChromeTrace(std::ostream& out, const exec::ExecutionPlan& plan,
+                 const exec::Timeline& timeline,
                  const ChromeTraceOptions& options)
 {
-    MMGEN_CHECK(!result.records.empty(),
-                "profile has no per-op records; re-run with "
-                "ProfileOptions::keepOpRecords = true");
+    MMGEN_CHECK(timeline.events.size() == plan.nodes.size(),
+                "timeline has " << timeline.events.size()
+                                << " events for a plan of "
+                                << plan.nodes.size() << " nodes");
     MMGEN_CHECK(options.maxRepeatInstances >= 1,
                 "need at least one repeat instance");
-
-    // Assign a process id per stage, in first-appearance order.
-    std::map<std::string, int> stage_pid;
-    for (const auto& rec : result.records) {
-        stage_pid.emplace(rec.stage,
-                          static_cast<int>(stage_pid.size()) + 1);
-    }
 
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
@@ -66,45 +61,89 @@ writeChromeTrace(std::ostream& out, const ProfileResult& result,
         out << "\n" << json;
     };
 
-    // Process metadata: stage names.
-    for (const auto& [stage, pid] : stage_pid) {
-        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+    // Process metadata: one lane per stage that scheduled any work,
+    // pid = stage index + 1 so lanes sort in pipeline order.
+    std::set<std::size_t> used_stages;
+    for (const exec::PlanNode& node : plan.nodes)
+        used_stages.insert(plan.ops[node.opIndex].stageIndex);
+    for (const std::size_t si : used_stages) {
+        const std::string& stage = plan.stageNames[si];
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(si + 1) +
              ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
-             jsonEscape(stage.empty() ? result.model : stage) +
+             jsonEscape(stage.empty() ? plan.model : stage) +
              "\"}}");
     }
 
-    // Complete events, laid out serially per stage lane.
-    std::map<int, double> stage_clock_us;
-    for (const auto& rec : result.records) {
-        const int pid = stage_pid.at(rec.stage);
-        const std::int64_t instances =
-            std::min<std::int64_t>(rec.repeat,
-                                   options.maxRepeatInstances);
+    // Thread metadata: one lane per (stage, stream) in use,
+    // tid = stream + 1.
+    std::set<std::pair<std::size_t, int>> used_lanes;
+    for (const exec::TimelineEvent& ev : timeline.events)
+        used_lanes.emplace(plan.ops[ev.op].stageIndex, ev.stream);
+    for (const auto& [si, stream] : used_lanes) {
+        const exec::Lane lane = stream == 0 ? exec::Lane::Compute
+                                            : exec::Lane::Copy;
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(si + 1) +
+             ",\"tid\":" + std::to_string(stream + 1) +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"stream " +
+             std::to_string(stream) + " (" + exec::laneName(lane) +
+             ")\"}}");
+    }
+
+    // Complete events at the scheduler's timestamps. A folded repeat
+    // draws min(repeat, maxRepeatInstances) slices of the real
+    // per-iteration duration; elided iterations are flagged in the
+    // slice name instead of silently shortening the lane.
+    for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+        const exec::TimelineEvent& ev = timeline.events[i];
+        const exec::PlanNode& node = plan.nodes[i];
+        const exec::PlanOp& op = plan.ops[ev.op];
+        const int pid = static_cast<int>(op.stageIndex) + 1;
+        const int tid = ev.stream + 1;
+        const std::int64_t instances = std::min<std::int64_t>(
+            node.repeat, options.maxRepeatInstances);
         const double per_instance_us =
-            rec.seconds * 1e6 / static_cast<double>(rec.repeat);
-        const int tid = static_cast<int>(rec.category) + 1;
-        for (std::int64_t i = 0; i < instances; ++i) {
-            double& clock = stage_clock_us[pid];
+            ev.durationSeconds() * 1e6 /
+            static_cast<double>(node.repeat);
+
+        std::string name = node.label;
+        if (instances < node.repeat) {
+            name += " [x" + std::to_string(node.repeat) +
+                    ", showing " + std::to_string(instances) + "]";
+        }
+
+        double ts = ev.startSeconds * 1e6;
+        for (std::int64_t k = 0; k < instances; ++k) {
             char buf[512];
             std::snprintf(
                 buf, sizeof(buf),
                 "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
                 "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"%s\","
-                "\"args\":{\"scope\":\"%s\",\"flops\":%.3e,"
-                "\"hbm_bytes\":%.3e,\"repeat\":%lld}}",
-                pid, tid, clock, per_instance_us,
-                jsonEscape(graph::opKindName(rec.kind)).c_str(),
-                jsonEscape(graph::opCategoryName(rec.category)).c_str(),
-                jsonEscape(rec.scope).c_str(),
-                rec.flops / static_cast<double>(rec.repeat),
-                rec.hbmBytes / static_cast<double>(rec.repeat),
-                static_cast<long long>(rec.repeat));
+                "\"args\":{\"scope\":\"%s\",\"lane\":\"%s\","
+                "\"flops\":%.3e,\"hbm_bytes\":%.3e,"
+                "\"repeat\":%lld}}",
+                pid, tid, ts, per_instance_us,
+                jsonEscape(name).c_str(),
+                jsonEscape(kernels::kernelClassName(node.klass))
+                    .c_str(),
+                jsonEscape(op.scope).c_str(),
+                exec::laneName(node.lane).c_str(), node.flops,
+                node.hbmBytes,
+                static_cast<long long>(node.repeat));
             emit(buf);
-            clock += per_instance_us;
+            ts += per_instance_us;
         }
     }
     out << "\n]}\n";
+}
+
+void
+writeChromeTrace(std::ostream& out, const ProfileResult& result,
+                 const ChromeTraceOptions& options)
+{
+    MMGEN_CHECK(result.plan != nullptr,
+                "profile kept no execution plan; re-run with "
+                "ProfileOptions::keepOpRecords = true");
+    writeChromeTrace(out, *result.plan, result.timeline, options);
 }
 
 } // namespace mmgen::profiler

@@ -2,12 +2,14 @@
  * @file
  * Chrome-trace (chrome://tracing, Perfetto) export of a profiled run.
  *
- * Serializes the per-op records of a ProfileResult as a Trace Event
- * Format JSON document: one complete ("X") event per operator, with
- * stages as process-level lanes and operator categories as thread
- * lanes, so a simulated inference timeline can be inspected with the
- * same tooling PyTorch Profiler traces are viewed in (paper Section
- * III uses exactly that workflow on real hardware).
+ * Serializes a scheduled timeline as a Trace Event Format JSON
+ * document: one complete ("X") event per kernel occurrence, with real
+ * scheduler timestamps, pipeline stages as process-level lanes and
+ * hardware streams as thread lanes, so a simulated inference timeline
+ * can be inspected with the same tooling PyTorch Profiler traces are
+ * viewed in (paper Section III uses exactly that workflow on real
+ * hardware). Compute/copy overlap shows up as concurrent slices on
+ * the two stream lanes.
  */
 
 #ifndef MMGEN_PROFILER_CHROME_TRACE_HH
@@ -16,6 +18,8 @@
 #include <ostream>
 #include <string>
 
+#include "exec/plan.hh"
+#include "exec/schedule.hh"
 #include "profiler/engine.hh"
 
 namespace mmgen::profiler {
@@ -24,18 +28,32 @@ namespace mmgen::profiler {
 struct ChromeTraceOptions
 {
     /**
-     * Expand op repeats into this many timeline instances at most
-     * (a 50-step denoising loop folded into one record is drawn as
-     * min(repeat, maxRepeatInstances) back-to-back slices).
+     * Draw at most this many timeline instances of a folded repeat (a
+     * 50-step denoising loop folded into one node is drawn as
+     * min(repeat, maxRepeatInstances) back-to-back slices of the real
+     * per-iteration duration). When instances are elided the drawn
+     * slices are labeled, e.g. "conv2d [x50, showing 3]", so a folded
+     * tail is never mistaken for idle time.
      */
     std::int64_t maxRepeatInstances = 3;
 };
 
 /**
- * Write a ProfileResult as Trace Event Format JSON.
+ * Write a lowered plan and its scheduled timeline as Trace Event
+ * Format JSON. The timeline must have been produced from this plan.
+ */
+void writeChromeTrace(std::ostream& out,
+                      const exec::ExecutionPlan& plan,
+                      const exec::Timeline& timeline,
+                      const ChromeTraceOptions& options =
+                          ChromeTraceOptions());
+
+/**
+ * Write a ProfileResult's timeline as Trace Event Format JSON.
  *
  * The result must have been produced with
- * ProfileOptions::keepOpRecords = true; throws FatalError otherwise.
+ * ProfileOptions::keepOpRecords = true (which retains the plan and
+ * timeline); throws FatalError otherwise.
  */
 void writeChromeTrace(std::ostream& out, const ProfileResult& result,
                       const ChromeTraceOptions& options =

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "kernels/attention.hh"
 #include "util/logging.hh"
+#include "verify/timeline.hh"
 #include "verify/verify.hh"
 
 namespace mmgen::profiler {
@@ -26,73 +26,95 @@ Profiler::Profiler(ProfileOptions options)
     : opts(std::move(options))
 {}
 
-void
-Profiler::accumulateTrace(const graph::Trace& trace,
-                          const std::string& stage_name,
-                          std::int64_t repeat,
-                          const kernels::CostModel& model,
-                          ProfileResult& result, double& stage_s,
-                          BreakdownReport& stage_breakdown) const
+exec::ExecutionPlan
+Profiler::lower(const graph::Pipeline& pipeline) const
 {
+    const kernels::CostModel model(opts.gpu, opts.backend,
+                                   opts.efficiency);
+    return exec::lowerPipeline(pipeline, model, opts.lowering);
+}
+
+ProfileResult
+Profiler::profile(const graph::Pipeline& pipeline) const
+{
+    if (verify::runtimeChecksEnabled())
+        verify::verifyPipelineOrThrow(pipeline);
+
+    auto plan = std::make_shared<const exec::ExecutionPlan>(
+        lower(pipeline));
+    const exec::TimelineScheduler scheduler(opts.gpu, opts.schedule);
+    exec::Timeline timeline = scheduler.schedule(*plan);
+
+    ProfileResult result;
+    result.model = pipeline.name;
+    result.backend = opts.backend;
+    result.params = plan->totalParams;
+    result.totalSeconds = timeline.makespan;
+    result.launchOverheadSeconds = timeline.launchOverheadSeconds;
+
+    const std::size_t num_stages = plan->stageNames.size();
+    std::vector<double> stage_seconds(num_stages, 0.0);
+    std::vector<BreakdownReport> stage_breakdowns(num_stages);
+
     const auto record_cap =
         static_cast<std::size_t>(std::max<std::int64_t>(
             opts.maxOpRecords, 0));
-    if (opts.keepOpRecords) {
-        // Reserve capped and amortized (never grow by less than 2x),
-        // so a thousand-iteration decode stage does not reallocate
-        // per traced step and a sweep cannot blow memory past the cap.
-        const std::size_t want = std::min(
-            result.records.size() + trace.size(), record_cap);
-        if (want > result.records.capacity())
-            result.records.reserve(std::min(
-                std::max(want, result.records.capacity() * 2),
-                record_cap));
-    }
-    for (const auto& op : trace.ops()) {
-        const kernels::OpCost cost = model.cost(op);
-        const kernels::OpTime time = model.time(cost, op.dtype, repeat);
-        for (const auto& [klass, seconds] :
-             model.timeByKernelClass(cost, op.dtype, repeat)) {
-            result.kernelClassSeconds[klass] += seconds;
+    if (opts.keepOpRecords)
+        result.records.reserve(
+            std::min(plan->ops.size(), record_cap));
+
+    for (std::size_t oi = 0; oi < plan->ops.size(); ++oi) {
+        const exec::PlanOp& op = plan->ops[oi];
+        const double r = static_cast<double>(op.repeat);
+
+        double flops = 0.0;
+        double bytes = 0.0;
+        std::int64_t launches = 0;
+        for (std::size_t n = op.firstNode;
+             n < op.firstNode + op.nodeCount; ++n) {
+            const exec::PlanNode& node = plan->nodes[n];
+            flops += node.flops;
+            bytes += node.hbmBytes;
+            launches += node.launches;
+            result.kernelClassSeconds[node.klass] +=
+                timeline.nodeSeconds[n];
         }
 
         OpRecord rec;
         rec.kind = op.kind;
-        rec.category = graph::opCategory(op);
+        rec.category = op.category;
         rec.scope = op.scope;
-        rec.stage = stage_name;
-        rec.seconds = time.seconds;
-        rec.flops = cost.totalFlops() * static_cast<double>(repeat);
-        rec.hbmBytes = cost.totalBytes() * static_cast<double>(repeat);
-        rec.launches = cost.totalLaunches() * repeat;
-        rec.repeat = repeat;
+        rec.stage = plan->stageNames[op.stageIndex];
+        rec.seconds = timeline.opSeconds[oi];
+        rec.flops = flops * r;
+        rec.hbmBytes = bytes * r;
+        rec.launches = launches * op.repeat;
+        rec.repeat = op.repeat;
 
         if (op.kind == graph::OpKind::Attention) {
-            const auto& a = op.as<graph::AttentionAttrs>();
-            rec.seqLen = a.seqQ;
-            rec.seqKv = a.seqKv;
-            rec.attnKind = a.kind;
-            result.attention.add(a.kind, rec.seconds, rec.flops, repeat);
+            rec.seqLen = op.seqQ;
+            rec.seqKv = op.seqKv;
+            rec.attnKind = op.attnKind;
+            result.attention.add(op.attnKind, rec.seconds, rec.flops,
+                                 op.repeat);
             // The Fig. 7/8 sequence-length series tracks the attended
             // length of self-attention calls; cross-attention always
             // attends the fixed encoded prompt.
-            if (a.kind != graph::AttentionKind::CrossText) {
+            if (op.attnKind != graph::AttentionKind::CrossText) {
                 result.seqLens.record(
-                    a.seqKv, static_cast<std::uint64_t>(repeat));
+                    op.seqKv, static_cast<std::uint64_t>(op.repeat));
             }
         }
 
         result.breakdown.add(rec);
-        stage_breakdown.add(rec);
-        result.totalSeconds += rec.seconds;
+        stage_breakdowns[op.stageIndex].add(rec);
+        stage_seconds[op.stageIndex] += rec.seconds;
         result.totalFlops += rec.flops;
         result.totalHbmBytes += rec.hbmBytes;
         result.totalLaunches += rec.launches;
         result.weightBytesRead +=
-            static_cast<double>(graph::opParamCount(op)) *
-            static_cast<double>(dtypeBytes(op.dtype)) *
-            static_cast<double>(repeat);
-        stage_s += rec.seconds;
+            static_cast<double>(op.paramCount) *
+            static_cast<double>(dtypeBytes(op.dtype)) * r;
 
         if (opts.keepOpRecords) {
             if (result.records.size() < record_cap)
@@ -101,48 +123,38 @@ Profiler::accumulateTrace(const graph::Trace& trace,
                 result.recordsTruncated = true;
         }
     }
-}
 
-ProfileResult
-Profiler::profile(const graph::Pipeline& pipeline) const
-{
-    if (verify::runtimeChecksEnabled())
-        verify::verifyPipelineOrThrow(pipeline);
-    const kernels::CostModel model(opts.gpu, opts.backend,
-                                   opts.efficiency);
-    ProfileResult result;
-    result.model = pipeline.name;
-    result.backend = opts.backend;
-    result.params = pipeline.totalParams();
-
-    for (std::size_t si = 0; si < pipeline.stages.size(); ++si) {
-        const graph::Stage& stage = pipeline.stages[si];
-        double stage_s = 0.0;
-        BreakdownReport stage_breakdown;
-        if (stage.perIterationShapes) {
-            for (std::int64_t it = 0; it < stage.iterations; ++it) {
-                const graph::Trace trace = pipeline.traceStage(si, it);
-                accumulateTrace(trace, stage.name, 1, model, result,
-                                stage_s, stage_breakdown);
-            }
-        } else {
-            const graph::Trace trace = pipeline.traceStage(si, 0);
-            accumulateTrace(trace, stage.name, stage.iterations, model,
-                            result, stage_s, stage_breakdown);
-        }
-        result.stageSeconds.emplace_back(stage.name, stage_s);
-        result.stageBreakdowns.emplace_back(stage.name,
-                                            std::move(stage_breakdown));
+    for (std::size_t si = 0; si < num_stages; ++si) {
+        result.stageSeconds.emplace_back(plan->stageNames[si],
+                                         stage_seconds[si]);
+        result.stageBreakdowns.emplace_back(
+            plan->stageNames[si], std::move(stage_breakdowns[si]));
     }
+
     if (verify::runtimeChecksEnabled()) {
         verify::DiagnosticReport physics;
-        verify::checkObservation(
-            verify::SimObservation{result.model + " total",
-                                   result.totalFlops,
-                                   result.totalHbmBytes,
-                                   result.totalSeconds, pipeline.dtype},
-            opts.gpu, physics);
+        verify::checkTimeline(*plan, timeline,
+                              verify::PhysicsContext{result.model, ""},
+                              physics);
+        // The aggregate roofline check only speaks about serialized
+        // time; an overlapped schedule legitimately moves bytes on two
+        // streams at once, so it runs for seed-equivalent runs only.
+        if (opts.schedule.isDefault() &&
+            !opts.lowering.splitWeightStreams) {
+            verify::checkObservation(
+                verify::SimObservation{result.model + " total",
+                                       result.totalFlops,
+                                       result.totalHbmBytes,
+                                       result.totalSeconds,
+                                       pipeline.dtype},
+                opts.gpu, physics);
+        }
         verify::throwOnErrors(physics);
+    }
+
+    if (opts.keepOpRecords) {
+        result.plan = std::move(plan);
+        result.timeline = std::move(timeline);
     }
     return result;
 }

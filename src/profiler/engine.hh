@@ -2,20 +2,36 @@
  * @file
  * Execution engine: profiles a Pipeline on the simulated GPU.
  *
- * Stages whose iterations all share one shape (diffusion denoising,
- * Muse refinement) are traced once and scaled — the traced pass is the
- * "fundamental period" the paper plots in Fig. 7. Autoregressive
- * stages are traced iteration by iteration, so KV-cache growth is
- * captured exactly.
+ * Profiling is an explicit two-layer composition:
+ *
+ *   Pipeline --lower--> exec::ExecutionPlan --schedule--> exec::Timeline
+ *
+ * Lowering (exec/plan.hh) traces the pipeline stage by stage — stages
+ * whose iterations all share one shape (diffusion denoising, Muse
+ * refinement) are traced once and folded into repeat counts, the
+ * "fundamental period" the paper plots in Fig. 7, while autoregressive
+ * stages are traced iteration by iteration so KV-cache growth is
+ * captured exactly — and expands every op through the CostModel into
+ * kernel-level plan nodes. The TimelineScheduler (exec/schedule.hh)
+ * then plays the plan onto the GPU, producing real per-kernel
+ * [start, end) intervals. The profiler only aggregates the result.
+ *
+ * With default options the schedule is one serial stream and
+ * `totalSeconds` is bit-identical to summing every op's roofline time
+ * in program order; non-default options model multi-stream overlap,
+ * launch queueing and CUDA-graph amortization.
  */
 
 #ifndef MMGEN_PROFILER_ENGINE_HH
 #define MMGEN_PROFILER_ENGINE_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/plan.hh"
+#include "exec/schedule.hh"
 #include "graph/pipeline.hh"
 #include "hw/gpu_spec.hh"
 #include "kernels/cost_model.hh"
@@ -30,10 +46,18 @@ struct ProfileOptions
     graph::AttentionBackend backend = graph::AttentionBackend::Flash;
     kernels::EfficiencyParams efficiency =
         kernels::EfficiencyParams::defaults();
+
+    /** How pipelines lower to kernel plans (weight-stream splitting). */
+    exec::LoweringOptions lowering;
+
+    /** How plans schedule onto the GPU (streams, queue, graphs). */
+    exec::ScheduleOptions schedule;
+
     /**
-     * Keep one OpRecord per traced op. Costs memory on models with
-     * hundreds of thousands of decode-step ops; aggregate reports are
-     * always produced regardless.
+     * Keep one OpRecord per traced op, plus the lowered plan and
+     * scheduled timeline. Costs memory on models with hundreds of
+     * thousands of decode-step ops; aggregate reports are always
+     * produced regardless.
      */
     bool keepOpRecords = false;
 
@@ -53,11 +77,16 @@ struct ProfileResult
     std::string model;
     graph::AttentionBackend backend = graph::AttentionBackend::Flash;
 
-    /** End-to-end simulated inference latency, seconds. */
+    /** End-to-end simulated inference latency (the makespan), seconds. */
     double totalSeconds = 0.0;
     double totalFlops = 0.0;
     double totalHbmBytes = 0.0;
     std::int64_t totalLaunches = 0;
+    /**
+     * Host launch overhead the schedule paid, seconds (graph-launch
+     * amortization already applied).
+     */
+    double launchOverheadSeconds = 0.0;
     /** Weight bytes streamed from HBM across all passes. */
     double weightBytesRead = 0.0;
 
@@ -71,7 +100,7 @@ struct ProfileResult
     /** Seconds per device-kernel class (Nsight-style grouping). */
     std::map<kernels::KernelClass, double> kernelClassSeconds;
 
-    /** Simulated seconds per stage, in stage order. */
+    /** Simulated busy seconds per stage, in stage order. */
     std::vector<std::pair<std::string, double>> stageSeconds;
 
     /** Per-stage operator-category breakdowns, in stage order. */
@@ -83,6 +112,14 @@ struct ProfileResult
 
     /** True when `records` hit ProfileOptions::maxOpRecords. */
     bool recordsTruncated = false;
+
+    /**
+     * The lowered plan and its scheduled timeline (only when
+     * ProfileOptions::keepOpRecords — they are per-kernel-sized).
+     * Chrome-trace export reads these.
+     */
+    std::shared_ptr<const exec::ExecutionPlan> plan;
+    exec::Timeline timeline;
 
     /** Seconds spent in the Attention category. */
     double attentionSeconds() const;
@@ -99,12 +136,16 @@ struct ProfileResult
 };
 
 /**
- * Profiles pipelines against a cost model.
+ * Profiles pipelines by lowering them to execution plans and playing
+ * the plans through the timeline scheduler.
  */
 class Profiler
 {
   public:
     explicit Profiler(ProfileOptions options = ProfileOptions());
+
+    /** Lower a pipeline to its kernel plan (no scheduling). */
+    exec::ExecutionPlan lower(const graph::Pipeline& pipeline) const;
 
     /** Run one full inference profile of a pipeline. */
     ProfileResult profile(const graph::Pipeline& pipeline) const;
@@ -112,14 +153,6 @@ class Profiler
     const ProfileOptions& options() const { return opts; }
 
   private:
-    /** Cost one traced stage iteration into the result. */
-    void accumulateTrace(const graph::Trace& trace,
-                         const std::string& stage_name,
-                         std::int64_t repeat,
-                         const kernels::CostModel& model,
-                         ProfileResult& result, double& stage_s,
-                         BreakdownReport& stage_breakdown) const;
-
     ProfileOptions opts;
 };
 

@@ -146,6 +146,17 @@ profileKey(const graph::Pipeline& pipeline,
     h.mix(gpu.cacheLineBytes);
     h.mix(gpu.kernelLaunchOverhead);
     h.mix(static_cast<std::uint64_t>(options.backend));
+    // Lowering and scheduling knobs: two runs of one pipeline under
+    // different stream/queue/graph configurations are different
+    // results and must never alias.
+    const exec::LoweringOptions& lo = options.lowering;
+    h.mix(static_cast<std::uint64_t>(lo.splitWeightStreams));
+    h.mix(lo.minStreamedWeightBytes);
+    const exec::ScheduleOptions& so = options.schedule;
+    h.mix(static_cast<std::int64_t>(so.streams));
+    h.mix(static_cast<std::int64_t>(so.launchQueueDepth));
+    h.mix(static_cast<std::uint64_t>(so.graphLaunch));
+    h.mix(so.graphReplayOverheadFraction);
     const kernels::EfficiencyParams& e = options.efficiency;
     h.mix(e.gemmPeakFraction);
     h.mix(e.convPeakFraction);

@@ -126,7 +126,9 @@ class ProfileCache
  * Cache key for one profiling run: `Pipeline::fingerprint()` combined
  * with every profile input the result depends on (GpuSpec datasheet
  * fields, attention backend, the full `EfficiencyParams` calibration
- * surface).
+ * surface, and the lowering/scheduling knobs — stream count, launch
+ * queue depth, graph amortization, weight-stream splitting — so
+ * differently scheduled runs of one pipeline never alias).
  */
 std::uint64_t profileKey(const graph::Pipeline& pipeline,
                          const profiler::ProfileOptions& options);

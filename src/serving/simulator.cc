@@ -31,25 +31,32 @@ LatencyModel::batchSeconds(int batch) const
 
 LatencyModel
 profileLatencyModel(const graph::Pipeline& pipeline,
-                    const hw::GpuSpec& gpu)
+                    const hw::GpuSpec& gpu,
+                    const exec::ScheduleOptions& schedule)
 {
     if (verify::runtimeChecksEnabled())
         verify::verifyPipelineOrThrow(pipeline);
     profiler::ProfileOptions opts;
     opts.gpu = gpu;
     opts.backend = graph::AttentionBackend::Flash;
+    opts.schedule = schedule;
     // Serving sweeps rebuild their latency model per grid point; the
-    // profile memo makes every repeated setup O(1).
+    // profile memo makes every repeated setup O(1). The schedule knobs
+    // are part of the cache key, so two schedules never alias.
     const std::shared_ptr<const profiler::ProfileResult> res =
         runtime::cachedProfile(pipeline, opts);
 
     LatencyModel model;
     model.baseSeconds = res->totalSeconds;
     // Launch overhead and small-kernel ramp time do not scale with
-    // batch; approximate the non-scaling share from the launch count.
+    // batch; the non-scaling share is what the schedule actually paid
+    // in launches (for the default serial schedule that is exactly
+    // launch count times per-launch overhead).
     const double overhead_s =
-        static_cast<double>(res->totalLaunches) *
-        gpu.kernelLaunchOverhead;
+        schedule.isDefault()
+            ? static_cast<double>(res->totalLaunches) *
+                  gpu.kernelLaunchOverhead
+            : res->launchOverheadSeconds;
     model.overheadFraction =
         std::clamp(overhead_s / res->totalSeconds, 0.02, 0.5);
     return model;

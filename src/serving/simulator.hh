@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "exec/schedule.hh"
 #include "graph/pipeline.hh"
 #include "hw/gpu_spec.hh"
 #include "serving/policies.hh"
@@ -42,10 +43,16 @@ struct LatencyModel
 
 /**
  * Build a latency model by profiling a pipeline on the given GPU
- * (Flash attention backend).
+ * (Flash attention backend). The pipeline is lowered to an execution
+ * plan and played through the timeline scheduler under `schedule`;
+ * the default options reproduce the serialized seed profile, while
+ * multi-stream / launch-queue / graph-launch options let serving
+ * sweeps price an overlap-optimized deployment.
  */
 LatencyModel profileLatencyModel(const graph::Pipeline& pipeline,
-                                 const hw::GpuSpec& gpu);
+                                 const hw::GpuSpec& gpu,
+                                 const exec::ScheduleOptions& schedule =
+                                     exec::ScheduleOptions());
 
 /** Serving-cluster configuration. */
 struct ServingConfig

@@ -44,6 +44,10 @@ allRules()
          "latency is monotone in steps and resolution"},
         {rules::FiniteResult, Severity::Error, "physics",
          "simulated quantities are finite and non-negative"},
+        {rules::TimelineConsistency, Severity::Error, "physics",
+         "timeline events are monotone per stream and honor deps"},
+        {rules::MakespanBound, Severity::Error, "physics",
+         "makespan between the critical path and serialized work"},
     };
     return registry;
 }

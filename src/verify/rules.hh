@@ -63,6 +63,10 @@ inline constexpr const char* HitRateRange = "P004";
 inline constexpr const char* LatencyMonotonicity = "P005";
 /** A simulated quantity is negative, NaN or infinite. */
 inline constexpr const char* FiniteResult = "P006";
+/** Scheduled timeline events overlap, run backwards, or break deps. */
+inline constexpr const char* TimelineConsistency = "P007";
+/** Makespan below its critical path or above total serialized work. */
+inline constexpr const char* MakespanBound = "P008";
 
 } // namespace rules
 

@@ -1,0 +1,219 @@
+#include "timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace mmgen::verify {
+
+namespace {
+
+/**
+ * Relative slack for timeline comparisons. Tighter than the roofline
+ * checks' 1e-6: event arithmetic is pure addition, so anything beyond
+ * accumulated ulp noise is a scheduler bug, not modeling slop.
+ */
+constexpr double kTimeTol = 1e-9;
+
+double
+slack(const exec::Timeline& timeline)
+{
+    return kTimeTol * std::max(timeline.makespan, 1e-300);
+}
+
+void
+addError(DiagnosticReport& report, const char* rule,
+         const PhysicsContext& ctx, std::string scope, std::string msg,
+         std::string hint = "")
+{
+    report.add(Diagnostic{Severity::Error, rule, ctx.model, ctx.stage,
+                          std::move(scope), std::move(msg),
+                          std::move(hint)});
+}
+
+std::string
+nodeScope(const exec::ExecutionPlan& plan, std::size_t node)
+{
+    if (node >= plan.nodes.size())
+        return "";
+    const exec::PlanNode& n = plan.nodes[node];
+    const std::string& scope =
+        n.opIndex < plan.ops.size() ? plan.ops[n.opIndex].scope : "";
+    return scope.empty() ? n.label : scope + ":" + n.label;
+}
+
+} // namespace
+
+double
+timelineCriticalPath(const exec::ExecutionPlan& plan,
+                     const exec::Timeline& timeline)
+{
+    const std::size_t n =
+        std::min(plan.nodes.size(), timeline.events.size());
+    std::vector<double> finish(n, 0.0);
+    double longest = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double ready = 0.0;
+        for (const std::int32_t dep : plan.nodes[i].deps) {
+            if (dep >= 0 && static_cast<std::size_t>(dep) < i)
+                ready = std::max(
+                    ready, finish[static_cast<std::size_t>(dep)]);
+        }
+        finish[i] = ready + timeline.events[i].durationSeconds();
+        longest = std::max(longest, finish[i]);
+    }
+    return longest;
+}
+
+void
+checkTimeline(const exec::ExecutionPlan& plan,
+              const exec::Timeline& timeline,
+              const PhysicsContext& ctx, DiagnosticReport& report)
+{
+    if (timeline.events.size() != plan.nodes.size()) {
+        std::ostringstream oss;
+        oss << "timeline has " << timeline.events.size()
+            << " events for a plan of " << plan.nodes.size()
+            << " nodes";
+        addError(report, rules::TimelineConsistency, ctx, "",
+                 oss.str());
+        return;
+    }
+    if (timeline.events.empty())
+        return;
+
+    const double eps = slack(timeline);
+    bool events_ok = true;
+
+    // P007: every event finite and forward-running, within [0,
+    // makespan], its dependencies finished, and no two events on one
+    // stream overlapping (streams execute in order, so walking node
+    // order per stream visits each stream's events in issue order).
+    std::vector<double> stream_end;
+    for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+        const exec::TimelineEvent& ev = timeline.events[i];
+        const std::string scope = nodeScope(plan, i);
+        if (!std::isfinite(ev.startSeconds) ||
+            !std::isfinite(ev.endSeconds) || ev.startSeconds < 0.0 ||
+            ev.endSeconds < ev.startSeconds) {
+            std::ostringstream oss;
+            oss << "event runs [" << ev.startSeconds << ", "
+                << ev.endSeconds << ")";
+            addError(report, rules::TimelineConsistency, ctx, scope,
+                     oss.str(), "events must run forward from t >= 0");
+            events_ok = false;
+            continue;
+        }
+        if (ev.endSeconds > timeline.makespan + eps) {
+            std::ostringstream oss;
+            oss << "event ends at " << ev.endSeconds
+                << "s, past the makespan " << timeline.makespan << "s";
+            addError(report, rules::TimelineConsistency, ctx, scope,
+                     oss.str());
+            events_ok = false;
+        }
+        if (ev.stream < 0) {
+            std::ostringstream oss;
+            oss << "negative stream id " << ev.stream;
+            addError(report, rules::TimelineConsistency, ctx, scope,
+                     oss.str());
+            events_ok = false;
+            continue;
+        }
+        if (static_cast<std::size_t>(ev.stream) >= stream_end.size())
+            stream_end.resize(
+                static_cast<std::size_t>(ev.stream) + 1, 0.0);
+        if (ev.startSeconds + eps <
+            stream_end[static_cast<std::size_t>(ev.stream)]) {
+            std::ostringstream oss;
+            oss << "event starts at " << ev.startSeconds
+                << "s while stream " << ev.stream << " is busy until "
+                << stream_end[static_cast<std::size_t>(ev.stream)]
+                << "s";
+            addError(report, rules::TimelineConsistency, ctx, scope,
+                     oss.str(),
+                     "streams execute their kernels in order");
+            events_ok = false;
+        }
+        stream_end[static_cast<std::size_t>(ev.stream)] =
+            std::max(stream_end[static_cast<std::size_t>(ev.stream)],
+                     ev.endSeconds);
+        for (const std::int32_t dep : plan.nodes[i].deps) {
+            if (dep < 0 || static_cast<std::size_t>(dep) >= i) {
+                std::ostringstream oss;
+                oss << "dependency edge " << dep
+                    << " does not point at an earlier node";
+                addError(report, rules::TimelineConsistency, ctx,
+                         scope, oss.str());
+                events_ok = false;
+                continue;
+            }
+            const double dep_end =
+                timeline.events[static_cast<std::size_t>(dep)]
+                    .endSeconds;
+            if (ev.startSeconds + eps < dep_end) {
+                std::ostringstream oss;
+                oss << "event starts at " << ev.startSeconds
+                    << "s before its dependency (node " << dep
+                    << ") finishes at " << dep_end << "s";
+                addError(report, rules::TimelineConsistency, ctx,
+                         scope, oss.str());
+                events_ok = false;
+            }
+        }
+    }
+    if (!events_ok)
+        return; // makespan bounds would just repeat the damage
+
+    // P008: the makespan of a feasible schedule can be no shorter
+    // than the dependency critical path (or any stream's busy time)
+    // and no longer than running every kernel back to back.
+    const double critical = timelineCriticalPath(plan, timeline);
+    if (timeline.makespan + eps < critical) {
+        std::ostringstream oss;
+        oss << "makespan " << timeline.makespan
+            << "s is below the dependency critical path " << critical
+            << "s";
+        addError(report, rules::MakespanBound, ctx, "", oss.str(),
+                 "no amount of overlap can beat the critical path");
+    }
+    for (std::size_t s = 0; s < timeline.streamBusySeconds.size();
+         ++s) {
+        if (timeline.makespan + eps < timeline.streamBusySeconds[s]) {
+            std::ostringstream oss;
+            oss << "makespan " << timeline.makespan
+                << "s is below stream " << s << "'s busy time "
+                << timeline.streamBusySeconds[s] << "s";
+            addError(report, rules::MakespanBound, ctx, "", oss.str());
+        }
+    }
+    // Upper bound: device work back to back plus every host launch.
+    // Under a launch queue, durations exclude overhead (the host pays
+    // it), so the overhead term must be added; under synchronous
+    // launches it is already inside the durations and only loosens
+    // the bound.
+    double serialized = timeline.launchOverheadSeconds;
+    for (const exec::TimelineEvent& ev : timeline.events)
+        serialized += ev.durationSeconds();
+    if (timeline.makespan > serialized + eps) {
+        std::ostringstream oss;
+        oss << "makespan " << timeline.makespan
+            << "s exceeds the fully serialized work " << serialized
+            << "s";
+        addError(report, rules::MakespanBound, ctx, "", oss.str(),
+                 "an in-order schedule never idles past total work");
+    }
+}
+
+DiagnosticReport
+verifyTimeline(const exec::ExecutionPlan& plan,
+               const exec::Timeline& timeline,
+               const PhysicsContext& ctx)
+{
+    DiagnosticReport report;
+    checkTimeline(plan, timeline, ctx, report);
+    return report;
+}
+
+} // namespace mmgen::verify

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the event-timeline scheduler: serial bit-equivalence with
+ * summed roofline time, compute/copy overlap, launch-queue overhead
+ * hiding, CUDA-graph amortization, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/plan.hh"
+#include "exec/schedule.hh"
+#include "graph/builder.hh"
+#include "hw/gpu_spec.hh"
+#include "hw/roofline.hh"
+#include "models/model_suite.hh"
+#include "util/logging.hh"
+
+namespace mmgen::exec {
+namespace {
+
+using graph::AttentionBackend;
+using graph::GraphBuilder;
+using graph::Pipeline;
+using graph::Stage;
+
+const hw::GpuSpec&
+gpu()
+{
+    static const hw::GpuSpec g = hw::GpuSpec::a100_80gb();
+    return g;
+}
+
+kernels::CostModel
+costModel(AttentionBackend backend = AttentionBackend::Flash)
+{
+    return kernels::CostModel(gpu(), backend);
+}
+
+Pipeline
+toyPipeline(std::int64_t steps)
+{
+    Pipeline p;
+    p.name = "toy";
+    Stage s;
+    s.name = "unet";
+    s.iterations = steps;
+    s.emit = [](GraphBuilder& b, std::int64_t) {
+        b.conv2d(TensorDesc({1, 8, 16, 16}, DType::F16), 8);
+        b.attention(graph::AttentionKind::SelfSpatial, 1, 2, 256, 256,
+                    16);
+    };
+    p.stages.push_back(std::move(s));
+    return p;
+}
+
+Pipeline
+mlpPipeline()
+{
+    Pipeline p;
+    p.name = "mlp";
+    Stage s;
+    s.name = "ffn";
+    s.iterations = 8;
+    s.emit = [](GraphBuilder& b, std::int64_t) {
+        b.linear(TensorDesc({1, 1, 4096}, DType::F16), 4096);
+        b.linear(TensorDesc({1, 1, 4096}, DType::F16), 4096);
+    };
+    p.stages.push_back(std::move(s));
+    return p;
+}
+
+ExecutionPlan
+splitPlan(const Pipeline& p)
+{
+    LoweringOptions split;
+    split.splitWeightStreams = true;
+    return lowerPipeline(p, costModel(), split);
+}
+
+double
+nodeRooflineSeconds(const PlanNode& node)
+{
+    hw::TimeEstimateInputs in;
+    in.flops = node.flops;
+    in.hbmBytes = node.hbmBytes;
+    in.computeEfficiency = node.computeEff;
+    in.memoryEfficiency = node.memEff;
+    in.launches = node.launches;
+    in.dtype = node.dtype;
+    return hw::estimateTime(gpu(), in).seconds;
+}
+
+TEST(ScheduleOptions, DefaultDetection)
+{
+    EXPECT_TRUE(ScheduleOptions().isDefault());
+    ScheduleOptions o;
+    o.streams = 2;
+    EXPECT_FALSE(o.isDefault());
+    o = ScheduleOptions();
+    o.launchQueueDepth = 1;
+    EXPECT_FALSE(o.isDefault());
+    o = ScheduleOptions();
+    o.graphLaunch = true;
+    EXPECT_FALSE(o.isDefault());
+    o = ScheduleOptions();
+    o.graphReplayOverheadFraction = 0.5;
+    EXPECT_FALSE(o.isDefault());
+}
+
+TEST(TimelineScheduler, RejectsInvalidOptions)
+{
+    ScheduleOptions bad;
+    bad.streams = 0;
+    EXPECT_THROW(TimelineScheduler(gpu(), bad), FatalError);
+    bad = ScheduleOptions();
+    bad.launchQueueDepth = -1;
+    EXPECT_THROW(TimelineScheduler(gpu(), bad), FatalError);
+    bad = ScheduleOptions();
+    bad.graphReplayOverheadFraction = 1.5;
+    EXPECT_THROW(TimelineScheduler(gpu(), bad), FatalError);
+}
+
+TEST(TimelineScheduler, SerialScheduleMatchesSummedRoofline)
+{
+    const ExecutionPlan plan =
+        lowerPipeline(toyPipeline(5), costModel());
+    const Timeline tl = TimelineScheduler(gpu()).schedule(plan);
+
+    ASSERT_EQ(tl.events.size(), plan.nodes.size());
+    ASSERT_EQ(tl.nodeSeconds.size(), plan.nodes.size());
+    ASSERT_EQ(tl.opSeconds.size(), plan.ops.size());
+    ASSERT_EQ(tl.streamBusySeconds.size(), 1u);
+
+    // Per op the makespan contribution is (sum of part seconds) *
+    // repeat — the seed profiler's exact arithmetic.
+    double expected = 0.0;
+    for (const PlanOp& op : plan.ops) {
+        double block = 0.0;
+        for (std::size_t n = op.firstNode;
+             n < op.firstNode + op.nodeCount; ++n)
+            block += nodeRooflineSeconds(plan.nodes[n]);
+        expected += block * static_cast<double>(op.repeat);
+    }
+    EXPECT_EQ(tl.makespan, expected); // bitwise
+    EXPECT_EQ(tl.streamBusySeconds[0], expected);
+
+    // Events tile [0, makespan) back to back on stream 0.
+    double clock = 0.0;
+    for (std::size_t i = 0; i < tl.events.size(); ++i) {
+        const TimelineEvent& ev = tl.events[i];
+        EXPECT_EQ(ev.node, i);
+        EXPECT_EQ(ev.stream, 0);
+        EXPECT_EQ(ev.startSeconds, clock) << "event " << i;
+        EXPECT_GT(ev.endSeconds, ev.startSeconds);
+        clock = ev.endSeconds;
+    }
+    EXPECT_EQ(clock, tl.makespan);
+    // Per-node attribution applies repeats.
+    for (std::size_t n = 0; n < plan.nodes.size(); ++n) {
+        EXPECT_EQ(tl.nodeSeconds[n],
+                  nodeRooflineSeconds(plan.nodes[n]) *
+                      static_cast<double>(plan.nodes[n].repeat));
+    }
+}
+
+TEST(TimelineScheduler, DeterministicAcrossRuns)
+{
+    const ExecutionPlan plan = splitPlan(mlpPipeline());
+    ScheduleOptions o;
+    o.streams = 2;
+    o.launchQueueDepth = 2;
+    const TimelineScheduler sched(gpu(), o);
+    const Timeline a = sched.schedule(plan);
+    const Timeline b = sched.schedule(plan);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    EXPECT_EQ(a.makespan, b.makespan);
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].startSeconds, b.events[i].startSeconds);
+        EXPECT_EQ(a.events[i].endSeconds, b.events[i].endSeconds);
+        EXPECT_EQ(a.events[i].stream, b.events[i].stream);
+    }
+}
+
+TEST(TimelineScheduler, CopyStreamOverlapsComputeAndNeverHurts)
+{
+    const ExecutionPlan plan = splitPlan(mlpPipeline());
+    ASSERT_TRUE(plan.hasWeightStreams);
+
+    const Timeline serial = TimelineScheduler(gpu()).schedule(plan);
+    ScheduleOptions o;
+    o.streams = 2;
+    const Timeline overlapped =
+        TimelineScheduler(gpu(), o).schedule(plan);
+
+    ASSERT_EQ(overlapped.streamBusySeconds.size(), 2u);
+    EXPECT_GT(overlapped.streamBusySeconds[1], 0.0);
+    bool copy_stream_used = false;
+    for (const TimelineEvent& ev : overlapped.events)
+        copy_stream_used |= ev.stream == 1;
+    EXPECT_TRUE(copy_stream_used);
+
+    // Prefetching weights under compute strictly shortens this plan
+    // (the peeled kernels were memory-bound), and can never lengthen
+    // it.
+    EXPECT_LT(overlapped.makespan, serial.makespan);
+    // The makespan still covers both streams' busy time.
+    EXPECT_GE(overlapped.makespan, overlapped.streamBusySeconds[0]);
+    EXPECT_GE(overlapped.makespan, overlapped.streamBusySeconds[1]);
+}
+
+TEST(TimelineScheduler, WithoutCopyNodesMultiStreamIsBitIdentical)
+{
+    // streams=2 on a plan with no weight streams routes everything to
+    // stream 0 through the serial path: bit-identical to default.
+    const ExecutionPlan plan =
+        lowerPipeline(toyPipeline(5), costModel());
+    ScheduleOptions o;
+    o.streams = 2;
+    const Timeline serial = TimelineScheduler(gpu()).schedule(plan);
+    const Timeline multi = TimelineScheduler(gpu(), o).schedule(plan);
+    EXPECT_EQ(multi.makespan, serial.makespan);
+    ASSERT_EQ(multi.streamBusySeconds.size(), 1u);
+}
+
+TEST(TimelineScheduler, LaunchQueueHidesOverhead)
+{
+    const ExecutionPlan plan =
+        lowerPipeline(toyPipeline(50), costModel());
+    const Timeline sync = TimelineScheduler(gpu()).schedule(plan);
+
+    ScheduleOptions queued;
+    queued.launchQueueDepth = 2;
+    const Timeline deep =
+        TimelineScheduler(gpu(), queued).schedule(plan);
+
+    // Same host overhead is paid either way...
+    EXPECT_DOUBLE_EQ(deep.launchOverheadSeconds,
+                     sync.launchOverheadSeconds);
+    EXPECT_GT(sync.launchOverheadSeconds, 0.0);
+    // ...but the queue hides (some of) it under device execution.
+    EXPECT_LT(deep.makespan, sync.makespan);
+
+    // Lower bound: pure device time with every launch hidden.
+    double device = 0.0;
+    for (const TimelineEvent& ev : deep.events)
+        device += ev.durationSeconds();
+    EXPECT_GE(deep.makespan, device);
+    EXPECT_LE(deep.makespan, sync.makespan);
+}
+
+TEST(TimelineScheduler, GraphLaunchAmortizesRepeatOverhead)
+{
+    const ExecutionPlan plan =
+        lowerPipeline(toyPipeline(50), costModel());
+    const Timeline sync = TimelineScheduler(gpu()).schedule(plan);
+
+    ScheduleOptions graphed;
+    graphed.launchQueueDepth = 2;
+    graphed.graphLaunch = true;
+    graphed.graphReplayOverheadFraction = 0.1;
+    const Timeline amortized =
+        TimelineScheduler(gpu(), graphed).schedule(plan);
+
+    // 50 folded iterations pay 1 + 49 * 0.1 launches instead of 50.
+    EXPECT_LT(amortized.launchOverheadSeconds,
+              0.2 * sync.launchOverheadSeconds);
+    EXPECT_GT(amortized.launchOverheadSeconds, 0.0);
+    EXPECT_LE(amortized.makespan, sync.makespan);
+
+    // Free replays collapse overhead to one launch per node.
+    ScheduleOptions free_replay = graphed;
+    free_replay.graphReplayOverheadFraction = 0.0;
+    const Timeline free_tl =
+        TimelineScheduler(gpu(), free_replay).schedule(plan);
+    EXPECT_DOUBLE_EQ(free_tl.launchOverheadSeconds,
+                     sync.launchOverheadSeconds / 50.0);
+}
+
+TEST(TimelineScheduler, DependenciesAlwaysHonored)
+{
+    const ExecutionPlan plan = splitPlan(mlpPipeline());
+    for (const int q : {0, 1, 4}) {
+        ScheduleOptions o;
+        o.streams = 2;
+        o.launchQueueDepth = q;
+        const Timeline tl = TimelineScheduler(gpu(), o).schedule(plan);
+        for (std::size_t n = 0; n < plan.nodes.size(); ++n) {
+            for (const std::int32_t dep : plan.nodes[n].deps) {
+                EXPECT_GE(tl.events[n].startSeconds,
+                          tl.events[static_cast<std::size_t>(dep)]
+                              .endSeconds)
+                    << "node " << n << " dep " << dep << " depth " << q;
+            }
+        }
+    }
+}
+
+TEST(TimelineScheduler, OverlapNeverSlowerOnSuiteModels)
+{
+    // The bench gate's property, spot-checked in-tree on two models.
+    ScheduleOptions o;
+    o.streams = 2;
+    o.launchQueueDepth = 2;
+    const TimelineScheduler overlap(gpu(), o);
+    const TimelineScheduler serial(gpu());
+    for (const models::ModelId id :
+         {models::ModelId::StableDiffusion, models::ModelId::Muse}) {
+        const Pipeline p = models::buildModel(id);
+        const ExecutionPlan plain = lowerPipeline(p, costModel());
+        const ExecutionPlan split = splitPlan(p);
+        const double base = serial.schedule(plain).makespan;
+        const double fast = overlap.schedule(split).makespan;
+        EXPECT_LE(fast, base * (1.0 + 1e-9)) << p.name;
+    }
+}
+
+} // namespace
+} // namespace mmgen::exec

@@ -1,11 +1,15 @@
 /**
  * @file
- * Tests for the Chrome-trace exporter.
+ * Tests for the Chrome-trace exporter: golden document structure,
+ * per-lane metadata, monotone scheduler timestamps, folded-repeat
+ * labeling, and JSON escaping edge cases.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "profiler/chrome_trace.hh"
 #include "util/logging.hh"
@@ -32,18 +36,72 @@ smallProfile()
     return Profiler(opts).profile(p);
 }
 
+/** A profile whose plan streams weights onto the copy lane. */
+ProfileResult
+overlappedProfile()
+{
+    graph::Pipeline p;
+    p.name = "streamer";
+    graph::Stage s;
+    s.name = "mlp";
+    s.iterations = 2;
+    s.emit = [](graph::GraphBuilder& b, std::int64_t) {
+        // 4096x4096 f16 weights: 32 MiB of memory-bound traffic.
+        b.linear(TensorDesc({1, 1, 4096}, DType::F16), 4096);
+        b.linear(TensorDesc({1, 1, 4096}, DType::F16), 4096);
+    };
+    p.stages.push_back(std::move(s));
+    ProfileOptions opts;
+    opts.keepOpRecords = true;
+    opts.lowering.splitWeightStreams = true;
+    opts.schedule.streams = 2;
+    return Profiler(opts).profile(p);
+}
+
+std::size_t
+countOccurrences(const std::string& s, const std::string& needle)
+{
+    std::size_t n = 0, pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+        ++n;
+        pos += needle.size();
+    }
+    return n;
+}
+
+/** All "ts" values in emission order. */
+std::vector<double>
+timestamps(const std::string& json)
+{
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+        pos += 5;
+        out.push_back(std::stod(json.substr(pos)));
+    }
+    return out;
+}
+
 TEST(JsonEscape, HandlesSpecials)
 {
+    EXPECT_EQ(jsonEscape(""), "");
     EXPECT_EQ(jsonEscape("plain"), "plain");
     EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
     EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
     EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
     EXPECT_EQ(jsonEscape(std::string(1, '\x02')), "\\u0002");
+    // Last control char below the printable range...
+    EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    // ...and the first printable char passes through untouched.
+    EXPECT_EQ(jsonEscape(" "), " ");
+    EXPECT_EQ(jsonEscape("mix\"ed\\and\nplain"),
+              "mix\\\"ed\\\\and\\nplain");
 }
 
 TEST(ChromeTrace, RequiresRecords)
 {
-    ProfileResult empty;
+    ProfileResult empty; // keepOpRecords=false retains no plan
     std::ostringstream oss;
     EXPECT_THROW(writeChromeTrace(oss, empty), FatalError);
 }
@@ -59,10 +117,20 @@ TEST(ChromeTrace, EmitsWellFormedEvents)
     EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\""), 0u);
     EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
     EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
-    EXPECT_NE(json.find("\"name\":\"conv2d\""), std::string::npos);
-    EXPECT_NE(json.find("\"name\":\"attention\""), std::string::npos);
+    // Events carry kernel labels, lowercase kernel-class categories,
+    // and the op's scope.
+    EXPECT_NE(json.find("\"name\":\"conv2d"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"flash_fused"), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"conv\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"gemm\""), std::string::npos);
+    // Stage lane metadata (process) and stream lane metadata (thread).
+    EXPECT_NE(json.find("\"name\":\"process_name\""),
+              std::string::npos);
     EXPECT_NE(json.find("\"name\":\"stage_a\""), std::string::npos);
-    EXPECT_NE(json.find("\"cat\":\"Convolution\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"thread_name\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"stream 0 (compute)\""),
+              std::string::npos);
     // Braces balance.
     std::int64_t depth = 0;
     bool in_string = false;
@@ -80,6 +148,33 @@ TEST(ChromeTrace, EmitsWellFormedEvents)
     EXPECT_FALSE(in_string);
 }
 
+TEST(ChromeTrace, GoldenEventStructure)
+{
+    const ProfileResult res = smallProfile();
+    std::ostringstream oss;
+    writeChromeTrace(oss, res);
+    const std::string json = oss.str();
+
+    // One stage lane, one stream lane, and 2 nodes x min(5, 3 default)
+    // repeat instances.
+    EXPECT_EQ(countOccurrences(json, "\"name\":\"process_name\""), 1u);
+    EXPECT_EQ(countOccurrences(json, "\"name\":\"thread_name\""), 1u);
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"X\""), 6u);
+    // Every complete event sits on the stage's pid and stream 0's tid.
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"X\",\"pid\":1,\"tid\":1"),
+              6u);
+    // Both folded nodes advertise the elision.
+    EXPECT_EQ(countOccurrences(json, " [x5, showing 3]\""), 6u);
+
+    // Scheduler timestamps are monotone: the serial schedule emits
+    // back-to-back slices in program order.
+    const std::vector<double> ts = timestamps(json);
+    ASSERT_EQ(ts.size(), 6u);
+    EXPECT_EQ(ts.front(), 0.0);
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        EXPECT_GE(ts[i], ts[i - 1]) << "event " << i;
+}
+
 TEST(ChromeTrace, RepeatInstancesCapped)
 {
     const ProfileResult res = smallProfile(); // ops repeat 5x
@@ -91,17 +186,39 @@ TEST(ChromeTrace, RepeatInstancesCapped)
     many.maxRepeatInstances = 100;
     writeChromeTrace(expanded, res, many);
 
-    auto count_events = [](const std::string& s) {
-        std::size_t n = 0, pos = 0;
-        while ((pos = s.find("\"ph\":\"X\"", pos)) !=
-               std::string::npos) {
-            ++n;
-            ++pos;
-        }
-        return n;
-    };
-    EXPECT_EQ(count_events(capped.str()), 2u);
-    EXPECT_EQ(count_events(expanded.str()), 10u); // 2 ops x 5 repeats
+    EXPECT_EQ(countOccurrences(capped.str(), "\"ph\":\"X\""), 2u);
+    // 2 ops x 5 repeats, nothing elided, so no folded labels.
+    EXPECT_EQ(countOccurrences(expanded.str(), "\"ph\":\"X\""), 10u);
+    EXPECT_EQ(countOccurrences(expanded.str(), "showing"), 0u);
+
+    // The capped document labels the fold on every drawn slice.
+    EXPECT_NE(capped.str().find("\"conv2d [x5, showing 1]\""),
+              std::string::npos);
+    EXPECT_NE(capped.str().find("\"flash_fused [x5, showing 1]\""),
+              std::string::npos);
+
+    ChromeTraceOptions zero;
+    zero.maxRepeatInstances = 0;
+    std::ostringstream oss;
+    EXPECT_THROW(writeChromeTrace(oss, res, zero), FatalError);
+}
+
+TEST(ChromeTrace, OverlappedScheduleShowsBothStreamLanes)
+{
+    const ProfileResult res = overlappedProfile();
+    ASSERT_NE(res.plan, nullptr);
+    ASSERT_TRUE(res.plan->hasWeightStreams);
+    std::ostringstream oss;
+    writeChromeTrace(oss, res);
+    const std::string json = oss.str();
+
+    EXPECT_NE(json.find("\"name\":\"stream 0 (compute)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"stream 1 (copy)\""),
+              std::string::npos);
+    EXPECT_NE(json.find("weight_stream"), std::string::npos);
+    EXPECT_NE(json.find("\"lane\":\"copy\""), std::string::npos);
+    EXPECT_NE(json.find("\"lane\":\"compute\""), std::string::npos);
 }
 
 } // namespace

@@ -187,5 +187,50 @@ TEST(ProfileKey, SensitiveToEveryProfileInput)
     EXPECT_NE(profileKey(other, base), key);
 }
 
+TEST(ProfileKey, SensitiveToLoweringAndScheduleKnobs)
+{
+    // Two runs that differ only in how the plan is lowered or
+    // scheduled produce different results, so they must never alias
+    // in the cache.
+    const graph::Pipeline p =
+        models::buildModel(models::ModelId::StableDiffusion);
+    const profiler::ProfileOptions base;
+    const std::uint64_t key = profileKey(p, base);
+
+    profiler::ProfileOptions split = base;
+    split.lowering.splitWeightStreams = true;
+    EXPECT_NE(profileKey(p, split), key);
+
+    profiler::ProfileOptions threshold = base;
+    threshold.lowering.minStreamedWeightBytes = 1 << 10;
+    EXPECT_NE(profileKey(p, threshold), key);
+
+    profiler::ProfileOptions streams = base;
+    streams.schedule.streams = 2;
+    EXPECT_NE(profileKey(p, streams), key);
+
+    profiler::ProfileOptions queued = base;
+    queued.schedule.launchQueueDepth = 4;
+    EXPECT_NE(profileKey(p, queued), key);
+
+    profiler::ProfileOptions graphed = base;
+    graphed.schedule.graphLaunch = true;
+    EXPECT_NE(profileKey(p, graphed), key);
+
+    profiler::ProfileOptions replay = graphed;
+    replay.schedule.graphReplayOverheadFraction = 0.25;
+    EXPECT_NE(profileKey(p, replay), profileKey(p, graphed));
+
+    // And the cached result under non-default knobs matches a direct
+    // profile under the same knobs.
+    profiler::ProfileOptions overlap = base;
+    overlap.lowering.splitWeightStreams = true;
+    overlap.schedule.streams = 2;
+    const profiler::ProfileResult direct =
+        profiler::Profiler(overlap).profile(p);
+    const auto cached = cachedProfile(p, overlap);
+    EXPECT_EQ(cached->totalSeconds, direct.totalSeconds); // bitwise
+}
+
 } // namespace
 } // namespace mmgen::runtime

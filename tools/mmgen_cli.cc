@@ -57,6 +57,21 @@ usage()
         << "  --jobs N                    parallel sweep/lint lanes\n"
         << "                              (default: MMGEN_JOBS env,\n"
         << "                              else hardware threads)\n"
+        << "profile/trace options (timeline scheduler):\n"
+        << "  --trace FILE                also write the profiled\n"
+        << "                              timeline as Chrome-trace\n"
+        << "                              JSON (profile subcommand)\n"
+        << "  --streams N                 hardware streams (default 1;\n"
+        << "                              2 overlaps weight copies)\n"
+        << "  --launch-depth N            host launch-queue depth\n"
+        << "                              (default 0 = synchronous)\n"
+        << "  --graph-launch              amortize repeated launches\n"
+        << "                              as a captured CUDA graph\n"
+        << "  --graph-replay-frac F       overhead fraction each graph\n"
+        << "                              replay still pays (default 0)\n"
+        << "  --stream-weights            peel weight traffic of\n"
+        << "                              memory-bound kernels onto\n"
+        << "                              the copy stream\n"
         << "serve options:\n"
         << "  --rate R --gpus N --batch B --horizon S --seed S\n"
         << "  --mtbf S --mttr S           per-GPU failure process\n"
@@ -149,6 +164,11 @@ struct Options
     graph::AttentionBackend backend = graph::AttentionBackend::Flash;
     std::vector<std::string> positional;
 
+    // profile/trace subcommand knobs
+    std::string traceFile;
+    exec::ScheduleOptions schedule;
+    exec::LoweringOptions lowering;
+
     // lint subcommand knobs
     bool lintAll = false;
     bool lintJson = false;
@@ -221,6 +241,19 @@ parseOptions(int argc, char** argv, int first)
                 static_cast<int>(nextInt());
         else if (arg == "--max-queue")
             opts.resilience.admission.maxQueueLength = nextInt();
+        else if (arg == "--trace")
+            opts.traceFile = next();
+        else if (arg == "--streams")
+            opts.schedule.streams = static_cast<int>(nextInt());
+        else if (arg == "--launch-depth")
+            opts.schedule.launchQueueDepth =
+                static_cast<int>(nextInt());
+        else if (arg == "--graph-launch")
+            opts.schedule.graphLaunch = true;
+        else if (arg == "--graph-replay-frac")
+            opts.schedule.graphReplayOverheadFraction = nextDouble();
+        else if (arg == "--stream-weights")
+            opts.lowering.splitWeightStreams = true;
         else if (arg == "--model")
             opts.positional.push_back(next());
         else if (arg == "--all")
@@ -268,11 +301,26 @@ cmdProfile(const Options& opts)
     MMGEN_CHECK(opts.positional.size() == 1,
                 "profile needs exactly one model name");
     const models::ModelId id = parseModel(opts.positional[0]);
-    core::CharacterizationSuite suite(opts.gpu);
+    profiler::ProfileOptions popts;
+    popts.gpu = opts.gpu;
+    popts.backend = opts.backend;
+    popts.lowering = opts.lowering;
+    popts.schedule = opts.schedule;
+    // The chrome-trace exporter reads the retained plan + timeline.
+    popts.keepOpRecords = !opts.traceFile.empty();
     const profiler::ProfileResult res =
-        suite.profileOne(models::buildModel(id), opts.backend);
+        profiler::Profiler(popts).profile(models::buildModel(id));
     std::cout << "GPU: " << opts.gpu.name << "\n\n";
     std::cout << core::profileSummary(res);
+    if (!opts.traceFile.empty()) {
+        std::ofstream out(opts.traceFile);
+        MMGEN_CHECK(static_cast<bool>(out),
+                    "cannot open " << opts.traceFile);
+        profiler::writeChromeTrace(out, res);
+        std::cout << "\nwrote timeline ("
+                  << res.timeline.events.size() << " events) to "
+                  << opts.traceFile << "\n";
+    }
     return 0;
 }
 
@@ -460,6 +508,8 @@ cmdTrace(const Options& opts)
     profiler::ProfileOptions popts;
     popts.gpu = opts.gpu;
     popts.backend = opts.backend;
+    popts.lowering = opts.lowering;
+    popts.schedule = opts.schedule;
     popts.keepOpRecords = true;
     const profiler::ProfileResult res =
         profiler::Profiler(popts).profile(models::buildModel(id));
@@ -467,8 +517,8 @@ cmdTrace(const Options& opts)
     MMGEN_CHECK(static_cast<bool>(out),
                 "cannot open " << opts.positional[1]);
     profiler::writeChromeTrace(out, res);
-    std::cout << "wrote " << res.records.size() << " records to "
-              << opts.positional[1] << "\n";
+    std::cout << "wrote " << res.timeline.events.size()
+              << " timeline events to " << opts.positional[1] << "\n";
     return 0;
 }
 
