@@ -1,0 +1,1186 @@
+#include "cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "serving/faults.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace mmgen::serving {
+
+const char*
+routerPolicyName(RouterPolicy policy)
+{
+    switch (policy) {
+    case RouterPolicy::RoundRobin:
+        return "round-robin";
+    case RouterPolicy::LeastLoaded:
+        return "least-loaded";
+    case RouterPolicy::FailureDomainAware:
+        return "failure-domain-aware";
+    }
+    return "unknown";
+}
+
+const char*
+chaosEventKindName(ChaosEventKind kind)
+{
+    switch (kind) {
+    case ChaosEventKind::KillReplica:
+        return "kill-replica";
+    case ChaosEventKind::DegradeDomain:
+        return "degrade-domain";
+    case ChaosEventKind::StraggleGpu:
+        return "straggle-gpu";
+    }
+    return "unknown";
+}
+
+double
+hedgeDelayForQuantile(const LatencyModel& latency, int maxBatch,
+                      double quantile)
+{
+    MMGEN_CHECK(maxBatch >= 1, "need max batch >= 1");
+    MMGEN_CHECK(quantile > 0.0 && quantile <= 1.0,
+                "hedge quantile out of (0, 1], got " << quantile);
+    const int batch = std::clamp(
+        static_cast<int>(std::ceil(quantile * maxBatch)), 1, maxBatch);
+    return latency.batchSeconds(batch);
+}
+
+CheckpointPolicy
+checkpointFromPipeline(const graph::Pipeline& pipeline,
+                       std::int64_t everyIterations, double costSeconds)
+{
+    MMGEN_CHECK(!pipeline.stages.empty(),
+                "pipeline '" << pipeline.name << "' has no stages");
+    MMGEN_CHECK(everyIterations >= 1,
+                "checkpoint interval must be >= 1 iteration, got "
+                    << everyIterations);
+    MMGEN_CHECK(std::isfinite(costSeconds) && costSeconds >= 0.0,
+                "checkpoint cost must be finite and non-negative");
+    CheckpointPolicy policy;
+    // The dominant stage's loop (denoise steps for diffusion, decode
+    // steps for AR generators) is the resumable structure; the other
+    // stages are a small prefix/suffix that re-runs on resume anyway.
+    for (const graph::Stage& stage : pipeline.stages)
+        policy.iterations = std::max(policy.iterations, stage.iterations);
+    policy.intervalIterations = everyIterations;
+    policy.costSeconds = costSeconds;
+    return policy;
+}
+
+ChaosScenario
+namedChaosScenario(const std::string& name, int numReplicas,
+                   double horizonSeconds)
+{
+    MMGEN_CHECK(numReplicas >= 1, "need at least one replica");
+    MMGEN_CHECK(horizonSeconds > 0.0, "horizon must be positive");
+    const double h = horizonSeconds;
+    ChaosScenario s;
+    s.name = name;
+    if (name == "none")
+        return s;
+    if (name == "kill-replica") {
+        s.events.push_back({0.25 * h, ChaosEventKind::KillReplica,
+                            numReplicas - 1, 0.25 * h, 1.0});
+        return s;
+    }
+    if (name == "kill-replica-at-zero") {
+        s.events.push_back({0.0, ChaosEventKind::KillReplica,
+                            numReplicas - 1, 0.25 * h, 1.0});
+        return s;
+    }
+    if (name == "rolling-kill") {
+        for (int r = 0; r < numReplicas; ++r) {
+            const double at =
+                h * (0.1 + 0.8 * static_cast<double>(r) /
+                               static_cast<double>(numReplicas));
+            s.events.push_back({at, ChaosEventKind::KillReplica, r,
+                                0.15 * h, 1.0});
+        }
+        return s;
+    }
+    if (name == "degrade-domain") {
+        s.events.push_back({0.25 * h, ChaosEventKind::DegradeDomain, 0,
+                            0.5 * h, 3.0});
+        return s;
+    }
+    if (name == "straggle-gpu") {
+        s.events.push_back({0.1 * h, ChaosEventKind::StraggleGpu, 0,
+                            0.8 * h, 4.0});
+        return s;
+    }
+    MMGEN_CHECK(false, "unknown chaos scenario '" << name << "'");
+    return s;
+}
+
+int
+ClusterConfig::totalGpus() const
+{
+    int n = 0;
+    for (const ReplicaSpec& r : replicas)
+        n += r.numGpus;
+    return n;
+}
+
+void
+ClusterConfig::validate() const
+{
+    MMGEN_CHECK(std::isfinite(arrivalRate) && arrivalRate > 0.0,
+                "arrival rate must be positive and finite, got "
+                    << arrivalRate);
+    MMGEN_CHECK(maxBatch >= 1, "need max batch >= 1, got " << maxBatch);
+    MMGEN_CHECK(std::isfinite(horizonSeconds) && horizonSeconds > 0.0,
+                "horizon must be positive and finite, got "
+                    << horizonSeconds);
+    MMGEN_CHECK(!replicas.empty(), "need at least one replica");
+    int maxDomain = 0;
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+        MMGEN_CHECK(replicas[r].numGpus >= 1,
+                    "replica " << r << " needs at least one GPU, got "
+                               << replicas[r].numGpus);
+        MMGEN_CHECK(replicas[r].domain >= 0,
+                    "replica " << r << " has negative failure domain "
+                               << replicas[r].domain);
+        MMGEN_CHECK(replicas[r].latency.baseSeconds > 0.0,
+                    "replica " << r << " latency model is degenerate");
+        maxDomain = std::max(maxDomain, replicas[r].domain);
+    }
+    resilience.validate();
+    MMGEN_CHECK(breaker.failureThreshold >= 0,
+                "breaker threshold must be non-negative, got "
+                    << breaker.failureThreshold);
+    MMGEN_CHECK(std::isfinite(breaker.openSeconds) &&
+                    breaker.openSeconds >= 0.0,
+                "breaker open window must be finite and non-negative");
+    MMGEN_CHECK(breaker.halfOpenSuccesses >= 1,
+                "breaker needs >= 1 half-open success, got "
+                    << breaker.halfOpenSuccesses);
+    MMGEN_CHECK(std::isfinite(hedge.delaySeconds) &&
+                    hedge.delaySeconds >= 0.0,
+                "hedge delay must be finite and non-negative");
+    MMGEN_CHECK(checkpoint.iterations >= 0 &&
+                    checkpoint.intervalIterations >= 0,
+                "checkpoint iteration counts must be non-negative");
+    MMGEN_CHECK(!checkpoint.enabled() ||
+                    checkpoint.intervalIterations <=
+                        checkpoint.iterations,
+                "checkpoint interval exceeds request iterations");
+    MMGEN_CHECK(std::isfinite(checkpoint.costSeconds) &&
+                    checkpoint.costSeconds >= 0.0,
+                "checkpoint cost must be finite and non-negative");
+    MMGEN_CHECK(std::isfinite(probe.intervalSeconds) &&
+                    probe.intervalSeconds > 0.0,
+                "probe interval must be positive and finite");
+    MMGEN_CHECK(probe.jitterFraction >= 0.0 &&
+                    probe.jitterFraction < 1.0,
+                "probe jitter fraction out of [0, 1)");
+    const int numReplicas = static_cast<int>(replicas.size());
+    for (const ChaosEvent& ev : chaos.events) {
+        MMGEN_CHECK(std::isfinite(ev.atSeconds) && ev.atSeconds >= 0.0,
+                    "chaos event time must be finite and non-negative");
+        MMGEN_CHECK(std::isfinite(ev.durationSeconds) &&
+                        ev.durationSeconds >= 0.0,
+                    "chaos duration must be finite and non-negative");
+        switch (ev.kind) {
+        case ChaosEventKind::KillReplica:
+            MMGEN_CHECK(ev.target >= 0 && ev.target < numReplicas,
+                        "chaos kill targets replica " << ev.target
+                            << " of " << numReplicas);
+            break;
+        case ChaosEventKind::DegradeDomain:
+            MMGEN_CHECK(ev.target >= 0 && ev.target <= maxDomain,
+                        "chaos degrade targets unknown domain "
+                            << ev.target);
+            MMGEN_CHECK(ev.factor >= 1.0,
+                        "degrade factor must be >= 1, got "
+                            << ev.factor);
+            break;
+        case ChaosEventKind::StraggleGpu:
+            MMGEN_CHECK(ev.target >= 0 && ev.target < totalGpus(),
+                        "chaos straggle targets GPU " << ev.target
+                            << " of " << totalGpus());
+            MMGEN_CHECK(ev.factor >= 1.0,
+                        "straggle factor must be >= 1, got "
+                            << ev.factor);
+            break;
+        }
+    }
+}
+
+ClusterConfig
+singlePoolCluster(const ServingConfig& cfg, const LatencyModel& latency)
+{
+    ClusterConfig cluster;
+    cluster.arrivalRate = cfg.arrivalRate;
+    cluster.maxBatch = cfg.maxBatch;
+    cluster.horizonSeconds = cfg.horizonSeconds;
+    cluster.seed = cfg.seed;
+    cluster.replicas = {ReplicaSpec{latency, cfg.numGpus, 0}};
+    return cluster;
+}
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+// Probe-jitter stream base; faults.cc owns 0x0001'0000..0x0004'0000.
+constexpr std::uint64_t kProbeStream = 0x0005'0000;
+
+/** One dispatchable copy of a logical request (primary or hedge). */
+struct Copy
+{
+    std::int64_t id = 0;
+    double arrival = 0.0;
+    int attempts = 0;
+    bool hedge = false;
+    /** Checkpointed iterations already durable at dispatch time. */
+    std::int64_t baseIters = 0;
+};
+
+/** Cross-copy state of one logical request, indexed by arrival id. */
+struct ReqMeta
+{
+    double arrival = 0.0;
+    bool done = false;
+    bool hedged = false;
+    bool primaryInFlight = false;
+    int primaryReplica = -1;
+    int liveCopies = 0;
+    /** Durable checkpointed progress, iterations. */
+    std::int64_t doneIters = 0;
+};
+
+/** One batch occupying a GPU. */
+struct InFlightBatch
+{
+    double start = 0.0;
+    /** Resolution time: completion, or abort when `timedOut`. */
+    double finish = 0.0;
+    /** Full service time including checkpoint-write overhead. */
+    double plannedService = 0.0;
+    /** Service time excluding checkpoint-write overhead. */
+    double workService = 0.0;
+    /** Iterations the longest member still needed at dispatch. */
+    std::int64_t maxRemIters = 0;
+    /** Checkpoints this run writes if it completes. */
+    std::int64_t ckpts = 0;
+    bool degraded = false;
+    bool timedOut = false;
+    int replica = 0;
+    std::vector<Copy> copies;
+    /** Iterations each member still needed at dispatch. */
+    std::vector<std::int64_t> remIters;
+};
+
+/** Completion-queue entry; `epoch` lazily invalidates killed work. */
+struct FinishEvent
+{
+    double time;
+    int gpu;
+    std::uint64_t epoch;
+
+    bool
+    operator>(const FinishEvent& other) const
+    {
+        return time > other.time;
+    }
+};
+
+/** Retry-queue entry; `seq` keeps ties deterministic. */
+struct RetryEvent
+{
+    double ready;
+    std::uint64_t seq;
+    Copy copy;
+
+    bool
+    operator>(const RetryEvent& other) const
+    {
+        return ready != other.ready ? ready > other.ready
+                                    : seq > other.seq;
+    }
+};
+
+/** Hedge timer: fire a backup copy if the primary is still running. */
+struct HedgeEvent
+{
+    double time;
+    std::uint64_t seq;
+    std::int64_t id;
+
+    bool
+    operator>(const HedgeEvent& other) const
+    {
+        return time != other.time ? time > other.time : seq > other.seq;
+    }
+};
+
+/** GPU up/down edge from the fault plan (chaos kills folded in). */
+struct Transition
+{
+    double time;
+    int gpu;
+    bool down;
+};
+
+/** Scripted slowdown window on one GPU (chaos degrade/straggle). */
+struct SlowWindow
+{
+    double start = 0.0;
+    double end = 0.0;
+    double factor = 1.0;
+};
+
+enum class BreakerState
+{
+    Closed,
+    Open,
+    HalfOpen,
+};
+
+} // namespace
+
+ClusterReport
+simulateCluster(const ClusterConfig& cfg)
+{
+    cfg.validate();
+
+    const double horizon = cfg.horizonSeconds;
+    const DeadlinePolicy& deadline = cfg.resilience.deadline;
+    const CheckpointPolicy& ckpt = cfg.checkpoint;
+    const int numReplicas = static_cast<int>(cfg.replicas.size());
+    const int numGpus = cfg.totalGpus();
+    const bool breakerOn = cfg.breaker.enabled();
+    const bool hedgeOn = cfg.hedge.enabled() && numReplicas > 1;
+    const bool ckptOn = ckpt.enabled();
+    // Probes only exist when someone consumes their output: router
+    // health matters with > 1 replica, breaker transitions need the
+    // probe clock. A bare single pool must add no events at all so the
+    // trivial path replays `simulateServing` exactly.
+    const bool probesOn = numReplicas > 1 || breakerOn;
+
+    // Global GPU indexing: replica r owns [gpuBase[r], gpuBase[r] +
+    // numGpus_r), so the fault plan, chaos targets, and the event loop
+    // all speak one flat index space.
+    std::vector<int> gpuBase(static_cast<std::size_t>(numReplicas), 0);
+    std::vector<int> repOf(static_cast<std::size_t>(numGpus), 0);
+    std::vector<int> domainOf(static_cast<std::size_t>(numGpus), 0);
+    {
+        int g = 0;
+        for (int r = 0; r < numReplicas; ++r) {
+            gpuBase[static_cast<std::size_t>(r)] = g;
+            for (int k = 0; k < cfg.replicas[static_cast<std::size_t>(r)]
+                                    .numGpus;
+                 ++k, ++g) {
+                repOf[static_cast<std::size_t>(g)] = r;
+                domainOf[static_cast<std::size_t>(g)] =
+                    cfg.replicas[static_cast<std::size_t>(r)].domain;
+            }
+        }
+    }
+
+    // Arrivals draw from the unsplit Rng(seed) stream — exactly the
+    // single-pool simulator's stream — while faults, chaos, and probe
+    // jitter draw from split streams, so no cluster feature can
+    // perturb the arrival sequence.
+    Rng rng(cfg.seed);
+    FleetFaultPlan plan =
+        planFaults(cfg.resilience.faults, domainOf, horizon, cfg.seed);
+
+    // Compile the chaos scenario into the same structures the fault
+    // plan uses: kills become outage windows on every member GPU (so
+    // availability accounting sees them), degrades/stragglers become
+    // timed slowdown windows applied at dispatch.
+    std::vector<std::vector<SlowWindow>> slowWindows(
+        static_cast<std::size_t>(numGpus));
+    {
+        std::vector<std::vector<Outage>> extra(
+            static_cast<std::size_t>(numGpus));
+        for (const ChaosEvent& ev : cfg.chaos.events) {
+            const double end = ev.durationSeconds > 0.0
+                                   ? ev.atSeconds + ev.durationSeconds
+                                   : horizon;
+            if (end <= ev.atSeconds)
+                continue;
+            switch (ev.kind) {
+            case ChaosEventKind::KillReplica: {
+                const std::size_t r =
+                    static_cast<std::size_t>(ev.target);
+                const int base = gpuBase[r];
+                for (int k = 0; k < cfg.replicas[r].numGpus; ++k)
+                    extra[static_cast<std::size_t>(base + k)].push_back(
+                        {ev.atSeconds, end, OutageKind::Failure});
+                break;
+            }
+            case ChaosEventKind::DegradeDomain:
+                for (int g = 0; g < numGpus; ++g) {
+                    if (domainOf[static_cast<std::size_t>(g)] ==
+                        ev.target)
+                        slowWindows[static_cast<std::size_t>(g)]
+                            .push_back(
+                                {ev.atSeconds, end, ev.factor});
+                }
+                break;
+            case ChaosEventKind::StraggleGpu:
+                slowWindows[static_cast<std::size_t>(ev.target)]
+                    .push_back({ev.atSeconds, end, ev.factor});
+                break;
+            }
+        }
+        for (int g = 0; g < numGpus; ++g) {
+            const std::size_t gi = static_cast<std::size_t>(g);
+            if (extra[gi].empty())
+                continue;
+            std::vector<Outage> merged = plan.gpus[gi].outages;
+            merged.insert(merged.end(), extra[gi].begin(),
+                          extra[gi].end());
+            plan.gpus[gi].outages = mergeOutages(std::move(merged));
+        }
+    }
+
+    ClusterReport cluster;
+    ServingReport& report = cluster.serving;
+    report.meanAvailability = plan.meanAvailability(horizon);
+    cluster.domainAvailability = plan.domainAvailability(horizon);
+    cluster.replicas.resize(static_cast<std::size_t>(numReplicas));
+
+    // Offered load versus full-batch fleet capacity.
+    double capacity = 0.0;
+    for (const ReplicaSpec& rep : cfg.replicas) {
+        const double batch_rate =
+            static_cast<double>(cfg.maxBatch) /
+            rep.latency.batchSeconds(cfg.maxBatch);
+        capacity += batch_rate * static_cast<double>(rep.numGpus);
+    }
+    report.offeredLoad = cfg.arrivalRate / capacity;
+
+    // Flatten the fault plan into a time-sorted edge list.
+    std::vector<Transition> transitions;
+    for (int g = 0; g < numGpus; ++g) {
+        for (const Outage& o :
+             plan.gpus[static_cast<std::size_t>(g)].outages) {
+            transitions.push_back({o.start, g, true});
+            transitions.push_back({o.end, g, false});
+        }
+    }
+    std::sort(transitions.begin(), transitions.end(),
+              [](const Transition& a, const Transition& b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  if (a.gpu != b.gpu)
+                      return a.gpu < b.gpu;
+                  return a.down < b.down; // up-edge before down-edge
+              });
+
+    const std::size_t ngpu = static_cast<std::size_t>(numGpus);
+    const std::size_t nrep = static_cast<std::size_t>(numReplicas);
+    std::vector<std::deque<Copy>> queues(nrep);
+    std::vector<std::optional<InFlightBatch>> inflight(ngpu);
+    std::vector<bool> gpu_down(ngpu, false);
+    std::vector<std::uint64_t> epoch(ngpu, 0);
+    int inflight_gpus = 0;
+
+    // Router / breaker / probe state, all per replica.
+    std::vector<bool> knownUp(nrep, true);
+    std::vector<BreakerState> bstate(nrep, BreakerState::Closed);
+    std::vector<int> consecFailures(nrep, 0);
+    std::vector<int> halfOpenSucc(nrep, 0);
+    std::vector<double> openedAt(nrep, 0.0);
+    std::vector<int> repBatches(nrep, 0);
+    std::vector<std::int64_t> repQueuedPlusFlight(nrep, 0);
+    std::uint64_t rrCounter = 0;
+
+    std::vector<double> probeNext(nrep, kNever);
+    if (probesOn) {
+        for (int r = 0; r < numReplicas; ++r) {
+            Rng pr = Rng::stream(
+                cfg.seed,
+                kProbeStream + static_cast<std::uint64_t>(r));
+            probeNext[static_cast<std::size_t>(r)] = pr.uniform(
+                0.0, cfg.probe.jitterFraction *
+                         cfg.probe.intervalSeconds);
+        }
+    }
+
+    std::priority_queue<FinishEvent, std::vector<FinishEvent>,
+                        std::greater<FinishEvent>>
+        finishes;
+    std::priority_queue<RetryEvent, std::vector<RetryEvent>,
+                        std::greater<RetryEvent>>
+        retries;
+    std::priority_queue<HedgeEvent, std::vector<HedgeEvent>,
+                        std::greater<HedgeEvent>>
+        hedges;
+    std::uint64_t retry_seq = 0;
+    std::uint64_t hedge_seq = 0;
+
+    std::vector<ReqMeta> meta;
+    std::vector<double> latencies;
+    std::vector<double> batch_sizes;
+    double busy_in_horizon = 0.0;
+    std::int64_t goodput_count = 0;
+    std::int64_t deadline_misses = 0;
+
+    double next_arrival = rng.exponential(cfg.arrivalRate);
+
+    auto account_busy = [&](double start, double end, int replica) {
+        busy_in_horizon += std::max(0.0, std::min(end, horizon) - start);
+        report.drainGpuSeconds +=
+            std::max(0.0, end - std::max(start, horizon));
+        cluster.replicas[static_cast<std::size_t>(replica)]
+            .busySeconds += end - start;
+    };
+
+    auto slowdownAt = [&](int g, double now) {
+        const std::size_t gi = static_cast<std::size_t>(g);
+        double s = plan.gpus[gi].slowdown;
+        for (const SlowWindow& w : slowWindows[gi]) {
+            if (now >= w.start && now < w.end)
+                s *= w.factor;
+        }
+        return s;
+    };
+
+    // A half-open replica may receive work only while completely
+    // idle: one trial request probes it, further traffic waits for
+    // the verdict. Without this trickle the breaker could never
+    // observe the successes it needs to close.
+    auto halfOpenIdle = [&](std::size_t ri) {
+        return bstate[ri] == BreakerState::HalfOpen &&
+               repBatches[ri] == 0 && queues[ri].empty();
+    };
+
+    // Route one copy to a replica. Preference tiers: healthy replicas
+    // (closed breaker, or an idle half-open one taking its trial),
+    // then any non-open breaker, then anything — the policy picks
+    // within the best non-empty tier. Deterministic: no RNG, ties to
+    // the lowest index (or the round-robin cursor).
+    auto route = [&](int exclude) {
+        std::vector<int> cand;
+        for (int tier = 0; tier < 3 && cand.empty(); ++tier) {
+            for (int r = 0; r < numReplicas; ++r) {
+                if (r == exclude)
+                    continue;
+                const std::size_t ri = static_cast<std::size_t>(r);
+                if (tier == 0 &&
+                    (!knownUp[ri] ||
+                     (breakerOn &&
+                      bstate[ri] != BreakerState::Closed &&
+                      !halfOpenIdle(ri))))
+                    continue;
+                if (tier == 1 &&
+                    (!knownUp[ri] ||
+                     (breakerOn && bstate[ri] == BreakerState::Open)))
+                    continue;
+                cand.push_back(r);
+            }
+        }
+        if (cand.empty())
+            return -1;
+        switch (cfg.router) {
+        case RouterPolicy::RoundRobin:
+            return cand[static_cast<std::size_t>(
+                rrCounter++ % cand.size())];
+        case RouterPolicy::LeastLoaded:
+            break;
+        case RouterPolicy::FailureDomainAware: {
+            // Deprioritize replicas sharing a failure domain with a
+            // known-down or breaker-tripped replica.
+            std::vector<int> clean;
+            for (int r : cand) {
+                bool suspect = false;
+                for (int o = 0; o < numReplicas; ++o) {
+                    const std::size_t oi = static_cast<std::size_t>(o);
+                    if (cfg.replicas[oi].domain !=
+                        cfg.replicas[static_cast<std::size_t>(r)]
+                            .domain)
+                        continue;
+                    if (!knownUp[oi] ||
+                        (breakerOn &&
+                         bstate[oi] != BreakerState::Closed)) {
+                        suspect = true;
+                        break;
+                    }
+                }
+                if (!suspect)
+                    clean.push_back(r);
+            }
+            if (!clean.empty())
+                cand = std::move(clean);
+            break;
+        }
+        }
+        int best = cand.front();
+        for (int r : cand) {
+            if (repQueuedPlusFlight[static_cast<std::size_t>(r)] <
+                repQueuedPlusFlight[static_cast<std::size_t>(best)])
+                best = r;
+        }
+        return best;
+    };
+
+    auto enqueue = [&](int replica, const Copy& copy) {
+        queues[static_cast<std::size_t>(replica)].push_back(copy);
+        ++repQueuedPlusFlight[static_cast<std::size_t>(replica)];
+    };
+
+    // Requeue a faulted/timed-out copy with backoff, or drop it.
+    auto retry_or_drop = [&](Copy copy, double now) {
+        ReqMeta& m = meta[static_cast<std::size_t>(copy.id)];
+        if (copy.attempts >= cfg.resilience.retry.maxRetries) {
+            --m.liveCopies;
+            if (!m.done && m.liveCopies == 0)
+                ++report.dropped;
+            return;
+        }
+        ++copy.attempts;
+        ++report.retries;
+        const double ready =
+            now + cfg.resilience.retry.backoffSeconds(copy.attempts);
+        retries.push({ready, retry_seq++, copy});
+    };
+
+    // Trip the breaker: stop routing to the replica and push its
+    // queued work through the router toward healthy peers.
+    auto openBreaker = [&](int r, double now) {
+        const std::size_t ri = static_cast<std::size_t>(r);
+        bstate[ri] = BreakerState::Open;
+        openedAt[ri] = now;
+        consecFailures[ri] = 0;
+        halfOpenSucc[ri] = 0;
+        ++report.breakerOpens;
+        ++cluster.replicas[ri].breakerOpens;
+        if (numReplicas > 1) {
+            std::deque<Copy> moved;
+            moved.swap(queues[ri]);
+            repQueuedPlusFlight[ri] -=
+                static_cast<std::int64_t>(moved.size());
+            for (const Copy& c : moved) {
+                if (meta[static_cast<std::size_t>(c.id)].done) {
+                    ++report.hedgesCancelled;
+                    --meta[static_cast<std::size_t>(c.id)].liveCopies;
+                    continue;
+                }
+                const int target = route(r);
+                enqueue(target >= 0 ? target : r, c);
+            }
+        }
+    };
+
+    auto noteBatchFailure = [&](int r, double now) {
+        if (!breakerOn)
+            return;
+        const std::size_t ri = static_cast<std::size_t>(r);
+        if (bstate[ri] == BreakerState::HalfOpen) {
+            openBreaker(r, now);
+            return;
+        }
+        ++consecFailures[ri];
+        if (bstate[ri] == BreakerState::Closed &&
+            consecFailures[ri] >= cfg.breaker.failureThreshold)
+            openBreaker(r, now);
+    };
+
+    auto noteBatchSuccess = [&](int r) {
+        if (!breakerOn)
+            return;
+        const std::size_t ri = static_cast<std::size_t>(r);
+        consecFailures[ri] = 0;
+        if (bstate[ri] == BreakerState::HalfOpen) {
+            ++halfOpenSucc[ri];
+            if (halfOpenSucc[ri] >= cfg.breaker.halfOpenSuccesses) {
+                bstate[ri] = BreakerState::Closed;
+                halfOpenSucc[ri] = 0;
+                ++report.breakerCloses;
+            }
+        }
+    };
+
+    // Resolve every member copy of a killed batch: salvage any
+    // checkpointed progress, book the destroyed GPU-seconds, and put
+    // live copies back through the retry policy.
+    auto failMembers = [&](InFlightBatch& fl, double now) {
+        const double elapsed = now - fl.start;
+        const double b = static_cast<double>(fl.copies.size());
+        if (ckptOn && fl.plannedService > 0.0) {
+            const double q = std::min(elapsed / fl.plannedService, 1.0);
+            const std::int64_t advMax = static_cast<std::int64_t>(
+                q * static_cast<double>(fl.maxRemIters));
+            const std::int64_t taken =
+                advMax / ckpt.intervalIterations;
+            report.checkpointsTaken += taken;
+            report.checkpointOverheadSeconds +=
+                static_cast<double>(taken) * ckpt.costSeconds;
+        }
+        for (std::size_t i = 0; i < fl.copies.size(); ++i) {
+            Copy& copy = fl.copies[i];
+            ReqMeta& m = meta[static_cast<std::size_t>(copy.id)];
+            if (!copy.hedge)
+                m.primaryInFlight = false;
+            const double share = elapsed / b;
+            if (m.done) {
+                // Duplicate of an already-answered request: all its
+                // progress is hedge waste, nothing retries.
+                report.hedgeWastedSeconds += share;
+                --m.liveCopies;
+                continue;
+            }
+            double salvage = 0.0;
+            if (ckptOn && fl.plannedService > 0.0) {
+                const double q =
+                    std::min(elapsed / fl.plannedService, 1.0);
+                const std::int64_t rem = fl.remIters[i];
+                const std::int64_t adv = static_cast<std::int64_t>(
+                    q * static_cast<double>(rem));
+                const std::int64_t ck =
+                    (adv / ckpt.intervalIterations) *
+                    ckpt.intervalIterations;
+                if (ck > 0) {
+                    m.doneIters =
+                        std::max(m.doneIters, copy.baseIters + ck);
+                    salvage = (static_cast<double>(ck) /
+                               static_cast<double>(rem)) *
+                              (fl.workService / b);
+                }
+            }
+            report.wastedGpuSeconds += share - salvage;
+            report.restoredGpuSeconds += salvage;
+            retry_or_drop(copy, now);
+        }
+    };
+
+    // Kill the batch on a GPU (fault hit).
+    auto abort_inflight = [&](int g, double now) {
+        const std::size_t gi = static_cast<std::size_t>(g);
+        const int r = repOf[gi];
+        InFlightBatch& fl = *inflight[gi];
+        account_busy(fl.start, now, r);
+        report.lostGpuSeconds += now - fl.start;
+        failMembers(fl, now);
+        repQueuedPlusFlight[static_cast<std::size_t>(r)] -=
+            static_cast<std::int64_t>(fl.copies.size());
+        --repBatches[static_cast<std::size_t>(r)];
+        ++cluster.replicas[static_cast<std::size_t>(r)].abortedBatches;
+        inflight[gi].reset();
+        ++epoch[gi];
+        --inflight_gpus;
+        noteBatchFailure(r, now);
+    };
+
+    auto dispatch = [&](double now) {
+        for (int r = 0; r < numReplicas; ++r) {
+            const std::size_t ri = static_cast<std::size_t>(r);
+            if (breakerOn && bstate[ri] == BreakerState::Open)
+                continue;
+            std::deque<Copy>& queue = queues[ri];
+            const ReplicaSpec& rep = cfg.replicas[ri];
+            while (true) {
+                // Drop cancelled duplicates: their twin already
+                // answered, serving them is pure waste.
+                if (hedgeOn) {
+                    for (std::size_t k = 0; k < queue.size();) {
+                        if (meta[static_cast<std::size_t>(
+                                     queue[k].id)]
+                                .done) {
+                            ++report.hedgesCancelled;
+                            --meta[static_cast<std::size_t>(
+                                       queue[k].id)]
+                                  .liveCopies;
+                            --repQueuedPlusFlight[ri];
+                            queue.erase(queue.begin() +
+                                        static_cast<std::ptrdiff_t>(k));
+                        } else {
+                            ++k;
+                        }
+                    }
+                }
+                if (queue.empty())
+                    break;
+                // Lazily expire queued copies whose deadline already
+                // passed — serving them would be wasted work.
+                if (deadline.hasDeadline()) {
+                    while (!queue.empty() &&
+                           queue.front().arrival +
+                                   deadline.deadlineSeconds <=
+                               now) {
+                        ReqMeta& m = meta[static_cast<std::size_t>(
+                            queue.front().id)];
+                        --m.liveCopies;
+                        if (m.liveCopies == 0)
+                            ++report.expired;
+                        else
+                            ++report.hedgesCancelled;
+                        --repQueuedPlusFlight[ri];
+                        queue.pop_front();
+                    }
+                    if (queue.empty())
+                        break;
+                }
+                // A half-open breaker admits one trial batch at a time.
+                if (breakerOn &&
+                    bstate[ri] == BreakerState::HalfOpen &&
+                    repBatches[ri] > 0)
+                    break;
+                int free_gpu = -1;
+                for (int k = 0; k < rep.numGpus; ++k) {
+                    const int g = gpuBase[ri] + k;
+                    const std::size_t gi = static_cast<std::size_t>(g);
+                    if (!inflight[gi].has_value() && !gpu_down[gi]) {
+                        free_gpu = g;
+                        break;
+                    }
+                }
+                if (free_gpu < 0)
+                    break;
+                const std::size_t gi =
+                    static_cast<std::size_t>(free_gpu);
+                const bool degrade =
+                    cfg.resilience.degradation.enabled() &&
+                    static_cast<std::int64_t>(queue.size()) >=
+                        cfg.resilience.degradation.queueThreshold;
+                const int batch = static_cast<int>(
+                    std::min<std::size_t>(queue.size(),
+                                          static_cast<std::size_t>(
+                                              cfg.maxBatch)));
+                double service = rep.latency.batchSeconds(batch) *
+                                 slowdownAt(free_gpu, now);
+                if (degrade)
+                    service *=
+                        cfg.resilience.degradation.serviceScale;
+                InFlightBatch fl;
+                fl.replica = r;
+                fl.start = now;
+                fl.degraded = degrade;
+                if (ckptOn) {
+                    // Resume from the last checkpoint: the batch only
+                    // runs the longest member's remaining iterations,
+                    // plus the cost of the checkpoints it will write.
+                    for (int i = 0; i < batch; ++i) {
+                        const Copy& c =
+                            queue[static_cast<std::size_t>(i)];
+                        const std::int64_t rem =
+                            ckpt.iterations -
+                            meta[static_cast<std::size_t>(c.id)]
+                                .doneIters;
+                        fl.remIters.push_back(rem);
+                        fl.maxRemIters =
+                            std::max(fl.maxRemIters, rem);
+                    }
+                    service *=
+                        static_cast<double>(fl.maxRemIters) /
+                        static_cast<double>(ckpt.iterations);
+                    fl.workService = service;
+                    fl.ckpts =
+                        fl.maxRemIters / ckpt.intervalIterations;
+                    service += static_cast<double>(fl.ckpts) *
+                               ckpt.costSeconds;
+                } else {
+                    fl.workService = service;
+                }
+                fl.plannedService = service;
+                if (deadline.hasTimeout() &&
+                    service > deadline.batchTimeoutSeconds) {
+                    fl.timedOut = true;
+                    fl.finish = now + deadline.batchTimeoutSeconds;
+                } else {
+                    fl.finish = now + service;
+                }
+                for (int i = 0; i < batch; ++i) {
+                    Copy copy = queue.front();
+                    queue.pop_front();
+                    ReqMeta& m =
+                        meta[static_cast<std::size_t>(copy.id)];
+                    copy.baseIters = m.doneIters;
+                    if (ckptOn && m.doneIters > 0)
+                        ++report.resumes;
+                    if (!copy.hedge) {
+                        m.primaryInFlight = true;
+                        m.primaryReplica = r;
+                        if (hedgeOn && !m.hedged)
+                            hedges.push(
+                                {now + cfg.hedge.delaySeconds,
+                                 hedge_seq++, copy.id});
+                    }
+                    fl.copies.push_back(copy);
+                }
+                batch_sizes.push_back(static_cast<double>(batch));
+                finishes.push({fl.finish, free_gpu, ++epoch[gi]});
+                inflight[gi] = std::move(fl);
+                ++inflight_gpus;
+                ++repBatches[ri];
+                ++cluster.replicas[ri].dispatchedBatches;
+            }
+        }
+    };
+
+    auto totalQueued = [&] {
+        std::int64_t n = 0;
+        for (const std::deque<Copy>& q : queues)
+            n += static_cast<std::int64_t>(q.size());
+        return n;
+    };
+
+    std::size_t ti = 0;
+    while (true) {
+        // Drop stale finish events (their batch was killed).
+        while (!finishes.empty()) {
+            const FinishEvent& top = finishes.top();
+            const std::size_t gi = static_cast<std::size_t>(top.gpu);
+            if (inflight[gi].has_value() && epoch[gi] == top.epoch)
+                break;
+            finishes.pop();
+        }
+        const double next_finish =
+            finishes.empty() ? kNever : finishes.top().time;
+        const double next_fault =
+            ti < transitions.size() ? transitions[ti].time : kNever;
+        const double next_retry =
+            retries.empty() ? kNever : retries.top().ready;
+        const double next_hedge =
+            hedges.empty() ? kNever : hedges.top().time;
+        double next_probe = kNever;
+        int probe_replica = -1;
+        for (int r = 0; r < numReplicas; ++r) {
+            const double t = probeNext[static_cast<std::size_t>(r)];
+            if (t <= horizon && t < next_probe) {
+                next_probe = t;
+                probe_replica = r;
+            }
+        }
+        const double next_other =
+            std::min({next_finish, next_fault, next_retry, next_probe,
+                      next_hedge});
+
+        if (next_arrival <= next_other) {
+            if (next_arrival > horizon)
+                break;
+            // Arrival event.
+            const double now = next_arrival;
+            ++report.arrived;
+            if (cfg.resilience.admission.enabled() &&
+                totalQueued() >=
+                    cfg.resilience.admission.maxQueueLength) {
+                ++report.shed;
+            } else {
+                const std::int64_t id =
+                    static_cast<std::int64_t>(meta.size());
+                ReqMeta m;
+                m.arrival = now;
+                m.liveCopies = 1;
+                meta.push_back(m);
+                enqueue(route(-1), Copy{id, now, 0, false, 0});
+            }
+            next_arrival += rng.exponential(cfg.arrivalRate);
+            dispatch(now);
+        } else if (next_fault <= std::min({next_finish, next_retry,
+                                           next_probe, next_hedge})) {
+            // GPU availability edge.
+            const Transition tr = transitions[ti++];
+            const std::size_t gi = static_cast<std::size_t>(tr.gpu);
+            if (tr.down) {
+                gpu_down[gi] = true;
+                if (inflight[gi].has_value())
+                    abort_inflight(tr.gpu, tr.time);
+            } else {
+                gpu_down[gi] = false;
+                dispatch(tr.time);
+            }
+        } else if (next_probe <=
+                   std::min({next_finish, next_retry, next_hedge})) {
+            // Health probe: refresh router knowledge, advance due
+            // breakers from open to half-open.
+            const double now = next_probe;
+            const std::size_t ri =
+                static_cast<std::size_t>(probe_replica);
+            bool anyUp = false;
+            for (int k = 0; k < cfg.replicas[ri].numGpus; ++k) {
+                if (!gpu_down[static_cast<std::size_t>(
+                        gpuBase[ri] + k)]) {
+                    anyUp = true;
+                    break;
+                }
+            }
+            knownUp[ri] = anyUp;
+            probeNext[ri] += cfg.probe.intervalSeconds;
+            if (breakerOn && bstate[ri] == BreakerState::Open &&
+                now >= openedAt[ri] + cfg.breaker.openSeconds) {
+                bstate[ri] = BreakerState::HalfOpen;
+                halfOpenSucc[ri] = 0;
+                dispatch(now);
+            }
+        } else if (next_hedge <= std::min(next_finish, next_retry)) {
+            // Hedge timer: the primary has run long enough — issue a
+            // backup copy on a different replica.
+            const HedgeEvent ev = hedges.top();
+            hedges.pop();
+            ReqMeta& m = meta[static_cast<std::size_t>(ev.id)];
+            if (!m.done && !m.hedged && m.primaryInFlight) {
+                const int target = route(m.primaryReplica);
+                if (target >= 0 && target != m.primaryReplica) {
+                    m.hedged = true;
+                    ++m.liveCopies;
+                    ++report.hedgesIssued;
+                    enqueue(target,
+                            Copy{ev.id, m.arrival, 0, true, 0});
+                    dispatch(ev.time);
+                }
+            }
+        } else if (next_retry <= next_finish) {
+            // Backed-off copies re-enter a queue via the router.
+            const double now = next_retry;
+            while (!retries.empty() && retries.top().ready <= now) {
+                const Copy copy = retries.top().copy;
+                retries.pop();
+                enqueue(route(-1), copy);
+            }
+            dispatch(now);
+        } else {
+            // Completion event (may run past the horizon to drain).
+            const FinishEvent ev = finishes.top();
+            finishes.pop();
+            const std::size_t gi = static_cast<std::size_t>(ev.gpu);
+            const int r = repOf[gi];
+            const std::size_t ri = static_cast<std::size_t>(r);
+            InFlightBatch fl = std::move(*inflight[gi]);
+            inflight[gi].reset();
+            ++epoch[gi];
+            --inflight_gpus;
+            repQueuedPlusFlight[ri] -=
+                static_cast<std::int64_t>(fl.copies.size());
+            --repBatches[ri];
+            if (fl.timedOut) {
+                account_busy(fl.start, ev.time, r);
+                report.lostGpuSeconds += ev.time - fl.start;
+                failMembers(fl, ev.time);
+                ++cluster.replicas[ri].abortedBatches;
+                noteBatchFailure(r, ev.time);
+            } else {
+                account_busy(fl.start, fl.finish, r);
+                if (ckptOn) {
+                    report.checkpointsTaken += fl.ckpts;
+                    report.checkpointOverheadSeconds +=
+                        static_cast<double>(fl.ckpts) *
+                        ckpt.costSeconds;
+                }
+                if (fl.degraded)
+                    report.degraded += static_cast<std::int64_t>(
+                        fl.copies.size());
+                const double b =
+                    static_cast<double>(fl.copies.size());
+                for (const Copy& copy : fl.copies) {
+                    ReqMeta& m =
+                        meta[static_cast<std::size_t>(copy.id)];
+                    if (!copy.hedge)
+                        m.primaryInFlight = false;
+                    if (m.done) {
+                        // The twin answered first; this copy's share
+                        // of the batch was duplicate work.
+                        report.hedgeWastedSeconds +=
+                            (fl.finish - fl.start) / b;
+                        --m.liveCopies;
+                        continue;
+                    }
+                    m.done = true;
+                    --m.liveCopies;
+                    if (copy.hedge)
+                        ++report.hedgesWon;
+                    const double lat = fl.finish - copy.arrival;
+                    latencies.push_back(lat);
+                    ++report.completed;
+                    ++cluster.replicas[ri].completedRequests;
+                    if (fl.finish > horizon)
+                        ++report.drainCompleted;
+                    const bool in_deadline =
+                        !deadline.hasDeadline() ||
+                        lat <= deadline.deadlineSeconds;
+                    if (!in_deadline)
+                        ++deadline_misses;
+                    if (fl.finish <= horizon && in_deadline)
+                        ++goodput_count;
+                }
+                noteBatchSuccess(r);
+            }
+            if (ev.time > horizon && totalQueued() == 0 &&
+                inflight_gpus == 0 && retries.empty()) {
+                break;
+            }
+            dispatch(ev.time);
+        }
+    }
+
+    for (const std::deque<Copy>& q : queues) {
+        for (const Copy& c : q) {
+            if (!meta[static_cast<std::size_t>(c.id)].done)
+                ++report.backlog;
+        }
+    }
+    for (std::size_t gi = 0; gi < ngpu; ++gi) {
+        if (!inflight[gi].has_value())
+            continue;
+        for (const Copy& c : inflight[gi]->copies) {
+            if (!meta[static_cast<std::size_t>(c.id)].done)
+                ++report.backlog;
+        }
+        // Batches cut off by the end of the run still occupied their
+        // GPU inside the horizon.
+        account_busy(inflight[gi]->start,
+                     std::min(inflight[gi]->finish, horizon),
+                     repOf[gi]);
+    }
+    while (!retries.empty()) {
+        if (!meta[static_cast<std::size_t>(retries.top().copy.id)]
+                 .done)
+            ++report.backlog;
+        retries.pop();
+    }
+
+    if (!latencies.empty()) {
+        const Summary s = summarize(latencies);
+        report.meanLatency = s.mean;
+        report.p50Latency = percentile(latencies, 50.0);
+        report.p95Latency = percentile(latencies, 95.0);
+    }
+    if (!batch_sizes.empty())
+        report.meanBatch = summarize(batch_sizes).mean;
+    report.throughput =
+        static_cast<double>(report.completed - report.drainCompleted) /
+        horizon;
+    report.goodput = static_cast<double>(goodput_count) / horizon;
+    report.gpuUtilization =
+        busy_in_horizon / (horizon * static_cast<double>(numGpus));
+    if (report.completed > 0) {
+        report.deadlineMissRate =
+            static_cast<double>(deadline_misses) /
+            static_cast<double>(report.completed);
+        report.degradedFraction =
+            static_cast<double>(report.degraded) /
+            static_cast<double>(report.completed);
+    }
+    if (report.arrived > 0) {
+        report.shedFraction = static_cast<double>(report.shed) /
+                              static_cast<double>(report.arrived);
+    }
+
+    for (int r = 0; r < numReplicas; ++r) {
+        const std::size_t ri = static_cast<std::size_t>(r);
+        double sum = 0.0;
+        for (int k = 0; k < cfg.replicas[ri].numGpus; ++k)
+            sum += plan.gpus[static_cast<std::size_t>(gpuBase[ri] + k)]
+                       .availability(horizon);
+        cluster.replicas[ri].availability =
+            sum / static_cast<double>(cfg.replicas[ri].numGpus);
+    }
+    return cluster;
+}
+
+} // namespace mmgen::serving

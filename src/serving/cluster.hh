@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Cluster-level resilience on top of the serving simulator: multiple
+ * replica pools behind a seeded router, per-replica circuit breakers
+ * with a probe-driven health model, hedged requests, and
+ * checkpoint/restore of long multimodal requests.
+ *
+ * The paper's headline system pain is that TTV/TTI requests run
+ * orders of magnitude longer than LLM requests, so a mid-request
+ * fault destroys minutes of GPU work. The single-pool simulator
+ * (simulator.hh) only models i.i.d. per-GPU faults with full-request
+ * retry as the only recovery; this module grows it into a cluster
+ * with real recovery semantics — the multi-replica "app family"
+ * deployment ServeGen (arXiv:2505.09999) and Lee et al.
+ * (arXiv:2410.00215) motivate: one bad replica must not sink the
+ * fleet, and a fault in minute 4 of a 5-minute video generation must
+ * not re-run minutes 0-4.
+ *
+ * Determinism contract: every stochastic process draws from split
+ * `Rng` streams (arrivals from the unsplit `Rng(seed)` stream, faults
+ * and probe jitter from their own streams), so reports are
+ * bit-reproducible at any `--jobs` count, and a single-replica
+ * configuration with every cluster feature disabled reproduces
+ * `simulateServing`'s report bit-for-bit.
+ */
+
+#ifndef MMGEN_SERVING_CLUSTER_HH
+#define MMGEN_SERVING_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/pipeline.hh"
+#include "serving/policies.hh"
+#include "serving/simulator.hh"
+
+namespace mmgen::serving {
+
+/**
+ * One replica pool: a group of GPUs serving the same model behind a
+ * shared queue. Replicas may be heterogeneous (different GPU counts
+ * or latency models — e.g. an A100 pool next to a V100 pool) and are
+ * assigned to a failure domain (rack/pod) whose members share
+ * correlated outages and chaos events.
+ */
+struct ReplicaSpec
+{
+    /** Batch-latency model of this replica's (model, GPU) pairing. */
+    LatencyModel latency;
+    /** GPUs in this replica's pool. */
+    int numGpus = 1;
+    /** Failure-domain id (rack/pod) this replica lives in. */
+    int domain = 0;
+};
+
+/** How the router spreads arrivals over routable replicas. */
+enum class RouterPolicy
+{
+    /** Cycle over routable replicas in index order. */
+    RoundRobin,
+    /** Fewest queued + in-flight requests; ties to lowest index. */
+    LeastLoaded,
+    /**
+     * Least-loaded, but replicas in failure domains with a known-down
+     * or breaker-tripped member are deprioritized — new work avoids
+     * the blast radius of an unhealthy rack.
+     */
+    FailureDomainAware,
+};
+
+const char* routerPolicyName(RouterPolicy policy);
+
+/**
+ * Per-replica circuit breaker (closed -> open -> half-open). Batch
+ * failures (fault kills, timeouts) attributed to a replica count
+ * against it; at `failureThreshold` consecutive failures the breaker
+ * opens, the router stops sending work there, and its queue is
+ * re-routed. After `openSeconds` the next health probe moves the
+ * breaker to half-open, which admits one trial batch at a time;
+ * `halfOpenSuccesses` consecutive successes close it again, one
+ * failure re-opens it.
+ */
+struct CircuitBreakerPolicy
+{
+    /** Consecutive batch failures that trip the breaker (0 = off). */
+    int failureThreshold = 0;
+    /** Seconds the breaker stays open before probing. */
+    double openSeconds = 30.0;
+    /** Half-open successes required to close. */
+    int halfOpenSuccesses = 1;
+
+    bool enabled() const { return failureThreshold > 0; }
+};
+
+/**
+ * Hedged requests: if a request's primary dispatch has not completed
+ * `delaySeconds` after it started, a backup copy is enqueued on a
+ * different replica. First completion wins; the loser is cancelled
+ * (dropped unserved from its queue, or its GPU share reported as
+ * hedge waste if it was already running). At most one hedge per
+ * request.
+ */
+struct HedgePolicy
+{
+    /** Delay after primary dispatch before hedging (0 = off). */
+    double delaySeconds = 0.0;
+
+    bool enabled() const { return delaySeconds > 0.0; }
+};
+
+/**
+ * Quantile-based hedge delay: the service time of the q-quantile
+ * batch size in [1, maxBatch] under the given latency model — hedge
+ * once the primary has run longer than the q-quantile batch would
+ * normally take.
+ */
+double hedgeDelayForQuantile(const LatencyModel& latency, int maxBatch,
+                             double quantile);
+
+/**
+ * Checkpoint/restore of long requests. A request is resumable
+ * progress through `iterations` equal steps (diffusion denoising
+ * steps, AR chunks); every `intervalIterations` completed steps the
+ * batch writes a checkpoint costing `costSeconds` of GPU time. A
+ * fault re-dispatches the request from its last checkpoint instead of
+ * from scratch, so only the progress past the checkpoint is wasted.
+ */
+struct CheckpointPolicy
+{
+    /** Resumable iterations per request (0 = not resumable). */
+    std::int64_t iterations = 0;
+    /** Steps between checkpoints (0 = never checkpoint). */
+    std::int64_t intervalIterations = 0;
+    /** GPU-time cost of writing one checkpoint, seconds. */
+    double costSeconds = 0.0;
+
+    bool enabled() const
+    {
+        return iterations > 0 && intervalIterations > 0;
+    }
+};
+
+/**
+ * Derive a checkpoint policy from a pipeline's iteration structure:
+ * `iterations` is the dominant stage's iteration count (denoise steps
+ * for diffusion, decode steps for AR generators), checkpointed every
+ * `everyIterations` steps at the given cost.
+ */
+CheckpointPolicy checkpointFromPipeline(const graph::Pipeline& pipeline,
+                                        std::int64_t everyIterations,
+                                        double costSeconds);
+
+/** What a chaos event does to the cluster. */
+enum class ChaosEventKind
+{
+    /** All GPUs of one replica go down for the duration. */
+    KillReplica,
+    /** Every GPU in one failure domain runs `factor` x slower. */
+    DegradeDomain,
+    /** One GPU (global index) runs `factor` x slower. */
+    StraggleGpu,
+};
+
+const char* chaosEventKindName(ChaosEventKind kind);
+
+/** One timed, declarative chaos injection. */
+struct ChaosEvent
+{
+    /** When the event starts, seconds. */
+    double atSeconds = 0.0;
+    ChaosEventKind kind = ChaosEventKind::KillReplica;
+    /** Replica, domain, or global GPU index, by kind. */
+    int target = 0;
+    /** How long the effect lasts (0 = until the horizon). */
+    double durationSeconds = 0.0;
+    /** Slowdown multiplier for degrade/straggle events (>= 1). */
+    double factor = 1.0;
+};
+
+/** A named, declarative chaos scenario: timed events on a cluster. */
+struct ChaosScenario
+{
+    std::string name = "none";
+    std::vector<ChaosEvent> events;
+
+    bool empty() const { return events.empty(); }
+};
+
+/**
+ * Build a canonical scenario by name, scaled to the horizon:
+ * "none", "kill-replica" (one replica down mid-run),
+ * "kill-replica-at-zero" (cluster starts mid-outage),
+ * "rolling-kill" (replicas die one after another),
+ * "degrade-domain" (one rack runs 3x slow), and
+ * "straggle-gpu" (one GPU runs 4x slow). Throws on unknown names.
+ */
+ChaosScenario namedChaosScenario(const std::string& name,
+                                 int numReplicas,
+                                 double horizonSeconds);
+
+/**
+ * Replica health-probe model. Probes are the only way the router
+ * learns a replica's state: every `intervalSeconds` (plus a seeded
+ * per-replica phase offset, so probes do not align across replicas)
+ * the prober marks a replica up/down from its GPUs' current state and
+ * moves due circuit breakers from open to half-open. Between probes
+ * the router acts on stale health — the detection-lag realism knob.
+ */
+struct ProbeModel
+{
+    double intervalSeconds = 5.0;
+    /** Phase offset is uniform in [0, jitterFraction * interval). */
+    double jitterFraction = 0.5;
+};
+
+/** Cluster topology + every resilience policy in one config. */
+struct ClusterConfig
+{
+    /** Mean request arrival rate, requests/second (Poisson). */
+    double arrivalRate = 1.0;
+    /** Maximum requests batched into one inference. */
+    int maxBatch = 4;
+    /** Simulated wall-clock horizon, seconds. */
+    double horizonSeconds = 600.0;
+    /** Arrival-process seed (fault/probe streams split from it). */
+    std::uint64_t seed = 7;
+
+    /** Replica pools behind the router (at least one). */
+    std::vector<ReplicaSpec> replicas = {ReplicaSpec{}};
+    RouterPolicy router = RouterPolicy::RoundRobin;
+
+    /** Single-pool policies, reused per replica (faults are i.i.d.
+     *  per GPU plus correlated per failure domain). */
+    ResilienceConfig resilience;
+
+    CircuitBreakerPolicy breaker;
+    HedgePolicy hedge;
+    CheckpointPolicy checkpoint;
+    ChaosScenario chaos;
+    ProbeModel probe;
+
+    int totalGpus() const;
+
+    /** Throw `FatalError` on any malformed knob or chaos target. */
+    void validate() const;
+};
+
+/**
+ * Wrap a single-pool serving configuration as a one-replica cluster
+ * with every cluster feature disabled. `simulateCluster` on the
+ * result reproduces `simulateServing(cfg, latency)` bit-for-bit.
+ */
+ClusterConfig singlePoolCluster(const ServingConfig& cfg,
+                                const LatencyModel& latency);
+
+/** Per-replica accounting over the horizon. */
+struct ReplicaStats
+{
+    std::int64_t dispatchedBatches = 0;
+    std::int64_t completedRequests = 0;
+    /** Batches killed by faults or timeouts on this replica. */
+    std::int64_t abortedBatches = 0;
+    std::int64_t breakerOpens = 0;
+    /** GPU busy-seconds on this replica (incl. drain work). */
+    double busySeconds = 0.0;
+    /** Mean member-GPU availability (faults + chaos). */
+    double availability = 1.0;
+};
+
+/** Cluster simulation output. */
+struct ClusterReport
+{
+    /** Fleet-level metrics, including the cluster counters. */
+    ServingReport serving;
+    std::vector<ReplicaStats> replicas;
+    /** Mean member availability per failure domain id. */
+    std::vector<double> domainAvailability;
+};
+
+/**
+ * Run the cluster discrete-event simulation. Arrivals draw from the
+ * unsplit `Rng(seed)` stream — exactly the single-pool simulator's
+ * stream — while faults, chaos compilation, and probe jitter draw
+ * from split streams, so enabling any resilience feature never
+ * perturbs the arrival sequence.
+ */
+ClusterReport simulateCluster(const ClusterConfig& cfg);
+
+} // namespace mmgen::serving
+
+#endif // MMGEN_SERVING_CLUSTER_HH

@@ -15,6 +15,7 @@ namespace {
 constexpr std::uint64_t kFailureStream = 0x0001'0000;
 constexpr std::uint64_t kPreemptionStream = 0x0002'0000;
 constexpr std::uint64_t kStragglerStream = 0x0003'0000;
+constexpr std::uint64_t kDomainStream = 0x0004'0000;
 
 /**
  * Alternating up/down renewal process: up times ~ Exp(1/mtbf), down
@@ -42,7 +43,8 @@ renewalOutages(Rng& rng, double mtbf, double mttr, OutageKind kind,
     return outages;
 }
 
-/** Merge overlapping windows; a Failure subsumes a Preemption. */
+} // namespace
+
 std::vector<Outage>
 mergeOutages(std::vector<Outage> outages)
 {
@@ -64,12 +66,11 @@ mergeOutages(std::vector<Outage> outages)
     return merged;
 }
 
-} // namespace
-
 bool
 FaultConfig::any() const
 {
     return failureMtbfSeconds > 0.0 || preemptionMtbfSeconds > 0.0 ||
+           domainMtbfSeconds > 0.0 ||
            (stragglerFraction > 0.0 && stragglerSlowdown > 1.0);
 }
 
@@ -118,14 +119,47 @@ FleetFaultPlan::totalOutages() const
     return n;
 }
 
+std::vector<double>
+FleetFaultPlan::domainAvailability(double horizonSeconds) const
+{
+    if (domainOf.empty())
+        return {meanAvailability(horizonSeconds)};
+    MMGEN_CHECK(domainOf.size() == gpus.size(),
+                "domain map does not cover the pool");
+    int numDomains = 0;
+    for (int d : domainOf)
+        numDomains = std::max(numDomains, d + 1);
+    std::vector<double> sum(static_cast<std::size_t>(numDomains), 0.0);
+    std::vector<int> count(static_cast<std::size_t>(numDomains), 0);
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+        const std::size_t d = static_cast<std::size_t>(domainOf[g]);
+        sum[d] += gpus[g].availability(horizonSeconds);
+        ++count[d];
+    }
+    std::vector<double> avail(sum.size(), 1.0);
+    for (std::size_t d = 0; d < sum.size(); ++d) {
+        if (count[d] > 0)
+            avail[d] = sum[d] / static_cast<double>(count[d]);
+    }
+    return avail;
+}
+
+namespace {
+
 FleetFaultPlan
-planFaults(const FaultConfig& cfg, int numGpus, double horizonSeconds,
-           std::uint64_t seed)
+planFaultsImpl(const FaultConfig& cfg,
+               const std::vector<int>& domainOf,
+               double horizonSeconds, std::uint64_t seed, int numGpus)
 {
     MMGEN_CHECK(numGpus >= 1, "need at least one GPU");
+    MMGEN_CHECK(domainOf.empty() ||
+                    domainOf.size() ==
+                        static_cast<std::size_t>(numGpus),
+                "domain map does not cover the pool");
     MMGEN_CHECK(horizonSeconds > 0.0, "horizon must be positive");
     MMGEN_CHECK(cfg.failureMtbfSeconds >= 0.0 &&
-                    cfg.preemptionMtbfSeconds >= 0.0,
+                    cfg.preemptionMtbfSeconds >= 0.0 &&
+                    cfg.domainMtbfSeconds >= 0.0,
                 "MTBF must be non-negative");
     MMGEN_CHECK(cfg.failureMtbfSeconds == 0.0 ||
                     cfg.failureMttrSeconds > 0.0,
@@ -133,13 +167,40 @@ planFaults(const FaultConfig& cfg, int numGpus, double horizonSeconds,
     MMGEN_CHECK(cfg.preemptionMtbfSeconds == 0.0 ||
                     cfg.preemptionMeanSeconds > 0.0,
                 "preemption duration must be positive");
+    MMGEN_CHECK(cfg.domainMtbfSeconds == 0.0 ||
+                    cfg.domainMttrSeconds > 0.0,
+                "domain MTTR must be positive");
     MMGEN_CHECK(cfg.stragglerFraction >= 0.0 &&
                     cfg.stragglerFraction <= 1.0,
                 "straggler fraction out of [0, 1]");
     MMGEN_CHECK(cfg.stragglerSlowdown >= 1.0,
                 "straggler slowdown must be >= 1");
+    for (int d : domainOf)
+        MMGEN_CHECK(d >= 0, "domain ids must be non-negative");
+
+    // Correlated whole-domain outages: one renewal process per
+    // distinct domain, on its own split stream keyed by the domain id,
+    // so adding a domain never perturbs per-GPU processes (and
+    // disabling domain faults reproduces the original plan
+    // bit-for-bit).
+    std::vector<std::vector<Outage>> domainOutages;
+    if (cfg.domainMtbfSeconds > 0.0 && !domainOf.empty()) {
+        int numDomains = 0;
+        for (int d : domainOf)
+            numDomains = std::max(numDomains, d + 1);
+        domainOutages.resize(static_cast<std::size_t>(numDomains));
+        for (int d = 0; d < numDomains; ++d) {
+            Rng dom = Rng::stream(
+                seed, kDomainStream + static_cast<std::uint64_t>(d));
+            domainOutages[static_cast<std::size_t>(d)] =
+                renewalOutages(dom, cfg.domainMtbfSeconds,
+                               cfg.domainMttrSeconds,
+                               OutageKind::Failure, horizonSeconds);
+        }
+    }
 
     FleetFaultPlan plan;
+    plan.domainOf = domainOf;
     plan.gpus.resize(static_cast<std::size_t>(numGpus));
     for (int g = 0; g < numGpus; ++g) {
         GpuFaultTimeline& tl = plan.gpus[static_cast<std::size_t>(g)];
@@ -158,6 +219,13 @@ planFaults(const FaultConfig& cfg, int numGpus, double horizonSeconds,
         outages.insert(outages.end(), preemptions.begin(),
                        preemptions.end());
 
+        if (!domainOutages.empty()) {
+            const std::vector<Outage>& dom = domainOutages
+                [static_cast<std::size_t>(
+                    domainOf[static_cast<std::size_t>(g)])];
+            outages.insert(outages.end(), dom.begin(), dom.end());
+        }
+
         tl.outages = mergeOutages(std::move(outages));
 
         Rng straggle = Rng::stream(seed, kStragglerStream + gid);
@@ -167,6 +235,33 @@ planFaults(const FaultConfig& cfg, int numGpus, double horizonSeconds,
         }
     }
     return plan;
+}
+
+} // namespace
+
+FleetFaultPlan
+planFaults(const FaultConfig& cfg, int numGpus, double horizonSeconds,
+           std::uint64_t seed)
+{
+    MMGEN_CHECK(numGpus >= 1, "need at least one GPU");
+    if (cfg.domainMtbfSeconds <= 0.0)
+        return planFaultsImpl(cfg, std::vector<int>(), horizonSeconds,
+                              seed, numGpus);
+    MMGEN_CHECK(cfg.domainSize >= 1,
+                "domain faults need a positive domain size");
+    std::vector<int> domainOf(static_cast<std::size_t>(numGpus));
+    for (int g = 0; g < numGpus; ++g)
+        domainOf[static_cast<std::size_t>(g)] = g / cfg.domainSize;
+    return planFaultsImpl(cfg, domainOf, horizonSeconds, seed,
+                          numGpus);
+}
+
+FleetFaultPlan
+planFaults(const FaultConfig& cfg, const std::vector<int>& domainOf,
+           double horizonSeconds, std::uint64_t seed)
+{
+    return planFaultsImpl(cfg, domainOf, horizonSeconds, seed,
+                          static_cast<int>(domainOf.size()));
 }
 
 } // namespace mmgen::serving

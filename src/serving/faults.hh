@@ -54,6 +54,21 @@ struct FaultConfig
     /** Service-time multiplier on straggler GPUs (>= 1). */
     double stragglerSlowdown = 1.0;
 
+    // -- correlated failure domains (racks / pods whose members go
+    //    down together: a switch dies, a power feed trips) --
+
+    /**
+     * GPUs per correlated failure domain. Domain d owns GPUs
+     * [d*domainSize, (d+1)*domainSize). Required >= 1 when
+     * `domainMtbfSeconds` is set; the explicit-membership
+     * `planFaults` overload ignores it.
+     */
+    int domainSize = 0;
+    /** Mean time between whole-domain outages, seconds (0 disables). */
+    double domainMtbfSeconds = 0.0;
+    /** Mean time to recover a failed domain, seconds. */
+    double domainMttrSeconds = 120.0;
+
     /** True if any fault process is active. */
     bool any() const;
 };
@@ -77,11 +92,31 @@ struct FleetFaultPlan
 {
     std::vector<GpuFaultTimeline> gpus;
 
+    /**
+     * Failure-domain id of each GPU (parallel to `gpus`). Empty when
+     * the plan was generated without correlated-domain faults, in
+     * which case every GPU is its own implicit domain.
+     */
+    std::vector<int> domainOf;
+
     /** Mean per-GPU availability over the horizon (1 if empty). */
     double meanAvailability(double horizonSeconds) const;
     /** Total outage windows across the pool. */
     std::int64_t totalOutages() const;
+    /**
+     * Mean member availability per failure domain, indexed by domain
+     * id (one entry covering the whole pool when `domainOf` is empty).
+     */
+    std::vector<double> domainAvailability(double horizonSeconds) const;
 };
+
+/**
+ * Merge overlapping/adjacent outage windows into a disjoint,
+ * start-sorted list; a hard Failure subsumes an overlapping
+ * Preemption. Used by the fault planner and by the chaos-scenario
+ * compiler when folding scripted kills into a GPU's timeline.
+ */
+std::vector<Outage> mergeOutages(std::vector<Outage> outages);
 
 /**
  * Generate the fleet's fault plan. Failure and preemption processes
@@ -91,6 +126,19 @@ struct FleetFaultPlan
  * one GPU are merged (a hard failure subsumes a preemption).
  */
 FleetFaultPlan planFaults(const FaultConfig& cfg, int numGpus,
+                          double horizonSeconds, std::uint64_t seed);
+
+/**
+ * Generate a fault plan with explicit failure-domain membership:
+ * `domainOf[g]` names GPU g's rack/pod. Per-GPU processes draw from
+ * the same streams as the pool overload (bit-identical when domain
+ * faults are disabled); each distinct domain additionally draws a
+ * correlated outage process from its own `Rng::stream` keyed by the
+ * domain id, and the resulting windows are merged into every member
+ * GPU's timeline — members fail together.
+ */
+FleetFaultPlan planFaults(const FaultConfig& cfg,
+                          const std::vector<int>& domainOf,
                           double horizonSeconds, std::uint64_t seed);
 
 } // namespace mmgen::serving

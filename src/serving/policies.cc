@@ -14,9 +14,24 @@ RetryPolicy::backoffSeconds(int attempt) const
     MMGEN_CHECK(attempt >= 1, "attempt is 1-based");
     MMGEN_CHECK(backoffBaseSeconds >= 0.0 && backoffMultiplier >= 1.0,
                 "backoff must grow");
+    MMGEN_CHECK(std::isfinite(backoffBaseSeconds) &&
+                    std::isfinite(backoffMultiplier) &&
+                    std::isfinite(backoffCapSeconds) &&
+                    backoffCapSeconds >= 0.0,
+                "backoff parameters must be finite");
+    if (backoffBaseSeconds == 0.0)
+        return 0.0;
+    // Decide cap saturation in log space: base * mult^(attempt-1)
+    // overflows to inf for large attempt counts (and 0 * inf is NaN),
+    // which a min() against the cap does not repair. pow() is only
+    // evaluated when the result is provably under the cap.
+    const double exponent = static_cast<double>(attempt - 1);
+    const double logRaw = std::log(backoffBaseSeconds) +
+                          exponent * std::log(backoffMultiplier);
+    if (logRaw >= std::log(backoffCapSeconds))
+        return backoffCapSeconds;
     const double raw =
-        backoffBaseSeconds *
-        std::pow(backoffMultiplier, static_cast<double>(attempt - 1));
+        backoffBaseSeconds * std::pow(backoffMultiplier, exponent);
     return std::min(raw, backoffCapSeconds);
 }
 
@@ -45,6 +60,46 @@ ResilienceConfig::trivial() const
     return !faults.any() && retry.maxRetries == 0 &&
            !deadline.hasDeadline() && !deadline.hasTimeout() &&
            !admission.enabled() && !degradation.enabled();
+}
+
+void
+ResilienceConfig::validate() const
+{
+    MMGEN_CHECK(retry.maxRetries >= 0,
+                "retry budget must be non-negative, got "
+                    << retry.maxRetries);
+    MMGEN_CHECK(std::isfinite(retry.backoffBaseSeconds) &&
+                    retry.backoffBaseSeconds >= 0.0,
+                "retry backoff base must be finite and non-negative");
+    MMGEN_CHECK(std::isfinite(retry.backoffMultiplier) &&
+                    retry.backoffMultiplier >= 1.0,
+                "retry backoff multiplier must be finite and >= 1");
+    MMGEN_CHECK(std::isfinite(retry.backoffCapSeconds) &&
+                    retry.backoffCapSeconds >= 0.0,
+                "retry backoff cap must be finite and non-negative");
+    MMGEN_CHECK(std::isfinite(deadline.deadlineSeconds) &&
+                    deadline.deadlineSeconds >= 0.0,
+                "deadline must be finite and non-negative");
+    MMGEN_CHECK(std::isfinite(deadline.batchTimeoutSeconds) &&
+                    deadline.batchTimeoutSeconds >= 0.0,
+                "batch timeout must be finite and non-negative");
+    MMGEN_CHECK(admission.maxQueueLength >= 0,
+                "admission queue bound must be non-negative, got "
+                    << admission.maxQueueLength);
+    MMGEN_CHECK(degradation.queueThreshold >= 0,
+                "degradation threshold must be non-negative, got "
+                    << degradation.queueThreshold);
+    MMGEN_CHECK(degradation.serviceScale > 0.0 &&
+                    degradation.serviceScale <= 1.0,
+                "degraded service scale out of (0, 1]");
+    MMGEN_CHECK(std::isfinite(faults.failureMtbfSeconds) &&
+                    std::isfinite(faults.preemptionMtbfSeconds) &&
+                    std::isfinite(faults.domainMtbfSeconds),
+                "fault MTBF must be finite");
+    MMGEN_CHECK(faults.failureMtbfSeconds >= 0.0 &&
+                    faults.preemptionMtbfSeconds >= 0.0 &&
+                    faults.domainMtbfSeconds >= 0.0,
+                "fault MTBF must be non-negative");
 }
 
 } // namespace mmgen::serving

@@ -32,10 +32,14 @@ struct RetryPolicy
     double backoffBaseSeconds = 1.0;
     /** Multiplier applied per subsequent retry. */
     double backoffMultiplier = 2.0;
-    /** Ceiling on any single backoff, seconds. */
+    /** Ceiling on any single backoff, seconds (must be finite). */
     double backoffCapSeconds = 60.0;
 
-    /** Backoff before retry `attempt` (1-based), seconds. */
+    /**
+     * Backoff before retry `attempt` (1-based), seconds. Evaluated in
+     * log space so huge attempt counts or multipliers saturate at the
+     * cap instead of overflowing to inf/NaN.
+     */
     double backoffSeconds(int attempt) const;
 };
 
@@ -112,6 +116,15 @@ struct ResilienceConfig
      * reproduces the fault-free simulator's report bit-for-bit.
      */
     bool trivial() const;
+
+    /**
+     * Throw `FatalError` with a clear message on any out-of-range or
+     * non-finite knob (negative retry budget, deadline, or queue
+     * bound; degraded scale outside (0, 1]; non-finite backoff;
+     * malformed fault processes). Called by both simulators before
+     * any event is processed.
+     */
+    void validate() const;
 };
 
 } // namespace mmgen::serving

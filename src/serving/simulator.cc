@@ -130,19 +130,27 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency)
     return simulateServing(cfg, latency, ResilienceConfig{});
 }
 
+void
+ServingConfig::validate() const
+{
+    MMGEN_CHECK(std::isfinite(arrivalRate) && arrivalRate > 0.0,
+                "arrival rate must be positive and finite, got "
+                    << arrivalRate);
+    MMGEN_CHECK(numGpus >= 1,
+                "need at least one GPU, got " << numGpus);
+    MMGEN_CHECK(maxBatch >= 1,
+                "need max batch >= 1, got " << maxBatch);
+    MMGEN_CHECK(std::isfinite(horizonSeconds) && horizonSeconds > 0.0,
+                "horizon must be positive and finite, got "
+                    << horizonSeconds);
+}
+
 ServingReport
 simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
                 const ResilienceConfig& resilience)
 {
-    MMGEN_CHECK(cfg.arrivalRate > 0.0, "arrival rate must be positive");
-    MMGEN_CHECK(cfg.numGpus >= 1, "need at least one GPU");
-    MMGEN_CHECK(cfg.maxBatch >= 1, "need max batch >= 1");
-    MMGEN_CHECK(cfg.horizonSeconds > 0.0, "horizon must be positive");
-    MMGEN_CHECK(resilience.degradation.serviceScale > 0.0 &&
-                    resilience.degradation.serviceScale <= 1.0,
-                "degraded service scale out of (0, 1]");
-    MMGEN_CHECK(resilience.retry.maxRetries >= 0,
-                "retry budget must be non-negative");
+    cfg.validate();
+    resilience.validate();
 
     const double horizon = cfg.horizonSeconds;
     const DeadlinePolicy& deadline = resilience.deadline;

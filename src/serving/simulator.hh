@@ -67,6 +67,13 @@ struct ServingConfig
     double horizonSeconds = 600.0;
     /** Arrival-process seed. */
     std::uint64_t seed = 7;
+
+    /**
+     * Throw `FatalError` with a clear message on any non-positive or
+     * non-finite knob (arrival rate, GPU count, max batch, horizon)
+     * instead of running a degenerate simulation.
+     */
+    void validate() const;
 };
 
 /** Aggregate serving metrics over the horizon. */
@@ -121,6 +128,32 @@ struct ServingReport
     double lostGpuSeconds = 0.0;
     /** Mean per-GPU availability under the injected fault plan. */
     double meanAvailability = 1.0;
+
+    // -- cluster metrics (zero outside `simulateCluster`; see
+    //    serving/cluster.hh) --
+
+    /** Backup copies dispatched to a second replica. */
+    std::int64_t hedgesIssued = 0;
+    /** Completions where the hedge beat (or outlived) the primary. */
+    std::int64_t hedgesWon = 0;
+    /** Duplicate copies cancelled unserved (winner already done). */
+    std::int64_t hedgesCancelled = 0;
+    /** GPU-seconds spent computing discarded duplicate copies. */
+    double hedgeWastedSeconds = 0.0;
+    /** Circuit-breaker closed->open transitions across replicas. */
+    std::int64_t breakerOpens = 0;
+    /** Circuit-breaker half-open->closed recoveries. */
+    std::int64_t breakerCloses = 0;
+    /** Checkpoints written during service. */
+    std::int64_t checkpointsTaken = 0;
+    /** Faulted requests re-dispatched from a checkpoint (not zero). */
+    std::int64_t resumes = 0;
+    /** GPU-seconds spent writing checkpoints (service overhead). */
+    double checkpointOverheadSeconds = 0.0;
+    /** GPU-seconds of progress destroyed, net of checkpoint salvage. */
+    double wastedGpuSeconds = 0.0;
+    /** GPU-seconds of checkpointed progress salvaged across faults. */
+    double restoredGpuSeconds = 0.0;
 };
 
 /** Run the discrete-event simulation (fault-free, no policies). */

@@ -14,6 +14,7 @@
 #include "core/suite.hh"
 #include "runtime/parallel.hh"
 #include "runtime/thread_pool.hh"
+#include "serving/cluster.hh"
 #include "serving/simulator.hh"
 
 namespace mmgen::runtime {
@@ -97,6 +98,73 @@ TEST(DeterminismAcrossJobs, ServingReportsBitIdentical)
             EXPECT_EQ(parallel[i].gpuUtilization,
                       serial[i].gpuUtilization);
             EXPECT_EQ(parallel[i].backlog, serial[i].backlog);
+        }
+    }
+    ThreadPool::setGlobalJobs(0);
+}
+
+std::vector<serving::ClusterReport>
+sweepCluster(const serving::LatencyModel& latency)
+{
+    const std::vector<double> rates = {1.0, 2.0, 4.0};
+    return parallelMap(
+        static_cast<std::int64_t>(rates.size()),
+        [&](std::int64_t i) {
+            serving::ClusterConfig cfg;
+            cfg.arrivalRate = rates[static_cast<std::size_t>(i)];
+            cfg.maxBatch = 4;
+            cfg.horizonSeconds = 200.0;
+            cfg.replicas = {serving::ReplicaSpec{latency, 2, 0},
+                            serving::ReplicaSpec{latency, 2, 1}};
+            cfg.chaos = serving::namedChaosScenario("kill-replica", 2,
+                                                    200.0);
+            cfg.breaker.failureThreshold = 2;
+            cfg.hedge.delaySeconds = serving::hedgeDelayForQuantile(
+                latency, cfg.maxBatch, 0.95);
+            cfg.checkpoint.iterations = 40;
+            cfg.checkpoint.intervalIterations = 8;
+            cfg.checkpoint.costSeconds = 0.01;
+            cfg.resilience.retry.maxRetries = 3;
+            return serving::simulateCluster(cfg);
+        });
+}
+
+TEST(DeterminismAcrossJobs, ClusterReportsBitIdentical)
+{
+    const serving::LatencyModel latency =
+        serving::profileLatencyModel(
+            models::buildModel(models::ModelId::StableDiffusion),
+            hw::GpuSpec::a100_80gb());
+
+    ThreadPool::setGlobalJobs(1);
+    const std::vector<serving::ClusterReport> serial =
+        sweepCluster(latency);
+    for (const int jobs : {2, 8}) {
+        ThreadPool::setGlobalJobs(jobs);
+        const std::vector<serving::ClusterReport> parallel =
+            sweepCluster(latency);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            const serving::ServingReport& a = parallel[i].serving;
+            const serving::ServingReport& b = serial[i].serving;
+            EXPECT_EQ(a.goodput, b.goodput)
+                << "jobs=" << jobs << " point=" << i;
+            EXPECT_EQ(a.p95Latency, b.p95Latency);
+            EXPECT_EQ(a.hedgesIssued, b.hedgesIssued);
+            EXPECT_EQ(a.hedgeWastedSeconds, b.hedgeWastedSeconds);
+            EXPECT_EQ(a.breakerOpens, b.breakerOpens);
+            EXPECT_EQ(a.wastedGpuSeconds, b.wastedGpuSeconds);
+            EXPECT_EQ(a.restoredGpuSeconds, b.restoredGpuSeconds);
+            EXPECT_EQ(a.checkpointsTaken, b.checkpointsTaken);
+            ASSERT_EQ(parallel[i].replicas.size(),
+                      serial[i].replicas.size());
+            for (std::size_t r = 0; r < serial[i].replicas.size();
+                 ++r) {
+                EXPECT_EQ(parallel[i].replicas[r].busySeconds,
+                          serial[i].replicas[r].busySeconds);
+                EXPECT_EQ(parallel[i].replicas[r].completedRequests,
+                          serial[i].replicas[r].completedRequests);
+            }
         }
     }
     ThreadPool::setGlobalJobs(0);

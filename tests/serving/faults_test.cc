@@ -113,6 +113,140 @@ TEST(FaultPlan, Validation)
     EXPECT_THROW(planFaults(f, 1, 100.0, 0), FatalError);
 }
 
+TEST(FaultPlan, ZeroMtbfDisablesEachProcess)
+{
+    // MTBF = 0 means "off", even with a zero MTTR alongside — the
+    // MTTR checks only apply to enabled processes.
+    FaultConfig f;
+    f.failureMtbfSeconds = 0.0;
+    f.failureMttrSeconds = 0.0;
+    f.preemptionMtbfSeconds = 0.0;
+    f.preemptionMeanSeconds = 0.0;
+    f.domainMtbfSeconds = 0.0;
+    f.domainMttrSeconds = 0.0;
+    EXPECT_FALSE(f.any());
+    const FleetFaultPlan plan = planFaults(f, 8, 1000.0, 3);
+    EXPECT_EQ(plan.totalOutages(), 0);
+    EXPECT_DOUBLE_EQ(plan.meanAvailability(1000.0), 1.0);
+}
+
+TEST(FaultPlan, ZeroMttrWithActiveProcessThrows)
+{
+    FaultConfig f;
+    f.failureMtbfSeconds = 100.0;
+    f.failureMttrSeconds = 0.0;
+    EXPECT_THROW(planFaults(f, 1, 100.0, 0), FatalError);
+    f = FaultConfig{};
+    f.preemptionMtbfSeconds = 100.0;
+    f.preemptionMeanSeconds = 0.0;
+    EXPECT_THROW(planFaults(f, 1, 100.0, 0), FatalError);
+    f = FaultConfig{};
+    f.domainMtbfSeconds = 100.0;
+    f.domainSize = 2;
+    f.domainMttrSeconds = 0.0;
+    EXPECT_THROW(planFaults(f, 4, 100.0, 0), FatalError);
+}
+
+TEST(FaultPlan, OverlappingOutagesOnOneGpuMerge)
+{
+    // Failure and preemption windows that interleave on one GPU must
+    // merge into disjoint windows, with a hard failure subsuming any
+    // preemption it overlaps.
+    std::vector<Outage> raw = {
+        {10.0, 20.0, OutageKind::Preemption},
+        {15.0, 40.0, OutageKind::Failure},
+        {5.0, 12.0, OutageKind::Preemption},
+        {50.0, 60.0, OutageKind::Preemption},
+        {60.0, 70.0, OutageKind::Preemption}, // adjacent: merges
+    };
+    const std::vector<Outage> merged = mergeOutages(raw);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_DOUBLE_EQ(merged[0].start, 5.0);
+    EXPECT_DOUBLE_EQ(merged[0].end, 40.0);
+    EXPECT_EQ(merged[0].kind, OutageKind::Failure);
+    EXPECT_DOUBLE_EQ(merged[1].start, 50.0);
+    EXPECT_DOUBLE_EQ(merged[1].end, 70.0);
+    EXPECT_EQ(merged[1].kind, OutageKind::Preemption);
+}
+
+TEST(FaultPlan, OutageAtTimeZeroStartsMidOutage)
+{
+    GpuFaultTimeline tl;
+    tl.outages = {{0.0, 10.0, OutageKind::Failure}};
+    EXPECT_TRUE(tl.downAt(0.0));
+    EXPECT_TRUE(tl.downAt(9.9));
+    EXPECT_FALSE(tl.downAt(10.0));
+    EXPECT_DOUBLE_EQ(tl.availability(100.0), 0.9);
+    // An outage longer than the horizon cannot drive availability
+    // negative.
+    GpuFaultTimeline longOutage;
+    longOutage.outages = {{0.0, 500.0, OutageKind::Failure}};
+    EXPECT_DOUBLE_EQ(longOutage.availability(100.0), 0.0);
+}
+
+TEST(FaultPlan, DomainMembersShareCorrelatedOutages)
+{
+    FaultConfig f;
+    f.domainMtbfSeconds = 150.0;
+    f.domainMttrSeconds = 30.0;
+    const std::vector<int> domainOf = {0, 0, 1, 1};
+    const FleetFaultPlan plan = planFaults(f, domainOf, 2000.0, 17);
+    ASSERT_EQ(plan.gpus.size(), 4u);
+    ASSERT_GT(plan.totalOutages(), 0);
+    // With only domain faults active, co-domain members have
+    // identical timelines and the domains differ from each other.
+    ASSERT_EQ(plan.gpus[0].outages.size(), plan.gpus[1].outages.size());
+    for (std::size_t i = 0; i < plan.gpus[0].outages.size(); ++i) {
+        EXPECT_DOUBLE_EQ(plan.gpus[0].outages[i].start,
+                         plan.gpus[1].outages[i].start);
+        EXPECT_DOUBLE_EQ(plan.gpus[0].outages[i].end,
+                         plan.gpus[1].outages[i].end);
+    }
+    EXPECT_NE(plan.gpus[0].availability(2000.0),
+              plan.gpus[2].availability(2000.0));
+    const std::vector<double> avail = plan.domainAvailability(2000.0);
+    ASSERT_EQ(avail.size(), 2u);
+    EXPECT_DOUBLE_EQ(avail[0], plan.gpus[0].availability(2000.0));
+}
+
+TEST(FaultPlan, DomainSizePartitionsThePool)
+{
+    FaultConfig f;
+    f.domainMtbfSeconds = 200.0;
+    f.domainSize = 2;
+    const FleetFaultPlan plan = planFaults(f, 6, 2000.0, 9);
+    ASSERT_EQ(plan.domainOf.size(), 6u);
+    EXPECT_EQ(plan.domainOf[0], 0);
+    EXPECT_EQ(plan.domainOf[1], 0);
+    EXPECT_EQ(plan.domainOf[5], 2);
+    EXPECT_EQ(plan.domainAvailability(2000.0).size(), 3u);
+    // Missing domainSize is rejected.
+    f.domainSize = 0;
+    EXPECT_THROW(planFaults(f, 6, 2000.0, 9), FatalError);
+}
+
+TEST(FaultPlan, DisabledDomainFaultsAreBitIdenticalToSeedPlan)
+{
+    // Adding domain membership without a domain fault process must
+    // not change a single per-GPU draw.
+    FaultConfig f = flakyFleet();
+    const FleetFaultPlan pool = planFaults(f, 4, 1000.0, 21);
+    const FleetFaultPlan withDomains =
+        planFaults(f, {0, 0, 1, 1}, 1000.0, 21);
+    ASSERT_EQ(pool.gpus.size(), withDomains.gpus.size());
+    for (std::size_t g = 0; g < pool.gpus.size(); ++g) {
+        ASSERT_EQ(pool.gpus[g].outages.size(),
+                  withDomains.gpus[g].outages.size());
+        for (std::size_t i = 0; i < pool.gpus[g].outages.size(); ++i) {
+            EXPECT_EQ(pool.gpus[g].outages[i].start,
+                      withDomains.gpus[g].outages[i].start);
+            EXPECT_EQ(pool.gpus[g].outages[i].end,
+                      withDomains.gpus[g].outages[i].end);
+        }
+        EXPECT_EQ(pool.gpus[g].slowdown, withDomains.gpus[g].slowdown);
+    }
+}
+
 TEST(RetryPolicy, ExponentialBackoffWithCap)
 {
     RetryPolicy r;

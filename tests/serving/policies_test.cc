@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for serving-config and resilience-policy validation, and the
+ * overflow-guarded exponential backoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "serving/policies.hh"
+#include "serving/simulator.hh"
+#include "util/logging.hh"
+
+namespace mmgen::serving {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ServingConfigValidation, RejectsBadArrivalRate)
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.arrivalRate = -1.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.arrivalRate = kInf;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.arrivalRate = kNan;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(ServingConfigValidation, RejectsBadPoolShape)
+{
+    ServingConfig cfg;
+    cfg.numGpus = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = ServingConfig{};
+    cfg.numGpus = -4;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg = ServingConfig{};
+    cfg.maxBatch = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(ServingConfigValidation, RejectsBadHorizon)
+{
+    ServingConfig cfg;
+    cfg.horizonSeconds = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.horizonSeconds = -100.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.horizonSeconds = kInf;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(ServingConfigValidation, SimulatorRefusesToRunBadConfigs)
+{
+    LatencyModel m;
+    ServingConfig cfg;
+    cfg.arrivalRate = -2.0;
+    EXPECT_THROW(simulateServing(cfg, m), FatalError);
+    cfg = ServingConfig{};
+    cfg.horizonSeconds = kNan;
+    EXPECT_THROW(simulateServing(cfg, m, ResilienceConfig{}),
+                 FatalError);
+}
+
+TEST(ResilienceValidation, RejectsEachBadKnob)
+{
+    const ResilienceConfig good;
+    ASSERT_NO_THROW(good.validate());
+
+    ResilienceConfig r = good;
+    r.retry.maxRetries = -1;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.retry.backoffBaseSeconds = -0.5;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.retry.backoffMultiplier = 0.5;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.retry.backoffCapSeconds = kInf;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.deadline.deadlineSeconds = -10.0;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.deadline.batchTimeoutSeconds = kNan;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.admission.maxQueueLength = -8;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.degradation.queueThreshold = -1;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.degradation.serviceScale = 0.0;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.degradation.serviceScale = 1.5;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.faults.failureMtbfSeconds = -100.0;
+    EXPECT_THROW(r.validate(), FatalError);
+    r = good;
+    r.faults.domainMtbfSeconds = kInf;
+    EXPECT_THROW(r.validate(), FatalError);
+}
+
+TEST(RetryBackoff, SaturatesAtCapForHugeAttemptCounts)
+{
+    RetryPolicy p;
+    p.backoffBaseSeconds = 1.0;
+    p.backoffMultiplier = 2.0;
+    p.backoffCapSeconds = 60.0;
+    // 2^9999 overflows any double; the log-space guard must return
+    // the cap, never inf or NaN.
+    for (int attempt : {100, 1100, 10000, 1 << 30}) {
+        const double b = p.backoffSeconds(attempt);
+        EXPECT_TRUE(std::isfinite(b)) << attempt;
+        EXPECT_EQ(b, 60.0) << attempt;
+    }
+}
+
+TEST(RetryBackoff, ZeroBaseNeverProducesNaN)
+{
+    // 0 * inf is NaN; the zero-base early-out must keep backoff 0.
+    RetryPolicy p;
+    p.backoffBaseSeconds = 0.0;
+    p.backoffMultiplier = 10.0;
+    EXPECT_EQ(p.backoffSeconds(1), 0.0);
+    EXPECT_EQ(p.backoffSeconds(100000), 0.0);
+}
+
+TEST(RetryBackoff, UncappedRegionMatchesClosedForm)
+{
+    RetryPolicy p;
+    p.backoffBaseSeconds = 0.5;
+    p.backoffMultiplier = 3.0;
+    p.backoffCapSeconds = 1e6;
+    EXPECT_DOUBLE_EQ(p.backoffSeconds(1), 0.5);
+    EXPECT_DOUBLE_EQ(p.backoffSeconds(2), 1.5);
+    EXPECT_DOUBLE_EQ(p.backoffSeconds(5), 0.5 * 81.0);
+}
+
+TEST(RetryBackoff, HugeMultiplierSaturatesImmediately)
+{
+    RetryPolicy p;
+    p.backoffBaseSeconds = 1.0;
+    p.backoffMultiplier = 1e300;
+    p.backoffCapSeconds = 30.0;
+    EXPECT_EQ(p.backoffSeconds(2), 30.0);
+    EXPECT_EQ(p.backoffSeconds(50), 30.0);
+}
+
+TEST(RetryBackoff, RejectsMalformedParameters)
+{
+    RetryPolicy p;
+    EXPECT_THROW(p.backoffSeconds(0), FatalError);
+    p.backoffMultiplier = 0.9;
+    EXPECT_THROW(p.backoffSeconds(1), FatalError);
+    p = RetryPolicy{};
+    p.backoffCapSeconds = kInf;
+    EXPECT_THROW(p.backoffSeconds(1), FatalError);
+    p = RetryPolicy{};
+    p.backoffBaseSeconds = kNan;
+    EXPECT_THROW(p.backoffSeconds(1), FatalError);
+}
+
+} // namespace
+} // namespace mmgen::serving

@@ -29,6 +29,7 @@
 #include "models/stable_diffusion.hh"
 #include "profiler/chrome_trace.hh"
 #include "runtime/thread_pool.hh"
+#include "serving/cluster.hh"
 #include "serving/simulator.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
@@ -82,6 +83,27 @@ usage()
         << "  --degrade-threshold N       queue depth to degrade at\n"
         << "  --degrade-steps F           fraction of denoise steps\n"
         << "                              kept in degraded mode\n"
+        << "serve cluster options (--replicas or --chaos selects the\n"
+        << "cluster simulator; --gpus then means GPUs per replica):\n"
+        << "  --replicas N                replica pools behind router\n"
+        << "  --router round-robin|least-loaded|domain-aware\n"
+        << "  --chaos NAME                none|kill-replica|\n"
+        << "                              kill-replica-at-zero|\n"
+        << "                              rolling-kill|degrade-domain|\n"
+        << "                              straggle-gpu\n"
+        << "  --hedge-delay S             hedge after S seconds, or\n"
+        << "  --hedge-quantile Q          derive delay from the\n"
+        << "                              Q-quantile batch service\n"
+        << "  --breaker-threshold N       failures to open breaker\n"
+        << "  --breaker-open S            open duration before probe\n"
+        << "  --ckpt-interval N           checkpoint every N iters of\n"
+        << "                              the dominant pipeline stage\n"
+        << "  --ckpt-cost S               GPU-seconds per checkpoint\n"
+        << "  --probe-interval S          health-probe period\n"
+        << "  --domain-size N             replicas per failure domain\n"
+        << "                              (default 1: one per replica)\n"
+        << "  --domain-mtbf S --domain-mttr S\n"
+        << "                              correlated rack outages\n"
         << "lint options:\n"
         << "  --model X | --all           lint one model or the zoo\n"
         << "  --json                      machine-readable findings\n"
@@ -181,7 +203,35 @@ struct Options
     serving::ResilienceConfig resilience;
     std::int64_t degradeThreshold = 0;
     double degradeStepsKept = 0.5;
+
+    // serve cluster knobs (--replicas or --chaos selects the
+    // cluster simulator)
+    int replicas = 0;
+    serving::RouterPolicy router = serving::RouterPolicy::LeastLoaded;
+    std::string chaosName;
+    double hedgeDelay = 0.0;
+    double hedgeQuantile = 0.0;
+    serving::CircuitBreakerPolicy breaker;
+    std::int64_t ckptInterval = 0;
+    double ckptCost = 0.0;
+    serving::ProbeModel probe;
+    int domainSize = 1;
 };
+
+serving::RouterPolicy
+parseRouter(const std::string& name)
+{
+    if (name == "round-robin")
+        return serving::RouterPolicy::RoundRobin;
+    if (name == "least-loaded")
+        return serving::RouterPolicy::LeastLoaded;
+    if (name == "domain-aware")
+        return serving::RouterPolicy::FailureDomainAware;
+    MMGEN_CHECK(false,
+                "unknown router '"
+                    << name
+                    << "' (round-robin|least-loaded|domain-aware)");
+}
 
 Options
 parseOptions(int argc, char** argv, int first)
@@ -270,6 +320,33 @@ parseOptions(int argc, char** argv, int first)
             opts.degradeThreshold = nextInt();
         else if (arg == "--degrade-steps")
             opts.degradeStepsKept = nextDouble();
+        else if (arg == "--replicas")
+            opts.replicas = static_cast<int>(nextInt());
+        else if (arg == "--router")
+            opts.router = parseRouter(next());
+        else if (arg == "--chaos")
+            opts.chaosName = next();
+        else if (arg == "--hedge-delay")
+            opts.hedgeDelay = nextDouble();
+        else if (arg == "--hedge-quantile")
+            opts.hedgeQuantile = nextDouble();
+        else if (arg == "--breaker-threshold")
+            opts.breaker.failureThreshold =
+                static_cast<int>(nextInt());
+        else if (arg == "--breaker-open")
+            opts.breaker.openSeconds = nextDouble();
+        else if (arg == "--ckpt-interval")
+            opts.ckptInterval = nextInt();
+        else if (arg == "--ckpt-cost")
+            opts.ckptCost = nextDouble();
+        else if (arg == "--probe-interval")
+            opts.probe.intervalSeconds = nextDouble();
+        else if (arg == "--domain-size")
+            opts.domainSize = static_cast<int>(nextInt());
+        else if (arg == "--domain-mtbf")
+            opts.resilience.faults.domainMtbfSeconds = nextDouble();
+        else if (arg == "--domain-mttr")
+            opts.resilience.faults.domainMttrSeconds = nextDouble();
         else if (!arg.empty() && arg[0] == '-')
             MMGEN_CHECK(false, "unknown option " << arg);
         else
@@ -388,6 +465,107 @@ cmdFootprint(const Options& opts)
 }
 
 int
+cmdServeCluster(const Options& opts, const graph::Pipeline& pipeline,
+                const serving::LatencyModel& latency,
+                const serving::ResilienceConfig& res)
+{
+    serving::ClusterConfig cc;
+    cc.arrivalRate = opts.serving.arrivalRate;
+    cc.maxBatch = opts.serving.maxBatch;
+    cc.horizonSeconds = opts.serving.horizonSeconds;
+    cc.seed = opts.serving.seed;
+    cc.resilience = res;
+    cc.router = opts.router;
+    cc.breaker = opts.breaker;
+    cc.probe = opts.probe;
+
+    const int numReplicas = std::max(1, opts.replicas);
+    MMGEN_CHECK(opts.domainSize >= 1,
+                "--domain-size must be >= 1, got "
+                    << opts.domainSize);
+    cc.replicas.clear();
+    for (int r = 0; r < numReplicas; ++r)
+        cc.replicas.push_back(serving::ReplicaSpec{
+            latency, opts.serving.numGpus, r / opts.domainSize});
+
+    if (opts.hedgeDelay > 0.0)
+        cc.hedge.delaySeconds = opts.hedgeDelay;
+    else if (opts.hedgeQuantile > 0.0)
+        cc.hedge.delaySeconds = serving::hedgeDelayForQuantile(
+            latency, cc.maxBatch, opts.hedgeQuantile);
+    if (opts.ckptInterval > 0)
+        cc.checkpoint = serving::checkpointFromPipeline(
+            pipeline, opts.ckptInterval, opts.ckptCost);
+    if (!opts.chaosName.empty())
+        cc.chaos = serving::namedChaosScenario(
+            opts.chaosName, numReplicas, cc.horizonSeconds);
+
+    const serving::ClusterReport r = serving::simulateCluster(cc);
+
+    std::cout << pipeline.name << " on " << numReplicas
+              << " replica(s) x " << opts.serving.numGpus << " "
+              << opts.gpu.name << " ["
+              << serving::routerPolicyName(cc.router)
+              << " router, chaos: " << cc.chaos.name
+              << "] (batch-1 latency "
+              << formatTime(latency.baseSeconds) << ")\n\n";
+
+    const serving::ServingReport& s = r.serving;
+    TextTable table({"Metric", "Value"});
+    table.addRow({"offered load", formatFixed(s.offeredLoad, 2)});
+    table.addRow({"mean availability",
+                  formatPercent(s.meanAvailability)});
+    table.addRow({"arrived / completed",
+                  std::to_string(s.arrived) + " / " +
+                      std::to_string(s.completed)});
+    table.addRow({"goodput", formatFixed(s.goodput, 2) + " req/s"});
+    table.addRow({"p50 / p95 latency", formatTime(s.p50Latency) +
+                                           " / " +
+                                           formatTime(s.p95Latency)});
+    table.addRow({"shed / expired / dropped",
+                  std::to_string(s.shed) + " / " +
+                      std::to_string(s.expired) + " / " +
+                      std::to_string(s.dropped)});
+    table.addRow({"retries", std::to_string(s.retries)});
+    table.addRow({"hedges issued / won / cancelled",
+                  std::to_string(s.hedgesIssued) + " / " +
+                      std::to_string(s.hedgesWon) + " / " +
+                      std::to_string(s.hedgesCancelled)});
+    table.addRow({"hedge waste",
+                  formatTime(s.hedgeWastedSeconds) + " GPU"});
+    table.addRow({"breaker opens / closes",
+                  std::to_string(s.breakerOpens) + " / " +
+                      std::to_string(s.breakerCloses)});
+    table.addRow({"checkpoints / resumes",
+                  std::to_string(s.checkpointsTaken) + " / " +
+                      std::to_string(s.resumes)});
+    table.addRow({"checkpoint overhead",
+                  formatTime(s.checkpointOverheadSeconds) + " GPU"});
+    table.addRow({"wasted / restored GPU-seconds",
+                  formatFixed(s.wastedGpuSeconds, 1) + " / " +
+                      formatFixed(s.restoredGpuSeconds, 1)});
+    table.addRow({"backlog", std::to_string(s.backlog)});
+    std::cout << table.render() << "\n";
+
+    TextTable reps({"Replica", "Domain", "Batches", "Completed",
+                    "Aborted", "Breaker opens", "Busy",
+                    "Availability"});
+    for (std::size_t i = 0; i < r.replicas.size(); ++i) {
+        const serving::ReplicaStats& rs = r.replicas[i];
+        reps.addRow({std::to_string(i),
+                     std::to_string(cc.replicas[i].domain),
+                     std::to_string(rs.dispatchedBatches),
+                     std::to_string(rs.completedRequests),
+                     std::to_string(rs.abortedBatches),
+                     std::to_string(rs.breakerOpens),
+                     formatTime(rs.busySeconds),
+                     formatPercent(rs.availability)});
+    }
+    std::cout << reps.render();
+    return 0;
+}
+
+int
 cmdServe(const Options& opts)
 {
     MMGEN_CHECK(opts.positional.size() == 1,
@@ -419,6 +597,11 @@ cmdServe(const Options& opts)
         }
         res.degradation.queueThreshold = opts.degradeThreshold;
     }
+
+    MMGEN_CHECK(opts.replicas >= 0, "--replicas must be >= 0, got "
+                                        << opts.replicas);
+    if (opts.replicas > 0 || !opts.chaosName.empty())
+        return cmdServeCluster(opts, pipeline, latency, res);
 
     const serving::ServingReport r =
         serving::simulateServing(opts.serving, latency, res);
