@@ -26,7 +26,12 @@
 #include "models/model_suite.hh"
 #include "runtime/parallel.hh"
 #include "serving/cluster.hh"
+#include "serving/telemetry_hooks.hh"
+#include "telemetry/consistency.hh"
+#include "telemetry/export.hh"
+#include "telemetry/telemetry.hh"
 #include "util/format.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 namespace {
@@ -52,10 +57,26 @@ main(int argc, char** argv)
 
     bool smoke = false;
     std::string out_path = "BENCH_serving_chaos.json";
+    std::string metrics_path;
+    std::string trace_path;
+    double sample_interval = 5.0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
         if (arg == "--smoke")
             smoke = true;
+        else if (arg == "--metrics-out")
+            metrics_path = next();
+        else if (arg == "--trace-out")
+            trace_path = next();
+        else if (arg == "--sample-interval")
+            sample_interval = std::stod(next());
         else
             out_path = arg;
     }
@@ -168,6 +189,69 @@ main(int argc, char** argv)
               << dominated << "/" << grid.size()
               << " chaos grid points\n\n";
 
+    // -- telemetry identity gate + artifacts -----------------------
+    // Re-run the first grid point's resilient config with full
+    // telemetry (metrics, sampling, tracing). The instrumented report
+    // must equal the uninstrumented one field-for-field, and the
+    // sampled series must pass the P009 consistency check.
+    bool telemetryPass = true;
+    {
+        const serving::ClusterConfig cfg =
+            makeResilient(makeCluster(grid[0]));
+        telemetry::MetricsRegistry registry;
+        telemetry::TraceSink sink;
+        telemetry::Telemetry tel;
+        tel.metrics = &registry;
+        tel.trace = &sink;
+        tel.sampleIntervalSeconds = sample_interval;
+        const serving::ClusterReport instrumented =
+            serving::simulateCluster(cfg, &tel);
+
+        if (!serving::reportsBitIdentical(
+                instrumented.serving, results[0].resilient.serving)) {
+            std::cerr << "FAIL: telemetry-enabled report differs "
+                         "from the telemetry-free run\n";
+            telemetryPass = false;
+        }
+        telemetry::SeriesExpectations expect;
+        expect.horizonSeconds = cfg.horizonSeconds;
+        expect.totalGpus = cfg.totalGpus();
+        expect.arrived = instrumented.serving.arrived;
+        expect.shed = instrumented.serving.shed;
+        expect.inHorizonCompleted =
+            instrumented.serving.completed -
+            instrumented.serving.drainCompleted;
+        expect.retries = instrumented.serving.retries;
+        expect.hedgesIssued = instrumented.serving.hedgesIssued;
+        const verify::DiagnosticReport check =
+            telemetry::checkSeriesConsistency(registry, expect);
+        if (check.hasErrors()) {
+            std::cerr << check.render();
+            telemetryPass = false;
+        }
+        std::cout << "telemetry identity gate ("
+                  << grid[0].scenario << " @ load "
+                  << formatFixed(grid[0].load, 1) << "): "
+                  << (telemetryPass ? "reports identical, series "
+                                      "consistent"
+                                    : "FAILED")
+                  << "\n\n";
+        if (!metrics_path.empty()) {
+            std::ofstream mout(metrics_path);
+            if (mout) {
+                telemetry::writeMetricsJsonLines(mout, registry);
+                std::cout << "(wrote " << metrics_path << ")\n";
+            }
+        }
+        if (!trace_path.empty()) {
+            std::ofstream tout(trace_path);
+            if (tout) {
+                telemetry::writeChromeTrace(tout, sink);
+                std::cout << "(wrote " << trace_path << ")\n";
+            }
+        }
+    }
+
     // -- long-TTV checkpoint/restore study -------------------------
     // Make-A-Video requests run minutes; a mid-request kill without
     // checkpoints re-runs the whole request. Same fleet, same faults,
@@ -232,58 +316,62 @@ main(int argc, char** argv)
 
     std::ofstream out(out_path);
     if (out) {
-        out << "{\n  \"bench\": \"serving_chaos\",\n";
-        out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-        out << "  \"grid\": [\n";
+        json::Writer w(out);
+        w.beginObject();
+        w.field("bench", "serving_chaos");
+        w.field("smoke", smoke);
+        w.key("grid").beginArray();
         for (std::size_t i = 0; i < grid.size(); ++i) {
             const serving::ServingReport& a = results[i].bare.serving;
             const serving::ServingReport& b =
                 results[i].resilient.serving;
-            out << "    {\"scenario\": \"" << grid[i].scenario
-                << "\", \"load\": " << formatFixed(grid[i].load, 2)
-                << ", \"goodput_bare\": " << formatFixed(a.goodput, 4)
-                << ", \"goodput_resilient\": "
-                << formatFixed(b.goodput, 4)
-                << ", \"p95_bare\": " << formatFixed(a.p95Latency, 3)
-                << ", \"p95_resilient\": "
-                << formatFixed(b.p95Latency, 3)
-                << ", \"hedges_issued\": " << b.hedgesIssued
-                << ", \"hedges_won\": " << b.hedgesWon
-                << ", \"breaker_opens\": " << b.breakerOpens
-                << ", \"restored_gpu_seconds\": "
-                << formatFixed(b.restoredGpuSeconds, 3)
-                << ", \"dominated\": "
-                << (b.goodput >= a.goodput ? "true" : "false") << "}"
-                << (i + 1 < grid.size() ? "," : "") << "\n";
+            w.beginObject();
+            w.field("scenario", grid[i].scenario);
+            w.key("load").rawValue(formatFixed(grid[i].load, 2));
+            w.key("goodput_bare").rawValue(formatFixed(a.goodput, 4));
+            w.key("goodput_resilient")
+                .rawValue(formatFixed(b.goodput, 4));
+            w.key("p95_bare").rawValue(formatFixed(a.p95Latency, 3));
+            w.key("p95_resilient")
+                .rawValue(formatFixed(b.p95Latency, 3));
+            w.field("hedges_issued", b.hedgesIssued);
+            w.field("hedges_won", b.hedgesWon);
+            w.field("breaker_opens", b.breakerOpens);
+            w.key("restored_gpu_seconds")
+                .rawValue(formatFixed(b.restoredGpuSeconds, 3));
+            w.field("dominated", b.goodput >= a.goodput);
+            w.endObject();
         }
-        out << "  ],\n";
-        out << "  \"grid_dominated\": " << dominated << ",\n";
-        out << "  \"grid_points\": " << grid.size() << ",\n";
-        out << "  \"long_ttv\": {\n";
-        out << "    \"model\": \"MakeAVideo\",\n";
-        out << "    \"request_seconds\": " << formatFixed(base, 3)
-            << ",\n";
-        out << "    \"wasted_gpu_seconds_full_retry\": "
-            << formatFixed(wastedBare, 3) << ",\n";
-        out << "    \"wasted_gpu_seconds_checkpoint\": "
-            << formatFixed(wastedCkpt, 3) << ",\n";
-        out << "    \"restored_gpu_seconds\": "
-            << formatFixed(withCkpt.serving.restoredGpuSeconds, 3)
-            << ",\n";
-        out << "    \"checkpoint_overhead_seconds\": "
-            << formatFixed(
-                   withCkpt.serving.checkpointOverheadSeconds, 3)
-            << ",\n";
-        out << "    \"resumes\": " << withCkpt.serving.resumes
-            << ",\n";
-        out << "    \"wasted_reduction\": "
-            << formatFixed(reduction, 4) << "\n";
-        out << "  },\n";
-        out << "  \"pass\": "
-            << (gridPass && ckptPass ? "true" : "false") << "\n}\n";
+        w.endArray();
+        w.field("grid_dominated",
+                static_cast<std::int64_t>(dominated));
+        w.field("grid_points",
+                static_cast<std::int64_t>(grid.size()));
+        w.field("telemetry_identical", telemetryPass);
+        w.key("long_ttv").beginObject();
+        w.field("model", "MakeAVideo");
+        w.key("request_seconds").rawValue(formatFixed(base, 3));
+        w.key("wasted_gpu_seconds_full_retry")
+            .rawValue(formatFixed(wastedBare, 3));
+        w.key("wasted_gpu_seconds_checkpoint")
+            .rawValue(formatFixed(wastedCkpt, 3));
+        w.key("restored_gpu_seconds")
+            .rawValue(
+                formatFixed(withCkpt.serving.restoredGpuSeconds, 3));
+        w.key("checkpoint_overhead_seconds")
+            .rawValue(formatFixed(
+                withCkpt.serving.checkpointOverheadSeconds, 3));
+        w.field("resumes", withCkpt.serving.resumes);
+        w.key("wasted_reduction").rawValue(formatFixed(reduction, 4));
+        w.endObject();
+        w.field("pass", gridPass && ckptPass && telemetryPass);
+        w.endObject();
+        out << "\n";
         std::cout << "(wrote " << out_path << ")\n";
     }
 
+    if (!telemetryPass)
+        return 1;
     if (!gridPass) {
         std::cerr << "FAIL: resilient stack lost goodput on "
                   << (grid.size() - static_cast<std::size_t>(

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <set>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace mmgen::profiler {
@@ -11,33 +12,9 @@ namespace mmgen::profiler {
 std::string
 jsonEscape(const std::string& s)
 {
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    // Kept as a named entry point for existing callers; the escaping
+    // itself lives in the shared json utility.
+    return json::escape(s);
 }
 
 void

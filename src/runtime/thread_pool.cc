@@ -97,6 +97,7 @@ ThreadPool::submit(Task task)
     if (workers.empty()) {
         // Inline pool: run immediately on the caller.
         task();
+        statTasksExecuted.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     {
@@ -133,6 +134,7 @@ ThreadPool::trySteal(std::size_t self, Task& out)
             continue;
         out = std::move(lane.tasks.back());
         lane.tasks.pop_back();
+        statTasksStolen.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
     return false;
@@ -150,6 +152,8 @@ ThreadPool::workerLoop(std::size_t self)
                 --pending;
             }
             task();
+            statTasksExecuted.fetch_add(1,
+                                        std::memory_order_relaxed);
             continue;
         }
         std::unique_lock<std::mutex> lock(sleepMu);
@@ -168,12 +172,27 @@ ThreadPool::onWorkerThread()
     return inside_worker;
 }
 
+PoolStats
+ThreadPool::stats() const
+{
+    PoolStats s;
+    s.tasksExecuted =
+        statTasksExecuted.load(std::memory_order_relaxed);
+    s.tasksStolen = statTasksStolen.load(std::memory_order_relaxed);
+    s.loopsRun = statLoopsRun.load(std::memory_order_relaxed);
+    s.indicesExecuted =
+        statIndicesExecuted.load(std::memory_order_relaxed);
+    return s;
+}
+
 void
 ThreadPool::forEach(std::int64_t n,
                     const std::function<void(std::int64_t)>& fn)
 {
     if (n <= 0)
         return;
+    statLoopsRun.fetch_add(1, std::memory_order_relaxed);
+    statIndicesExecuted.fetch_add(n, std::memory_order_relaxed);
     // Serial pool, single item, or a nested call from inside a worker
     // (which must not block on its own pool): run inline. Results are
     // identical by construction — every path executes fn(i) for each

@@ -29,6 +29,7 @@
 #ifndef MMGEN_RUNTIME_THREAD_POOL_HH
 #define MMGEN_RUNTIME_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -38,6 +39,25 @@
 #include <vector>
 
 namespace mmgen::runtime {
+
+/**
+ * Scheduling counters accumulated over a pool's lifetime. Totals for
+ * work done (`tasksExecuted`, `indicesExecuted`, `loopsRun`) are
+ * schedule-independent; `tasksStolen` depends on thread timing and is
+ * reported for observability only — never fold it into a
+ * deterministic artifact.
+ */
+struct PoolStats
+{
+    /** Tasks run to completion (submit + forEach helpers). */
+    std::int64_t tasksExecuted = 0;
+    /** Tasks claimed from another lane's deque. */
+    std::int64_t tasksStolen = 0;
+    /** forEach calls that ran at least one index. */
+    std::int64_t loopsRun = 0;
+    /** Total indices executed across every forEach. */
+    std::int64_t indicesExecuted = 0;
+};
 
 /**
  * Fixed-size work-stealing pool.
@@ -72,6 +92,9 @@ class ThreadPool
      */
     void forEach(std::int64_t n,
                  const std::function<void(std::int64_t)>& fn);
+
+    /** Snapshot of the scheduling counters (see PoolStats). */
+    PoolStats stats() const;
 
     /** True when called from one of this process's pool workers. */
     static bool onWorkerThread();
@@ -112,6 +135,11 @@ class ThreadPool
     int numThreads = 1;
     std::vector<std::unique_ptr<Lane>> lanes;
     std::vector<std::thread> workers;
+
+    std::atomic<std::int64_t> statTasksExecuted{0};
+    std::atomic<std::int64_t> statTasksStolen{0};
+    std::atomic<std::int64_t> statLoopsRun{0};
+    std::atomic<std::int64_t> statIndicesExecuted{0};
 
     std::mutex sleepMu;
     std::condition_variable sleepCv;

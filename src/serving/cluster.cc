@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "serving/faults.hh"
+#include "serving/telemetry_hooks.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -258,6 +259,8 @@ struct ReqMeta
     int liveCopies = 0;
     /** Durable checkpointed progress, iterations. */
     std::int64_t doneIters = 0;
+    /** When the hedge timer fired (trace span start; telemetry only). */
+    double hedgedAt = 0.0;
 };
 
 /** One batch occupying a GPU. */
@@ -353,7 +356,22 @@ enum class BreakerState
 ClusterReport
 simulateCluster(const ClusterConfig& cfg)
 {
+    return simulateCluster(cfg, nullptr);
+}
+
+ClusterReport
+simulateCluster(const ClusterConfig& cfg,
+                const telemetry::Telemetry* tele)
+{
     cfg.validate();
+
+    // Telemetry handles. Null means off; every use below is guarded
+    // so the disabled path is the exact pre-telemetry code path.
+    telemetry::MetricsRegistry* metrics =
+        tele != nullptr ? tele->metrics : nullptr;
+    telemetry::TraceSink* trace =
+        tele != nullptr && tele->wantsTrace() ? tele->trace : nullptr;
+    const bool sampling = tele != nullptr && tele->wantsSampling();
 
     const double horizon = cfg.horizonSeconds;
     const DeadlinePolicy& deadline = cfg.resilience.deadline;
@@ -481,6 +499,44 @@ simulateCluster(const ClusterConfig& cfg)
                       return a.gpu < b.gpu;
                   return a.down < b.down; // up-edge before down-edge
               });
+
+    // Trace lanes: per-GPU lanes for batch/outage spans, shared lanes
+    // for lifecycle, breaker-transition, and hedge events.
+    std::vector<int> gpu_track;
+    int lifecycle_track = -1;
+    int breaker_track = -1;
+    int hedge_track = -1;
+    if (trace != nullptr) {
+        lifecycle_track = trace->track("serving", "lifecycle");
+        breaker_track = trace->track("serving", "breakers");
+        hedge_track = trace->track("serving", "hedges");
+        for (int g = 0; g < numGpus; ++g) {
+            gpu_track.push_back(trace->track(
+                "serving",
+                "gpu " + std::to_string(g) + " (replica " +
+                    std::to_string(
+                        repOf[static_cast<std::size_t>(g)]) +
+                    ")"));
+        }
+        // Outage spans (faults + chaos kills) from the merged plan.
+        for (int g = 0; g < numGpus; ++g) {
+            for (const Outage& o :
+                 plan.gpus[static_cast<std::size_t>(g)].outages) {
+                trace->complete(gpu_track[static_cast<std::size_t>(g)],
+                                "outage", o.start, o.end - o.start,
+                                "fault");
+            }
+        }
+    }
+
+    // Per-replica label sets for sampled series and counters.
+    std::vector<telemetry::Labels> repLabels;
+    if (metrics != nullptr) {
+        for (int r = 0; r < numReplicas; ++r) {
+            repLabels.push_back(
+                telemetry::Labels{{"replica", std::to_string(r)}});
+        }
+    }
 
     const std::size_t ngpu = static_cast<std::size_t>(numGpus);
     const std::size_t nrep = static_cast<std::size_t>(numReplicas);
@@ -639,14 +695,20 @@ simulateCluster(const ClusterConfig& cfg)
         ReqMeta& m = meta[static_cast<std::size_t>(copy.id)];
         if (copy.attempts >= cfg.resilience.retry.maxRetries) {
             --m.liveCopies;
-            if (!m.done && m.liveCopies == 0)
+            if (!m.done && m.liveCopies == 0) {
                 ++report.dropped;
+                if (trace != nullptr)
+                    trace->instant(lifecycle_track, "drop", now,
+                                   "lifecycle");
+            }
             return;
         }
         ++copy.attempts;
         ++report.retries;
         const double ready =
             now + cfg.resilience.retry.backoffSeconds(copy.attempts);
+        if (trace != nullptr)
+            trace->instant(lifecycle_track, "retry", now, "lifecycle");
         retries.push({ready, retry_seq++, copy});
     };
 
@@ -660,6 +722,12 @@ simulateCluster(const ClusterConfig& cfg)
         halfOpenSucc[ri] = 0;
         ++report.breakerOpens;
         ++cluster.replicas[ri].breakerOpens;
+        if (trace != nullptr) {
+            telemetry::Labels args;
+            args.set("replica", std::to_string(r));
+            trace->instant(breaker_track, "breaker_open", now,
+                           "breaker", args);
+        }
         if (numReplicas > 1) {
             std::deque<Copy> moved;
             moved.swap(queues[ri]);
@@ -691,7 +759,7 @@ simulateCluster(const ClusterConfig& cfg)
             openBreaker(r, now);
     };
 
-    auto noteBatchSuccess = [&](int r) {
+    auto noteBatchSuccess = [&](int r, double now) {
         if (!breakerOn)
             return;
         const std::size_t ri = static_cast<std::size_t>(r);
@@ -702,6 +770,12 @@ simulateCluster(const ClusterConfig& cfg)
                 bstate[ri] = BreakerState::Closed;
                 halfOpenSucc[ri] = 0;
                 ++report.breakerCloses;
+                if (trace != nullptr) {
+                    telemetry::Labels args;
+                    args.set("replica", std::to_string(r));
+                    trace->instant(breaker_track, "breaker_close", now,
+                                   "breaker", args);
+                }
             }
         }
     };
@@ -766,6 +840,16 @@ simulateCluster(const ClusterConfig& cfg)
         InFlightBatch& fl = *inflight[gi];
         account_busy(fl.start, now, r);
         report.lostGpuSeconds += now - fl.start;
+        if (trace != nullptr) {
+            telemetry::Labels args;
+            args.set("batch", std::to_string(fl.copies.size()));
+            args.set("replica", std::to_string(r));
+            args.set("outcome", "killed");
+            trace->complete(gpu_track[gi],
+                            "batch b=" +
+                                std::to_string(fl.copies.size()),
+                            fl.start, now - fl.start, "batch", args);
+        }
         failMembers(fl, now);
         repQueuedPlusFlight[static_cast<std::size_t>(r)] -=
             static_cast<std::int64_t>(fl.copies.size());
@@ -816,10 +900,15 @@ simulateCluster(const ClusterConfig& cfg)
                         ReqMeta& m = meta[static_cast<std::size_t>(
                             queue.front().id)];
                         --m.liveCopies;
-                        if (m.liveCopies == 0)
+                        if (m.liveCopies == 0) {
                             ++report.expired;
-                        else
+                            if (trace != nullptr)
+                                trace->instant(lifecycle_track,
+                                               "expire", now,
+                                               "lifecycle");
+                        } else {
                             ++report.hedgesCancelled;
+                        }
                         --repQueuedPlusFlight[ri];
                         queue.pop_front();
                     }
@@ -930,6 +1019,74 @@ simulateCluster(const ClusterConfig& cfg)
         return n;
     };
 
+    // Periodic state sampling: an extra event source with the lowest
+    // tie priority, so a sample at time t observes the state *after*
+    // every simulation event at t. Sample k lands at exactly
+    // k * interval (no floating-point accumulation drift); the final
+    // sample is clamped onto the horizon, then the source goes quiet.
+    const double sample_interval =
+        sampling ? tele->sampleIntervalSeconds : 0.0;
+    std::int64_t sample_idx = sampling ? 1 : -1;
+    auto sample_time = [&]() -> double {
+        if (sample_idx < 0)
+            return kNever;
+        const double t =
+            sample_interval * static_cast<double>(sample_idx);
+        return std::min(t, horizon);
+    };
+    auto take_sample = [&](double t) {
+        telemetry::MetricsRegistry& m = *metrics;
+        m.series("serving.queue_depth")
+            .record(t, static_cast<double>(totalQueued()));
+        m.series("serving.in_flight_gpus")
+            .record(t, static_cast<double>(inflight_gpus));
+        m.series("serving.retry_backlog")
+            .record(t, static_cast<double>(retries.size()));
+        m.series("serving.arrived_total")
+            .record(t, static_cast<double>(report.arrived));
+        m.series("serving.completed_total")
+            .record(t, static_cast<double>(report.completed));
+        m.series("serving.shed_total")
+            .record(t, static_cast<double>(report.shed));
+        m.series("serving.retries_total")
+            .record(t, static_cast<double>(report.retries));
+        m.series("serving.hedges_issued_total")
+            .record(t, static_cast<double>(report.hedgesIssued));
+        for (int r = 0; r < numReplicas; ++r) {
+            const std::size_t ri = static_cast<std::size_t>(r);
+            const telemetry::Labels& lbl = repLabels[ri];
+            m.series("serving.replica.queue_depth", lbl)
+                .record(t, static_cast<double>(queues[ri].size()));
+            m.series("serving.replica.in_flight_batches", lbl)
+                .record(t, static_cast<double>(repBatches[ri]));
+            double state = 0.0;
+            if (bstate[ri] == BreakerState::Open)
+                state = 1.0;
+            else if (bstate[ri] == BreakerState::HalfOpen)
+                state = 2.0;
+            m.series("serving.replica.breaker_state", lbl)
+                .record(t, state);
+            // Utilization so far: resolved busy-seconds plus the
+            // elapsed share of still-running batches (their busy time
+            // is only booked at resolution).
+            double busy = cluster.replicas[ri].busySeconds;
+            for (int k = 0; k < cfg.replicas[ri].numGpus; ++k) {
+                const std::size_t gi = static_cast<std::size_t>(
+                    gpuBase[ri] + k);
+                if (inflight[gi].has_value())
+                    busy += std::max(0.0, t - inflight[gi]->start);
+            }
+            m.series("serving.replica.utilization", lbl)
+                .record(t, busy / (t * static_cast<double>(
+                                           cfg.replicas[ri].numGpus)));
+        }
+        if (t >= horizon)
+            sample_idx = -1; // final sample taken; source goes quiet
+        else
+            ++sample_idx;
+    };
+    double next_sample = sample_time();
+
     std::size_t ti = 0;
     while (true) {
         // Drop stale finish events (their batch was killed).
@@ -957,9 +1114,12 @@ simulateCluster(const ClusterConfig& cfg)
                 probe_replica = r;
             }
         }
+        // next_sample joins next_other so a pending sample before a
+        // post-horizon arrival still fires; every older event source
+        // keeps tie priority over sampling.
         const double next_other =
             std::min({next_finish, next_fault, next_retry, next_probe,
-                      next_hedge});
+                      next_hedge, next_sample});
 
         if (next_arrival <= next_other) {
             if (next_arrival > horizon)
@@ -971,6 +1131,9 @@ simulateCluster(const ClusterConfig& cfg)
                 totalQueued() >=
                     cfg.resilience.admission.maxQueueLength) {
                 ++report.shed;
+                if (trace != nullptr)
+                    trace->instant(lifecycle_track, "shed", now,
+                                   "lifecycle");
             } else {
                 const std::int64_t id =
                     static_cast<std::int64_t>(meta.size());
@@ -979,11 +1142,15 @@ simulateCluster(const ClusterConfig& cfg)
                 m.liveCopies = 1;
                 meta.push_back(m);
                 enqueue(route(-1), Copy{id, now, 0, false, 0});
+                if (trace != nullptr)
+                    trace->instant(lifecycle_track, "admit", now,
+                                   "lifecycle");
             }
             next_arrival += rng.exponential(cfg.arrivalRate);
             dispatch(now);
-        } else if (next_fault <= std::min({next_finish, next_retry,
-                                           next_probe, next_hedge})) {
+        } else if (next_fault <=
+                   std::min({next_finish, next_retry, next_probe,
+                             next_hedge, next_sample})) {
             // GPU availability edge.
             const Transition tr = transitions[ti++];
             const std::size_t gi = static_cast<std::size_t>(tr.gpu);
@@ -996,7 +1163,8 @@ simulateCluster(const ClusterConfig& cfg)
                 dispatch(tr.time);
             }
         } else if (next_probe <=
-                   std::min({next_finish, next_retry, next_hedge})) {
+                   std::min({next_finish, next_retry, next_hedge,
+                             next_sample})) {
             // Health probe: refresh router knowledge, advance due
             // breakers from open to half-open.
             const double now = next_probe;
@@ -1016,9 +1184,17 @@ simulateCluster(const ClusterConfig& cfg)
                 now >= openedAt[ri] + cfg.breaker.openSeconds) {
                 bstate[ri] = BreakerState::HalfOpen;
                 halfOpenSucc[ri] = 0;
+                if (trace != nullptr) {
+                    telemetry::Labels args;
+                    args.set("replica",
+                             std::to_string(probe_replica));
+                    trace->instant(breaker_track, "breaker_half_open",
+                                   now, "breaker", args);
+                }
                 dispatch(now);
             }
-        } else if (next_hedge <= std::min(next_finish, next_retry)) {
+        } else if (next_hedge <= std::min({next_finish, next_retry,
+                                           next_sample})) {
             // Hedge timer: the primary has run long enough — issue a
             // backup copy on a different replica.
             const HedgeEvent ev = hedges.top();
@@ -1028,14 +1204,22 @@ simulateCluster(const ClusterConfig& cfg)
                 const int target = route(m.primaryReplica);
                 if (target >= 0 && target != m.primaryReplica) {
                     m.hedged = true;
+                    m.hedgedAt = ev.time;
                     ++m.liveCopies;
                     ++report.hedgesIssued;
+                    if (trace != nullptr) {
+                        telemetry::Labels args;
+                        args.set("target", std::to_string(target));
+                        trace->instant(hedge_track, "hedge_issue",
+                                       ev.time, "hedge", args);
+                    }
                     enqueue(target,
                             Copy{ev.id, m.arrival, 0, true, 0});
                     dispatch(ev.time);
                 }
             }
-        } else if (next_retry <= next_finish) {
+        } else if (next_retry <=
+                   std::min(next_finish, next_sample)) {
             // Backed-off copies re-enter a queue via the router.
             const double now = next_retry;
             while (!retries.empty() && retries.top().ready <= now) {
@@ -1044,6 +1228,11 @@ simulateCluster(const ClusterConfig& cfg)
                 enqueue(route(-1), copy);
             }
             dispatch(now);
+        } else if (next_sample < next_finish) {
+            // Periodic telemetry sample; completions win ties so the
+            // sample sees post-event state at its own timestamp.
+            take_sample(next_sample);
+            next_sample = sample_time();
         } else {
             // Completion event (may run past the horizon to drain).
             const FinishEvent ev = finishes.top();
@@ -1058,6 +1247,20 @@ simulateCluster(const ClusterConfig& cfg)
             repQueuedPlusFlight[ri] -=
                 static_cast<std::int64_t>(fl.copies.size());
             --repBatches[ri];
+            if (trace != nullptr) {
+                telemetry::Labels args;
+                args.set("batch", std::to_string(fl.copies.size()));
+                args.set("replica", std::to_string(r));
+                args.set("outcome",
+                         fl.timedOut ? "timeout" : "ok");
+                if (fl.degraded)
+                    args.set("degraded", "1");
+                trace->complete(gpu_track[gi],
+                                "batch b=" +
+                                    std::to_string(fl.copies.size()),
+                                fl.start, ev.time - fl.start, "batch",
+                                args);
+            }
             if (fl.timedOut) {
                 account_busy(fl.start, ev.time, r);
                 report.lostGpuSeconds += ev.time - fl.start;
@@ -1094,6 +1297,17 @@ simulateCluster(const ClusterConfig& cfg)
                     --m.liveCopies;
                     if (copy.hedge)
                         ++report.hedgesWon;
+                    if (trace != nullptr && m.hedged) {
+                        // Hedge span: from the hedge timer firing to
+                        // whichever copy answered first.
+                        telemetry::Labels args;
+                        args.set("won", copy.hedge ? "hedge"
+                                                   : "primary");
+                        trace->complete(hedge_track, "hedged request",
+                                        m.hedgedAt,
+                                        fl.finish - m.hedgedAt,
+                                        "hedge", args);
+                    }
                     const double lat = fl.finish - copy.arrival;
                     latencies.push_back(lat);
                     ++report.completed;
@@ -1108,7 +1322,7 @@ simulateCluster(const ClusterConfig& cfg)
                     if (fl.finish <= horizon && in_deadline)
                         ++goodput_count;
                 }
-                noteBatchSuccess(r);
+                noteBatchSuccess(r, ev.time);
             }
             if (ev.time > horizon && totalQueued() == 0 &&
                 inflight_gpus == 0 && retries.empty()) {
@@ -1180,6 +1394,37 @@ simulateCluster(const ClusterConfig& cfg)
         cluster.replicas[ri].availability =
             sum / static_cast<double>(cfg.replicas[ri].numGpus);
     }
+
+    if (metrics != nullptr) {
+        publishServingMetrics(*metrics, report, latencies,
+                              batch_sizes);
+        for (int r = 0; r < numReplicas; ++r) {
+            const std::size_t ri = static_cast<std::size_t>(r);
+            const telemetry::Labels& lbl = repLabels[ri];
+            const ReplicaStats& stats = cluster.replicas[ri];
+            metrics->counter("serving.replica.dispatched_batches", lbl)
+                .add(stats.dispatchedBatches);
+            metrics->counter("serving.replica.completed_requests", lbl)
+                .add(stats.completedRequests);
+            metrics->counter("serving.replica.aborted_batches", lbl)
+                .add(stats.abortedBatches);
+            metrics->counter("serving.replica.breaker_opens", lbl)
+                .add(stats.breakerOpens);
+            metrics->gauge("serving.replica.busy_seconds", lbl)
+                .set(stats.busySeconds);
+            metrics->gauge("serving.replica.availability", lbl)
+                .set(stats.availability);
+        }
+        for (std::size_t d = 0; d < cluster.domainAvailability.size();
+             ++d) {
+            metrics
+                ->gauge("serving.domain.availability",
+                        telemetry::Labels{
+                            {"domain", std::to_string(d)}})
+                .set(cluster.domainAvailability[d]);
+        }
+    }
+
     return cluster;
 }
 

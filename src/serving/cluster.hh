@@ -287,6 +287,22 @@ struct ClusterReport
  */
 ClusterReport simulateCluster(const ClusterConfig& cfg);
 
+/**
+ * Run the cluster simulation with optional telemetry. Null (or
+ * all-disabled) telemetry takes the exact code path of the one-
+ * argument overload: instrumentation only records, never perturbs the
+ * RNG or the event clock, so the report is bit-for-bit identical with
+ * telemetry on or off.
+ *
+ * Beyond the single-pool emissions (see simulateServing), the
+ * cluster run adds per-replica sampled series (queue depth, in-flight
+ * batches, breaker state, utilization, labeled replica=R), breaker
+ * open / half-open / close instants, hedge spans from issue to
+ * resolution, and per-GPU batch/outage spans.
+ */
+ClusterReport simulateCluster(const ClusterConfig& cfg,
+                              const telemetry::Telemetry* telemetry);
+
 } // namespace mmgen::serving
 
 #endif // MMGEN_SERVING_CLUSTER_HH

@@ -10,6 +10,7 @@
 
 #include "profiler/engine.hh"
 #include "runtime/profile_cache.hh"
+#include "serving/telemetry_hooks.hh"
 #include "util/logging.hh"
 #include "verify/verify.hh"
 #include "util/rng.hh"
@@ -130,6 +131,13 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency)
     return simulateServing(cfg, latency, ResilienceConfig{});
 }
 
+ServingReport
+simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
+                const ResilienceConfig& resilience)
+{
+    return simulateServing(cfg, latency, resilience, nullptr);
+}
+
 void
 ServingConfig::validate() const
 {
@@ -147,10 +155,19 @@ ServingConfig::validate() const
 
 ServingReport
 simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
-                const ResilienceConfig& resilience)
+                const ResilienceConfig& resilience,
+                const telemetry::Telemetry* tele)
 {
     cfg.validate();
     resilience.validate();
+
+    // Telemetry handles. Null means off; every use below is guarded
+    // so the disabled path is the exact pre-telemetry code path.
+    telemetry::MetricsRegistry* metrics =
+        tele != nullptr ? tele->metrics : nullptr;
+    telemetry::TraceSink* trace =
+        tele != nullptr && tele->wantsTrace() ? tele->trace : nullptr;
+    const bool sampling = tele != nullptr && tele->wantsSampling();
 
     const double horizon = cfg.horizonSeconds;
     const DeadlinePolicy& deadline = resilience.deadline;
@@ -197,6 +214,27 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
     std::vector<std::uint64_t> epoch(num_gpus, 0);
     int inflight_gpus = 0;
 
+    // Trace lanes: one per GPU for batch/outage spans, plus one
+    // lifecycle lane for request instants.
+    std::vector<int> gpu_track;
+    int lifecycle_track = -1;
+    if (trace != nullptr) {
+        lifecycle_track = trace->track("serving", "lifecycle");
+        for (int g = 0; g < cfg.numGpus; ++g) {
+            gpu_track.push_back(
+                trace->track("serving", "gpu " + std::to_string(g)));
+        }
+        // Outage spans come straight from the pre-generated plan.
+        for (int g = 0; g < cfg.numGpus; ++g) {
+            for (const Outage& o :
+                 plan.gpus[static_cast<std::size_t>(g)].outages) {
+                trace->complete(gpu_track[static_cast<std::size_t>(g)],
+                                "outage", o.start, o.end - o.start,
+                                "fault");
+            }
+        }
+    }
+
     std::priority_queue<FinishEvent, std::vector<FinishEvent>,
                         std::greater<FinishEvent>>
         finishes;
@@ -213,6 +251,44 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
 
     double next_arrival = rng.exponential(cfg.arrivalRate);
 
+    // Periodic state sampling: an extra event source with the lowest
+    // tie priority, so a sample at time t observes the state *after*
+    // every simulation event at t. Sample k lands at exactly
+    // k * interval (no floating-point accumulation drift); the final
+    // sample is clamped onto the horizon, then the source goes quiet.
+    const double sample_interval =
+        sampling ? tele->sampleIntervalSeconds : 0.0;
+    std::int64_t sample_idx = sampling ? 1 : -1;
+    auto sample_time = [&]() -> double {
+        if (sample_idx < 0)
+            return kNever;
+        const double t =
+            sample_interval * static_cast<double>(sample_idx);
+        return std::min(t, horizon);
+    };
+    auto take_sample = [&](double t) {
+        telemetry::MetricsRegistry& m = *metrics;
+        m.series("serving.queue_depth")
+            .record(t, static_cast<double>(queue.size()));
+        m.series("serving.in_flight_gpus")
+            .record(t, static_cast<double>(inflight_gpus));
+        m.series("serving.retry_backlog")
+            .record(t, static_cast<double>(retries.size()));
+        m.series("serving.arrived_total")
+            .record(t, static_cast<double>(report.arrived));
+        m.series("serving.completed_total")
+            .record(t, static_cast<double>(report.completed));
+        m.series("serving.shed_total")
+            .record(t, static_cast<double>(report.shed));
+        m.series("serving.retries_total")
+            .record(t, static_cast<double>(report.retries));
+        if (t >= horizon)
+            sample_idx = -1; // final sample taken; source goes quiet
+        else
+            ++sample_idx;
+    };
+    double next_sample = sample_time();
+
     // Busy-time bookkeeping: the in-horizon share feeds utilization,
     // the post-horizon share is reported as drain work (the seed
     // simulator folded both into one clamped number).
@@ -226,12 +302,17 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
     auto retry_or_drop = [&](Request req, double now) {
         if (req.attempts >= resilience.retry.maxRetries) {
             ++report.dropped;
+            if (trace != nullptr)
+                trace->instant(lifecycle_track, "drop", now,
+                               "lifecycle");
             return;
         }
         ++req.attempts;
         ++report.retries;
         const double ready =
             now + resilience.retry.backoffSeconds(req.attempts);
+        if (trace != nullptr)
+            trace->instant(lifecycle_track, "retry", now, "lifecycle");
         retries.push({ready, retry_seq++, std::move(req)});
     };
 
@@ -240,6 +321,15 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
         InFlight& fl = *inflight[static_cast<std::size_t>(g)];
         account_busy(fl.start, now);
         report.lostGpuSeconds += now - fl.start;
+        if (trace != nullptr) {
+            telemetry::Labels args;
+            args.set("batch", std::to_string(fl.requests.size()));
+            args.set("outcome", "killed");
+            trace->complete(gpu_track[static_cast<std::size_t>(g)],
+                            "batch b=" +
+                                std::to_string(fl.requests.size()),
+                            fl.start, now - fl.start, "batch", args);
+        }
         for (Request& req : fl.requests)
             retry_or_drop(std::move(req), now);
         inflight[static_cast<std::size_t>(g)].reset();
@@ -257,6 +347,9 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
                                deadline.deadlineSeconds <=
                            now) {
                     ++report.expired;
+                    if (trace != nullptr)
+                        trace->instant(lifecycle_track, "expire", now,
+                                       "lifecycle");
                     queue.pop_front();
                 }
                 if (queue.empty())
@@ -327,8 +420,11 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
             ti < transitions.size() ? transitions[ti].time : kNever;
         const double next_retry =
             retries.empty() ? kNever : retries.top().ready;
-        const double next_other =
-            std::min({next_finish, next_fault, next_retry});
+        // next_sample joins next_other so a pending sample before a
+        // post-horizon arrival still fires; every older event source
+        // keeps tie priority over sampling.
+        const double next_other = std::min(
+            {next_finish, next_fault, next_retry, next_sample});
 
         if (next_arrival <= next_other) {
             if (next_arrival > horizon)
@@ -340,12 +436,19 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
                 static_cast<std::int64_t>(queue.size()) >=
                     resilience.admission.maxQueueLength) {
                 ++report.shed;
+                if (trace != nullptr)
+                    trace->instant(lifecycle_track, "shed", now,
+                                   "lifecycle");
             } else {
                 queue.push_back({now, 0});
+                if (trace != nullptr)
+                    trace->instant(lifecycle_track, "admit", now,
+                                   "lifecycle");
             }
             next_arrival += rng.exponential(cfg.arrivalRate);
             dispatch(now);
-        } else if (next_fault <= std::min(next_finish, next_retry)) {
+        } else if (next_fault <= std::min({next_finish, next_retry,
+                                           next_sample})) {
             // GPU availability edge.
             const Transition tr = transitions[ti++];
             const std::size_t gi = static_cast<std::size_t>(tr.gpu);
@@ -357,7 +460,7 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
                 gpu_down[gi] = false;
                 dispatch(tr.time);
             }
-        } else if (next_retry <= next_finish) {
+        } else if (next_retry <= std::min(next_finish, next_sample)) {
             // Backed-off requests re-enter the queue.
             const double now = next_retry;
             while (!retries.empty() && retries.top().ready <= now) {
@@ -365,6 +468,11 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
                 retries.pop();
             }
             dispatch(now);
+        } else if (next_sample < next_finish) {
+            // Periodic telemetry sample; completions win ties so the
+            // sample sees post-event state at its own timestamp.
+            take_sample(next_sample);
+            next_sample = sample_time();
         } else {
             // Completion event (may run past the horizon to drain).
             const FinishEvent ev = finishes.top();
@@ -374,6 +482,18 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
             inflight[gi].reset();
             ++epoch[gi];
             --inflight_gpus;
+            if (trace != nullptr) {
+                telemetry::Labels args;
+                args.set("batch", std::to_string(fl.requests.size()));
+                args.set("outcome", fl.timedOut ? "timeout" : "ok");
+                if (fl.degraded)
+                    args.set("degraded", "1");
+                trace->complete(gpu_track[gi],
+                                "batch b=" +
+                                    std::to_string(fl.requests.size()),
+                                fl.start, ev.time - fl.start, "batch",
+                                args);
+            }
             if (fl.timedOut) {
                 account_busy(fl.start, ev.time);
                 report.lostGpuSeconds += ev.time - fl.start;
@@ -450,6 +570,10 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
         report.shedFraction = static_cast<double>(report.shed) /
                               static_cast<double>(report.arrived);
     }
+
+    if (metrics != nullptr)
+        publishServingMetrics(*metrics, report, latencies, batch_sizes);
+
     return report;
 }
 

@@ -22,6 +22,7 @@
 #include "graph/pipeline.hh"
 #include "hw/gpu_spec.hh"
 #include "serving/policies.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mmgen::serving {
 
@@ -170,6 +171,31 @@ ServingReport simulateServing(const ServingConfig& cfg,
 ServingReport simulateServing(const ServingConfig& cfg,
                               const LatencyModel& latency,
                               const ResilienceConfig& resilience);
+
+/**
+ * Run the fault-tolerant simulation with optional telemetry. A null
+ * (or all-disabled) `telemetry` takes the exact code path of the
+ * three-argument overload — instrumentation only ever *records*
+ * state, never perturbs the RNG, the event clock, or any arithmetic,
+ * so the report stays bit-for-bit identical whether telemetry is on
+ * or off (asserted in tests with exact floating-point equality).
+ *
+ * With telemetry on, the simulator emits:
+ *  - counters/gauges/histograms summarizing the run (arrival /
+ *    completion / shed / retry counts, latency and batch-size
+ *    distributions, utilization),
+ *  - sampled time series of queue depth, in-flight GPUs, and the
+ *    cumulative counts above on the configured sim-time cadence
+ *    (sampling is its own event source with the lowest tie
+ *    priority),
+ *  - trace spans per dispatched batch on "gpu N" tracks, outage
+ *    spans from the fault plan, and request-lifecycle instants
+ *    (admit, shed, expire, drop, retry).
+ */
+ServingReport simulateServing(const ServingConfig& cfg,
+                              const LatencyModel& latency,
+                              const ResilienceConfig& resilience,
+                              const telemetry::Telemetry* telemetry);
 
 } // namespace mmgen::serving
 

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared telemetry publication for serving reports.
+ *
+ * Both simulators (single-pool `simulateServing` and multi-replica
+ * `simulateCluster`) finish by folding their run into a
+ * ServingReport; this helper publishes that report into a
+ * MetricsRegistry under one canonical naming scheme so exporters,
+ * `mmgen stats`, and the P009 consistency check see the same metric
+ * names regardless of which simulator produced them.
+ */
+
+#ifndef MMGEN_SERVING_TELEMETRY_HOOKS_HH
+#define MMGEN_SERVING_TELEMETRY_HOOKS_HH
+
+#include <span>
+
+#include "serving/simulator.hh"
+#include "telemetry/metrics.hh"
+
+namespace mmgen::serving {
+
+/**
+ * Publish a finished run into the registry: lifecycle counters
+ * (arrived / completed / shed / expired / dropped / retries, hedge
+ * and breaker and checkpoint counts), outcome gauges (throughput,
+ * goodput, utilization, offered load, availability), and latency /
+ * batch-size histograms built from the raw per-request samples.
+ *
+ * `labels` is attached to every metric (e.g. model or replica
+ * dimensions). Counters accumulate across calls on a shared registry,
+ * matching counter semantics for sweep-style callers.
+ */
+void publishServingMetrics(telemetry::MetricsRegistry& registry,
+                           const ServingReport& report,
+                           std::span<const double> latencySeconds,
+                           std::span<const double> batchSizes,
+                           const telemetry::Labels& labels = {});
+
+/** Bucket layout used for serving.request_latency_seconds. */
+telemetry::HistogramSpec latencyHistogramSpec();
+
+/** Bucket layout used for serving.batch_size. */
+telemetry::HistogramSpec batchHistogramSpec();
+
+/**
+ * Field-by-field exact equality of two reports — doubles compared
+ * with `==`, deliberately, because the telemetry contract is that
+ * instrumentation changes *nothing*, not "nothing within epsilon".
+ * The CI gate and the overhead bench run the same simulation with
+ * telemetry on and off and require this to hold.
+ */
+bool reportsBitIdentical(const ServingReport& a,
+                         const ServingReport& b);
+
+} // namespace mmgen::serving
+
+#endif // MMGEN_SERVING_TELEMETRY_HOOKS_HH

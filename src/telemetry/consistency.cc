@@ -1,0 +1,152 @@
+#include "telemetry/consistency.hh"
+
+#include <cmath>
+#include <string>
+
+#include "verify/rules.hh"
+
+namespace mmgen::telemetry {
+
+namespace {
+
+/** Cumulative sampled series and the aggregate each must end at. */
+struct CumulativeCheck
+{
+    const char* name;
+    std::int64_t SeriesExpectations::* final;
+};
+
+constexpr CumulativeCheck kCumulative[] = {
+    {"serving.arrived_total", &SeriesExpectations::arrived},
+    {"serving.completed_total", &SeriesExpectations::inHorizonCompleted},
+    {"serving.shed_total", &SeriesExpectations::shed},
+    {"serving.retries_total", &SeriesExpectations::retries},
+    {"serving.hedges_issued_total", &SeriesExpectations::hedgesIssued},
+};
+
+bool
+startsWith(const std::string& s, const std::string& prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+} // namespace
+
+verify::DiagnosticReport
+checkSeriesConsistency(const MetricsRegistry& registry,
+                       const SeriesExpectations& expect)
+{
+    verify::DiagnosticReport report;
+    auto finding = [&](const std::string& scope,
+                       const std::string& message) {
+        verify::Diagnostic d;
+        d.severity = verify::Severity::Error;
+        d.rule = verify::rules::TelemetryConsistency;
+        d.stage = "serving";
+        d.scope = scope;
+        d.message = message;
+        d.hint = "the sampler event source in the serving loop is "
+                 "out of sync with the report accounting";
+        report.add(std::move(d));
+    };
+
+    for (const auto& [key, series] : registry.allSeries()) {
+        const std::string& name = key.first;
+        if (!startsWith(name, "serving."))
+            continue;
+        const std::string scope =
+            key.second.empty() ? name : name + "{" + key.second.str() + "}";
+        const auto& pts = series.points();
+
+        double prev_t = -1.0;
+        for (const SamplePoint& p : pts) {
+            if (p.tSeconds <= prev_t) {
+                finding(scope, "sample timestamps not strictly "
+                               "increasing: " +
+                                   std::to_string(p.tSeconds) +
+                                   " after " + std::to_string(prev_t));
+                break;
+            }
+            prev_t = p.tSeconds;
+        }
+        if (!pts.empty() &&
+            pts.back().tSeconds > expect.horizonSeconds) {
+            finding(scope,
+                    "sample at t=" + std::to_string(pts.back().tSeconds) +
+                        " beyond the horizon " +
+                        std::to_string(expect.horizonSeconds));
+        }
+
+        if (name.size() >= 6 &&
+            name.compare(name.size() - 6, 6, "_total") == 0) {
+            double prev_v = -1.0;
+            for (const SamplePoint& p : pts) {
+                if (p.value < prev_v) {
+                    finding(scope, "cumulative series decreases: " +
+                                       std::to_string(p.value) +
+                                       " after " +
+                                       std::to_string(prev_v));
+                    break;
+                }
+                prev_v = p.value;
+            }
+        }
+
+        if (name == "serving.queue_depth" ||
+            name == "serving.replica.queue_depth") {
+            for (const SamplePoint& p : pts) {
+                if (p.value < 0.0) {
+                    finding(scope, "negative queue depth " +
+                                       std::to_string(p.value) + " at t=" +
+                                       std::to_string(p.tSeconds));
+                    break;
+                }
+            }
+        }
+        if (name == "serving.in_flight_gpus") {
+            for (const SamplePoint& p : pts) {
+                if (p.value < 0.0 ||
+                    p.value > static_cast<double>(expect.totalGpus)) {
+                    finding(scope,
+                            "in-flight GPUs " + std::to_string(p.value) +
+                                " outside [0, " +
+                                std::to_string(expect.totalGpus) +
+                                "] at t=" + std::to_string(p.tSeconds));
+                    break;
+                }
+            }
+        }
+        if (name == "serving.replica.breaker_state") {
+            for (const SamplePoint& p : pts) {
+                if (p.value != 0.0 && p.value != 1.0 && p.value != 2.0) {
+                    finding(scope, "breaker state " +
+                                       std::to_string(p.value) +
+                                       " not in {0,1,2} at t=" +
+                                       std::to_string(p.tSeconds));
+                    break;
+                }
+            }
+        }
+    }
+
+    // The final sample lands exactly at the horizon with the lowest
+    // tie priority, after every completion and arrival at that
+    // instant — so cumulative series must end exactly on the report
+    // aggregates, not merely near them.
+    for (const CumulativeCheck& check : kCumulative) {
+        const TimeSeries* series = registry.findSeries(check.name);
+        if (series == nullptr || series->empty())
+            continue;
+        const double got = series->back().value;
+        const double want = static_cast<double>(expect.*(check.final));
+        if (got != want) {
+            finding(check.name,
+                    "final sample " + std::to_string(got) +
+                        " != report aggregate " + std::to_string(want));
+        }
+    }
+
+    return report;
+}
+
+} // namespace mmgen::telemetry

@@ -1,0 +1,251 @@
+#include "telemetry/export.hh"
+
+#include <cstdio>
+#include <map>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace mmgen::telemetry {
+
+namespace {
+
+void
+writeLabelsObject(json::Writer& w, const Labels& labels)
+{
+    w.beginObject();
+    for (const auto& [k, v] : labels.items())
+        w.field(k, v);
+    w.endObject();
+}
+
+/** Prometheus label block: {k1="v1",k2="v2"}, empty string if none. */
+std::string
+prometheusLabels(const Labels& labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels.items()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += prometheusName(k) + "=\"" + json::escape(v) + "\"";
+    }
+    out += '}';
+    return out;
+}
+
+/** Fixed-precision microsecond timestamp, matching the profiler. */
+std::string
+micros(double seconds)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+    return buf;
+}
+
+} // namespace
+
+std::string
+prometheusName(const std::string& name)
+{
+    std::string out = name;
+    for (char& c : out) {
+        if (c == '.' || c == '-' || c == ' ')
+            c = '_';
+    }
+    return out;
+}
+
+void
+writeMetricsJsonLines(std::ostream& out, const MetricsRegistry& registry)
+{
+    for (const auto& [key, counter] : registry.counters()) {
+        json::Writer w(out);
+        w.beginObject()
+            .field("type", "counter")
+            .field("name", key.first);
+        w.key("labels");
+        writeLabelsObject(w, key.second);
+        w.field("value", counter.value()).endObject();
+        out << "\n";
+    }
+    for (const auto& [key, gauge] : registry.gauges()) {
+        json::Writer w(out);
+        w.beginObject().field("type", "gauge").field("name", key.first);
+        w.key("labels");
+        writeLabelsObject(w, key.second);
+        w.field("value", gauge.value()).endObject();
+        out << "\n";
+    }
+    for (const auto& [key, hist] : registry.histograms()) {
+        json::Writer w(out);
+        w.beginObject()
+            .field("type", "histogram")
+            .field("name", key.first);
+        w.key("labels");
+        writeLabelsObject(w, key.second);
+        w.field("count", static_cast<std::int64_t>(hist->count()))
+            .field("sum", hist->sum())
+            .field("underflow",
+                   static_cast<std::int64_t>(hist->underflow()))
+            .field("overflow",
+                   static_cast<std::int64_t>(hist->overflow()))
+            .field("p50", hist->quantile(0.50))
+            .field("p95", hist->quantile(0.95))
+            .field("p99", hist->quantile(0.99));
+        w.key("buckets").beginArray();
+        const auto& counts = hist->bucketCounts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            w.beginArray()
+                .value(hist->spec().upperEdge(static_cast<int>(i)))
+                .value(static_cast<std::int64_t>(counts[i]))
+                .endArray();
+        }
+        w.endArray().endObject();
+        out << "\n";
+    }
+    for (const auto& [key, series] : registry.allSeries()) {
+        json::Writer w(out);
+        w.beginObject().field("type", "series").field("name", key.first);
+        w.key("labels");
+        writeLabelsObject(w, key.second);
+        w.key("points").beginArray();
+        for (const SamplePoint& p : series.points()) {
+            w.beginArray()
+                .value(p.tSeconds)
+                .value(p.value)
+                .endArray();
+        }
+        w.endArray().endObject();
+        out << "\n";
+    }
+}
+
+void
+writePrometheus(std::ostream& out, const MetricsRegistry& registry)
+{
+    std::string last;
+    for (const auto& [key, counter] : registry.counters()) {
+        const std::string name = prometheusName(key.first);
+        if (name != last)
+            out << "# TYPE " << name << " counter\n";
+        last = name;
+        out << name << prometheusLabels(key.second) << " "
+            << counter.value() << "\n";
+    }
+    last.clear();
+    for (const auto& [key, gauge] : registry.gauges()) {
+        const std::string name = prometheusName(key.first);
+        if (name != last)
+            out << "# TYPE " << name << " gauge\n";
+        last = name;
+        out << name << prometheusLabels(key.second) << " "
+            << json::number(gauge.value()) << "\n";
+    }
+    last.clear();
+    for (const auto& [key, hist] : registry.histograms()) {
+        const std::string name = prometheusName(key.first);
+        if (name != last)
+            out << "# TYPE " << name << " histogram\n";
+        last = name;
+        std::uint64_t cumulative = hist->underflow();
+        const auto& counts = hist->bucketCounts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            cumulative += counts[i];
+            Labels le = key.second;
+            le.set("le", json::number(
+                             hist->spec().upperEdge(static_cast<int>(i))));
+            out << name << "_bucket" << prometheusLabels(le) << " "
+                << cumulative << "\n";
+        }
+        Labels inf = key.second;
+        inf.set("le", "+Inf");
+        out << name << "_bucket" << prometheusLabels(inf) << " "
+            << hist->count() << "\n";
+        out << name << "_sum" << prometheusLabels(key.second) << " "
+            << json::number(hist->sum()) << "\n";
+        out << name << "_count" << prometheusLabels(key.second) << " "
+            << hist->count() << "\n";
+    }
+}
+
+void
+writeChromeTrace(std::ostream& out, const TraceSink& sink)
+{
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string& event_json) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n" << event_json;
+    };
+
+    // Tracks sharing a process name share a pid (the smallest
+    // processSort in the group), so e.g. every replica lane of
+    // "serving" nests under one process in the viewer.
+    std::map<std::string, int> pids;
+    for (const TraceTrack& t : sink.tracks()) {
+        auto [it, inserted] = pids.emplace(t.process, t.processSort);
+        if (!inserted && t.processSort < it->second)
+            it->second = t.processSort;
+    }
+
+    for (const auto& [process, pid] : pids) {
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+             ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+             json::escape(process) + "\"}}");
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+             ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":" +
+             std::to_string(pid) + "}}");
+    }
+    for (const TraceTrack& t : sink.tracks()) {
+        const int pid = pids.at(t.process);
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(t.threadSort) +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+             json::escape(t.thread) + "\"}}");
+        emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(t.threadSort) +
+             ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+             std::to_string(t.threadSort) + "}}");
+    }
+
+    for (const TraceEvent& ev : sink.events()) {
+        const TraceTrack& t =
+            sink.tracks()[static_cast<std::size_t>(ev.track)];
+        const int pid = pids.at(t.process);
+        std::string line = "{\"ph\":\"";
+        line += ev.phase == TraceEvent::Phase::Complete ? "X" : "i";
+        line += "\",\"pid\":" + std::to_string(pid) +
+                ",\"tid\":" + std::to_string(t.threadSort) +
+                ",\"ts\":" + micros(ev.startSeconds);
+        if (ev.phase == TraceEvent::Phase::Complete)
+            line += ",\"dur\":" + micros(ev.durationSeconds);
+        else
+            line += ",\"s\":\"t\"";
+        line += ",\"name\":\"" + json::escape(ev.name) + "\"";
+        if (!ev.category.empty())
+            line += ",\"cat\":\"" + json::escape(ev.category) + "\"";
+        if (!ev.args.empty()) {
+            line += ",\"args\":{";
+            bool firstArg = true;
+            for (const auto& [k, v] : ev.args.items()) {
+                if (!firstArg)
+                    line += ",";
+                firstArg = false;
+                line += "\"" + json::escape(k) + "\":\"" +
+                        json::escape(v) + "\"";
+            }
+            line += "}";
+        }
+        line += "}";
+        emit(line);
+    }
+    out << "\n]}\n";
+}
+
+} // namespace mmgen::telemetry

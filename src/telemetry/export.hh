@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Telemetry exporters: JSON-lines metric dumps, Prometheus text
+ * format, and Chrome Trace Event JSON for TraceSink spans.
+ *
+ * All exporters iterate the registry in its deterministic
+ * (name, labels) order and pin their number formatting, so equal
+ * registries serialize to byte-identical files regardless of thread
+ * count or platform locale.
+ */
+
+#ifndef MMGEN_TELEMETRY_EXPORT_HH
+#define MMGEN_TELEMETRY_EXPORT_HH
+
+#include <ostream>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace mmgen::telemetry {
+
+/**
+ * Dump every metric as one JSON object per line:
+ *
+ *   {"type":"counter","name":"...","labels":{...},"value":12}
+ *   {"type":"histogram","name":"...","count":9,"sum":...,"buckets":[...]}
+ *   {"type":"series","name":"...","points":[[t,v],...]}
+ *
+ * The line-per-metric layout keeps diffs readable and lets downstream
+ * tools stream-parse without loading the whole dump.
+ */
+void writeMetricsJsonLines(std::ostream& out,
+                           const MetricsRegistry& registry);
+
+/**
+ * Render counters, gauges, and histograms in Prometheus text
+ * exposition format (metric names sanitized: '.', '-', and ' ' map to
+ * '_'). Time series are omitted — Prometheus scrapes are samples
+ * already; the JSON-lines dump carries full series.
+ */
+void writePrometheus(std::ostream& out, const MetricsRegistry& registry);
+
+/**
+ * Write a TraceSink as a Chrome Trace Event Format document: tracks
+ * become pid/tid lanes (named via metadata events, ordered by their
+ * sort keys), complete spans become "X" events and instants "i"
+ * events, timestamps in microseconds of simulation time.
+ */
+void writeChromeTrace(std::ostream& out, const TraceSink& sink);
+
+/** Sanitize a metric name for Prometheus exposition. */
+std::string prometheusName(const std::string& name);
+
+} // namespace mmgen::telemetry
+
+#endif // MMGEN_TELEMETRY_EXPORT_HH

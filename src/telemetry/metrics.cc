@@ -1,0 +1,265 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mmgen::telemetry {
+
+Labels::Labels(
+    std::initializer_list<std::pair<std::string, std::string>> kv)
+{
+    for (const auto& [k, v] : kv)
+        set(k, v);
+}
+
+void
+Labels::set(const std::string& key, const std::string& value)
+{
+    auto it = std::lower_bound(
+        kv_.begin(), kv_.end(), key,
+        [](const auto& pair, const std::string& k) {
+            return pair.first < k;
+        });
+    if (it != kv_.end() && it->first == key)
+        it->second = value;
+    else
+        kv_.insert(it, {key, value});
+}
+
+std::string
+Labels::str() const
+{
+    std::string out;
+    for (const auto& [k, v] : kv_) {
+        if (!out.empty())
+            out += ',';
+        out += k;
+        out += '=';
+        out += v;
+    }
+    return out;
+}
+
+void
+Counter::add(std::int64_t delta)
+{
+    MMGEN_CHECK(delta >= 0, "counters are monotone; delta " << delta);
+    value_ += delta;
+}
+
+void
+Gauge::set(double v)
+{
+    MMGEN_CHECK(!std::isnan(v), "gauge value is NaN");
+    value_ = v;
+}
+
+HistogramSpec
+HistogramSpec::linear(double lo, double hi, int buckets)
+{
+    HistogramSpec spec;
+    spec.scale = Scale::Linear;
+    spec.lo = lo;
+    spec.hi = hi;
+    spec.buckets = buckets;
+    spec.validate();
+    return spec;
+}
+
+HistogramSpec
+HistogramSpec::exponential(double lo, double hi, int buckets)
+{
+    HistogramSpec spec;
+    spec.scale = Scale::Log;
+    spec.lo = lo;
+    spec.hi = hi;
+    spec.buckets = buckets;
+    spec.validate();
+    return spec;
+}
+
+void
+HistogramSpec::validate() const
+{
+    MMGEN_CHECK(buckets >= 1, "histogram needs >= 1 bucket");
+    MMGEN_CHECK(std::isfinite(lo) && std::isfinite(hi) && lo < hi,
+                "histogram range [" << lo << ", " << hi
+                                    << ") is not a finite interval");
+    if (scale == Scale::Log)
+        MMGEN_CHECK(lo > 0.0,
+                    "log-bucket histogram needs lo > 0, got " << lo);
+}
+
+double
+HistogramSpec::upperEdge(int i) const
+{
+    if (scale == Scale::Linear)
+        return lo + (hi - lo) * static_cast<double>(i + 1) /
+                        static_cast<double>(buckets);
+    // Edge i+1 of log-spaced buckets: lo * (hi/lo)^((i+1)/buckets).
+    return lo * std::pow(hi / lo,
+                         static_cast<double>(i + 1) /
+                             static_cast<double>(buckets));
+}
+
+double
+HistogramSpec::lowerEdge(int i) const
+{
+    if (i == 0)
+        return lo;
+    return upperEdge(i - 1);
+}
+
+Histogram::Histogram(HistogramSpec spec) : spec_(spec)
+{
+    spec_.validate();
+    counts_.assign(static_cast<std::size_t>(spec_.buckets), 0);
+}
+
+void
+Histogram::observe(double v)
+{
+    MMGEN_CHECK(!std::isnan(v), "histogram observation is NaN");
+    ++count_;
+    sum_ += v;
+    if (v < spec_.lo) {
+        ++underflow_;
+        return;
+    }
+    if (v >= spec_.hi) {
+        ++overflow_;
+        return;
+    }
+    int idx;
+    if (spec_.scale == HistogramSpec::Scale::Linear) {
+        idx = static_cast<int>((v - spec_.lo) / (spec_.hi - spec_.lo) *
+                               static_cast<double>(spec_.buckets));
+    } else {
+        idx = static_cast<int>(std::log(v / spec_.lo) /
+                               std::log(spec_.hi / spec_.lo) *
+                               static_cast<double>(spec_.buckets));
+    }
+    // FP rounding at an edge can land one bucket out of range.
+    idx = std::clamp(idx, 0, spec_.buckets - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    MMGEN_CHECK(q >= 0.0 && q <= 1.0, "quantile " << q << " not in [0,1]");
+    if (count_ == 0)
+        return 0.0;
+    // Nearest-rank: the rank-th smallest observation, 1-based.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = underflow_;
+    if (rank <= seen)
+        return spec_.lo;
+    for (int i = 0; i < spec_.buckets; ++i) {
+        seen += counts_[static_cast<std::size_t>(i)];
+        if (rank <= seen) {
+            double blo = spec_.lowerEdge(i);
+            double bhi = spec_.upperEdge(i);
+            if (spec_.scale == HistogramSpec::Scale::Linear)
+                return 0.5 * (blo + bhi);
+            return std::sqrt(blo * bhi);
+        }
+    }
+    return spec_.hi; // overflow bucket
+}
+
+void
+TimeSeries::record(double tSeconds, double value)
+{
+    MMGEN_CHECK(!std::isnan(tSeconds) && !std::isnan(value),
+                "time-series sample is NaN");
+    MMGEN_CHECK(points_.empty() || tSeconds >= points_.back().tSeconds,
+                "time-series timestamps must be non-decreasing: "
+                    << tSeconds << " after " << points_.back().tSeconds);
+    points_.push_back({tSeconds, value});
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+Counter&
+MetricsRegistry::counter(const std::string& name, const Labels& labels)
+{
+    return counters_[{name, labels}];
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name, const Labels& labels)
+{
+    return gauges_[{name, labels}];
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           const HistogramSpec& spec, const Labels& labels)
+{
+    auto& slot = histograms_[{name, labels}];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(spec);
+    } else {
+        const auto& have = slot->spec();
+        MMGEN_CHECK(have.scale == spec.scale && have.lo == spec.lo &&
+                        have.hi == spec.hi && have.buckets == spec.buckets,
+                    "histogram '" << name
+                                  << "' re-registered with a different "
+                                     "bucket layout");
+    }
+    return *slot;
+}
+
+TimeSeries&
+MetricsRegistry::series(const std::string& name, const Labels& labels)
+{
+    return series_[{name, labels}];
+}
+
+const Counter*
+MetricsRegistry::findCounter(const std::string& name,
+                             const Labels& labels) const
+{
+    auto it = counters_.find({name, labels});
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge*
+MetricsRegistry::findGauge(const std::string& name,
+                           const Labels& labels) const
+{
+    auto it = gauges_.find({name, labels});
+    return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram*
+MetricsRegistry::findHistogram(const std::string& name,
+                               const Labels& labels) const
+{
+    auto it = histograms_.find({name, labels});
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const TimeSeries*
+MetricsRegistry::findSeries(const std::string& name,
+                            const Labels& labels) const
+{
+    auto it = series_.find({name, labels});
+    return it == series_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           series_.size();
+}
+
+} // namespace mmgen::telemetry

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The Telemetry bundle: the nullable handle instrumented code takes.
+ *
+ * Simulators accept a `const Telemetry*`; nullptr (the default on
+ * every pre-existing overload) means telemetry is off and the
+ * instrumented code takes the exact same arithmetic path as before —
+ * the guards only ever wrap *recording*, never simulation state, so
+ * the disabled path stays bit-for-bit identical to the
+ * un-instrumented build (asserted in tests with exact floating-point
+ * equality).
+ *
+ * Determinism rules for instrumentation sites:
+ *  - record only simulation time, never wall clock;
+ *  - never read the RNG, advance an event clock, or round a value
+ *    differently because telemetry is on;
+ *  - sampling is an explicit event source in the simulator loop with
+ *    the lowest tie priority, so sample timestamps are pure functions
+ *    of the configured cadence.
+ */
+
+#ifndef MMGEN_TELEMETRY_TELEMETRY_HH
+#define MMGEN_TELEMETRY_TELEMETRY_HH
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace mmgen::telemetry {
+
+/** Everything a simulator needs to emit telemetry. All optional. */
+struct Telemetry
+{
+    /** Counters / gauges / histograms / sampled series; may be null. */
+    MetricsRegistry* metrics = nullptr;
+
+    /** Structured span/instant sink; may be null. */
+    TraceSink* trace = nullptr;
+
+    /**
+     * Sim-time cadence for periodic state sampling (queue depth,
+     * in-flight, utilization, breaker state). 0 disables sampling.
+     * Requires `metrics` to be set to have any effect.
+     */
+    double sampleIntervalSeconds = 0.0;
+
+    bool wantsMetrics() const { return metrics != nullptr; }
+    bool wantsTrace() const { return trace != nullptr; }
+    bool wantsSampling() const
+    {
+        return metrics != nullptr && sampleIntervalSeconds > 0.0;
+    }
+};
+
+} // namespace mmgen::telemetry
+
+#endif // MMGEN_TELEMETRY_TELEMETRY_HH

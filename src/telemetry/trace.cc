@@ -1,0 +1,155 @@
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "kernels/kernel_cost.hh"
+#include "util/logging.hh"
+
+namespace mmgen::telemetry {
+
+int
+TraceSink::track(const std::string& process, const std::string& thread)
+{
+    auto key = std::make_pair(process, thread);
+    auto it = trackIds_.find(key);
+    if (it != trackIds_.end())
+        return it->second;
+    int id = static_cast<int>(tracks_.size());
+    TraceTrack t;
+    t.process = process;
+    t.thread = thread;
+    // Default sort keys follow registration order; stable because the
+    // simulators register tracks deterministically.
+    t.processSort = id + 1;
+    t.threadSort = id + 1;
+    tracks_.push_back(std::move(t));
+    trackIds_.emplace(std::move(key), id);
+    return id;
+}
+
+void
+TraceSink::complete(int track, const std::string& name,
+                    double startSeconds, double durationSeconds,
+                    const std::string& category, Labels args)
+{
+    MMGEN_ASSERT(track >= 0 &&
+                     track < static_cast<int>(tracks_.size()),
+                 "unknown trace track " << track);
+    MMGEN_CHECK(!std::isnan(startSeconds) && !std::isnan(durationSeconds)
+                    && durationSeconds >= 0.0,
+                "bad span [" << startSeconds << ", +" << durationSeconds
+                             << ") for '" << name << "'");
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Complete;
+    ev.track = track;
+    ev.name = name;
+    ev.category = category;
+    ev.startSeconds = startSeconds;
+    ev.durationSeconds = durationSeconds;
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::instant(int track, const std::string& name, double tSeconds,
+                   const std::string& category, Labels args)
+{
+    MMGEN_ASSERT(track >= 0 &&
+                     track < static_cast<int>(tracks_.size()),
+                 "unknown trace track " << track);
+    MMGEN_CHECK(!std::isnan(tSeconds),
+                "instant '" << name << "' at NaN");
+    TraceEvent ev;
+    ev.phase = TraceEvent::Phase::Instant;
+    ev.track = track;
+    ev.name = name;
+    ev.category = category;
+    ev.startSeconds = tSeconds;
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::setTrackSort(int track, int processSort, int threadSort)
+{
+    MMGEN_ASSERT(track >= 0 &&
+                     track < static_cast<int>(tracks_.size()),
+                 "unknown trace track " << track);
+    tracks_[static_cast<std::size_t>(track)].processSort = processSort;
+    tracks_[static_cast<std::size_t>(track)].threadSort = threadSort;
+}
+
+void
+appendTimeline(TraceSink& sink, const exec::ExecutionPlan& plan,
+               const exec::Timeline& timeline,
+               std::int64_t maxRepeatInstances, double timeOffsetSeconds)
+{
+    MMGEN_CHECK(timeline.events.size() == plan.nodes.size(),
+                "timeline has " << timeline.events.size()
+                                << " events for a plan of "
+                                << plan.nodes.size() << " nodes");
+    MMGEN_CHECK(maxRepeatInstances >= 1,
+                "need at least one repeat instance");
+
+    // Offset exec pid sort keys past any serving tracks already in
+    // the sink so the kernel timeline groups below the serving lanes.
+    int pid_base = 0;
+    for (const TraceTrack& t : sink.tracks())
+        pid_base = std::max(pid_base, t.processSort);
+
+    // One track per (stage, stream) that scheduled work, mirroring
+    // profiler::writeChromeTrace's lane layout.
+    std::map<std::pair<std::size_t, int>, int> lanes;
+    for (const exec::TimelineEvent& ev : timeline.events) {
+        const std::size_t si = plan.ops[ev.op].stageIndex;
+        auto key = std::make_pair(si, ev.stream);
+        if (lanes.count(key))
+            continue;
+        const std::string& stage = plan.stageNames[si];
+        const exec::Lane lane = ev.stream == 0 ? exec::Lane::Compute
+                                               : exec::Lane::Copy;
+        int id = sink.track(
+            "stage: " + (stage.empty() ? plan.model : stage),
+            "stream " + std::to_string(ev.stream) + " (" +
+                exec::laneName(lane) + ")");
+        // Rewrite sort keys so exported pids follow pipeline order
+        // and tids follow stream ids, matching the profiler trace.
+        sink.setTrackSort(id, pid_base + static_cast<int>(si) + 1,
+                          ev.stream + 1);
+        lanes.emplace(key, id);
+    }
+
+    for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+        const exec::TimelineEvent& ev = timeline.events[i];
+        const exec::PlanNode& node = plan.nodes[i];
+        const exec::PlanOp& op = plan.ops[ev.op];
+        const int track =
+            lanes.at({op.stageIndex, ev.stream});
+        const std::int64_t instances =
+            std::min<std::int64_t>(node.repeat, maxRepeatInstances);
+        const double per_instance =
+            ev.durationSeconds() / static_cast<double>(node.repeat);
+
+        std::string name = node.label;
+        if (instances < node.repeat) {
+            name += " [x" + std::to_string(node.repeat) + ", showing " +
+                    std::to_string(instances) + "]";
+        }
+
+        Labels args;
+        args.set("scope", op.scope);
+        args.set("lane", exec::laneName(node.lane));
+        args.set("repeat", std::to_string(node.repeat));
+
+        double ts = ev.startSeconds + timeOffsetSeconds;
+        for (std::int64_t k = 0; k < instances; ++k) {
+            sink.complete(track, name, ts, per_instance,
+                          kernels::kernelClassName(node.klass), args);
+            ts += per_instance;
+        }
+    }
+}
+
+} // namespace mmgen::telemetry

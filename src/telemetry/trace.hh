@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Span-based structured tracing over simulation time.
+ *
+ * A TraceSink collects complete spans (begin/end pairs resolved into
+ * one record), instants, and counter samples on named tracks. Tracks
+ * are (process, thread) pairs — e.g. ("serving", "replica 0") — that
+ * map onto Chrome Trace Event pid/tid lanes at export time, so a
+ * serving run, its chaos events, and the exec-layer kernel timeline
+ * can be viewed in one Perfetto window.
+ *
+ * All timestamps are simulation seconds. Event order in the sink is
+ * insertion order; because simulators are single-threaded and
+ * deterministic, the exported trace is byte-identical across `--jobs`
+ * settings. The sink never sorts — Chrome tracing tools order by `ts`
+ * themselves — which keeps appends O(1).
+ */
+
+#ifndef MMGEN_TELEMETRY_TRACE_HH
+#define MMGEN_TELEMETRY_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/plan.hh"
+#include "exec/schedule.hh"
+#include "telemetry/metrics.hh"
+
+namespace mmgen::telemetry {
+
+/** One trace event. Durations only apply to Complete spans. */
+struct TraceEvent
+{
+    enum class Phase : std::uint8_t { Complete, Instant };
+
+    Phase phase = Phase::Complete;
+    /** Index into TraceSink::tracks(). */
+    int track = 0;
+    std::string name;
+    std::string category;
+    double startSeconds = 0.0;
+    /** Only meaningful for Complete spans. */
+    double durationSeconds = 0.0;
+    /** Free-form key/value annotations rendered into "args". */
+    Labels args;
+};
+
+/** A (process, thread) lane events land on. */
+struct TraceTrack
+{
+    std::string process;
+    std::string thread;
+    /**
+     * Explicit sort keys for the exported pid/tid. Defaults derive
+     * from registration order; appendTimeline overrides them to keep
+     * exec-stage lanes in pipeline order.
+     */
+    int processSort = 0;
+    int threadSort = 0;
+};
+
+/** Collects structured trace events in simulation time. */
+class TraceSink
+{
+  public:
+    /**
+     * Intern a (process, thread) track and return its id. Repeated
+     * calls with the same pair return the same id.
+     */
+    int track(const std::string& process, const std::string& thread);
+
+    /** Record a complete span [start, start + duration). */
+    void complete(int track, const std::string& name, double startSeconds,
+                  double durationSeconds, const std::string& category = "",
+                  Labels args = {});
+
+    /** Record a zero-duration instant event. */
+    void instant(int track, const std::string& name, double tSeconds,
+                 const std::string& category = "", Labels args = {});
+
+    /** Override a track's exported pid/tid sort keys. */
+    void setTrackSort(int track, int processSort, int threadSort);
+
+    const std::vector<TraceTrack>& tracks() const { return tracks_; }
+    const std::vector<TraceEvent>& events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+  private:
+    std::vector<TraceTrack> tracks_;
+    std::map<std::pair<std::string, std::string>, int> trackIds_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * Append a scheduled exec timeline into a sink as complete spans,
+ * reusing PlanNode provenance: stages become processes ("stage:
+ * NAME"), streams become threads ("stream N (compute|copy)"), and
+ * folded repeats are expanded exactly like profiler::writeChromeTrace
+ * (at most maxRepeatInstances slices, elisions flagged in the name).
+ *
+ * `timeOffsetSeconds` shifts the timeline, so an exec trace can be
+ * placed alongside serving spans that start elsewhere in sim time.
+ */
+void appendTimeline(TraceSink& sink, const exec::ExecutionPlan& plan,
+                    const exec::Timeline& timeline,
+                    std::int64_t maxRepeatInstances = 3,
+                    double timeOffsetSeconds = 0.0);
+
+} // namespace mmgen::telemetry
+
+#endif // MMGEN_TELEMETRY_TRACE_HH

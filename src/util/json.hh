@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Shared JSON emission: string escaping and a minimal streaming
+ * writer.
+ *
+ * Every exporter in the tree (Chrome traces, verifier diagnostics,
+ * telemetry metric dumps, bench reporters) hand-writes JSON; before
+ * this header each carried its own copy of the escaping loop. The
+ * escaper is the single source of truth for JSON string semantics:
+ * quotes, backslashes and control characters are escaped, and all
+ * other bytes — including UTF-8 multi-byte sequences — pass through
+ * untouched.
+ *
+ * The Writer is deliberately small: it tracks container nesting and
+ * comma placement so exporters cannot emit trailing commas or
+ * unbalanced brackets, while leaving number formatting to the caller
+ * (exporters pin their own precision so output is byte-stable).
+ */
+
+#ifndef MMGEN_UTIL_JSON_HH
+#define MMGEN_UTIL_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mmgen::json {
+
+/** Escape a string for embedding inside a JSON string literal. */
+inline std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c; // UTF-8 continuation bytes pass unchanged
+            }
+        }
+    }
+    return out;
+}
+
+/** Format a double with round-trip precision ("%.17g"). */
+inline std::string
+number(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Minimal streaming JSON writer over an ostream.
+ *
+ * Tracks nesting and emits commas between siblings automatically;
+ * misuse (a value with no pending key inside an object, unbalanced
+ * end calls) trips a FatalError instead of producing corrupt output.
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream& out) : os(out) {}
+
+    Writer&
+    beginObject()
+    {
+        element();
+        os << '{';
+        stack.push_back(Frame::Object);
+        childCount.push_back(0);
+        return *this;
+    }
+
+    Writer&
+    endObject()
+    {
+        MMGEN_CHECK(!stack.empty() && stack.back() == Frame::Object,
+                    "json::Writer::endObject with no open object");
+        MMGEN_CHECK(!keyPending,
+                    "json::Writer::endObject with a dangling key");
+        stack.pop_back();
+        childCount.pop_back();
+        os << '}';
+        return *this;
+    }
+
+    Writer&
+    beginArray()
+    {
+        element();
+        os << '[';
+        stack.push_back(Frame::Array);
+        childCount.push_back(0);
+        return *this;
+    }
+
+    Writer&
+    endArray()
+    {
+        MMGEN_CHECK(!stack.empty() && stack.back() == Frame::Array,
+                    "json::Writer::endArray with no open array");
+        stack.pop_back();
+        childCount.pop_back();
+        os << ']';
+        return *this;
+    }
+
+    /** Emit an object key; the next call must emit its value. */
+    Writer&
+    key(const std::string& k)
+    {
+        MMGEN_CHECK(!stack.empty() && stack.back() == Frame::Object,
+                    "json::Writer::key outside an object");
+        MMGEN_CHECK(!keyPending, "json::Writer::key after a key");
+        if (childCount.back()++ > 0)
+            os << ',';
+        os << '"' << escape(k) << "\":";
+        keyPending = true;
+        return *this;
+    }
+
+    Writer&
+    value(const std::string& v)
+    {
+        element();
+        os << '"' << escape(v) << '"';
+        return *this;
+    }
+
+    Writer& value(const char* v) { return value(std::string(v)); }
+
+    Writer&
+    value(double v)
+    {
+        element();
+        os << number(v);
+        return *this;
+    }
+
+    Writer&
+    value(std::int64_t v)
+    {
+        element();
+        os << v;
+        return *this;
+    }
+
+    Writer&
+    value(std::uint64_t v)
+    {
+        element();
+        os << v;
+        return *this;
+    }
+
+    Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+    Writer&
+    value(bool v)
+    {
+        element();
+        os << (v ? "true" : "false");
+        return *this;
+    }
+
+    /**
+     * Emit a pre-formatted JSON token verbatim (caller-controlled
+     * number precision, e.g. formatFixed output).
+     */
+    Writer&
+    rawValue(const std::string& token)
+    {
+        element();
+        os << token;
+        return *this;
+    }
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    Writer&
+    field(const std::string& k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** True when every container has been closed. */
+    bool complete() const { return stack.empty(); }
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    /** Comma/position bookkeeping shared by every value emitter. */
+    void
+    element()
+    {
+        if (stack.empty())
+            return; // top-level value
+        if (stack.back() == Frame::Object) {
+            MMGEN_CHECK(keyPending,
+                        "json::Writer: object value without a key");
+            keyPending = false;
+            return; // key() already wrote the separator
+        }
+        if (childCount.back()++ > 0)
+            os << ',';
+    }
+
+    std::ostream& os;
+    std::vector<Frame> stack;
+    /** Parallel to `stack`: children emitted into each open frame. */
+    std::vector<std::int64_t> childCount;
+    bool keyPending = false;
+};
+
+} // namespace mmgen::json
+
+#endif // MMGEN_UTIL_JSON_HH

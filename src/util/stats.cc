@@ -57,6 +57,11 @@ percentile(std::span<const double> values, double pct)
     MMGEN_CHECK(!values.empty(), "percentile of empty sample");
     MMGEN_CHECK(pct >= 0.0 && pct <= 100.0,
                 "percentile " << pct << " out of [0, 100]");
+    // NaN poisons std::sort's strict weak ordering, which would turn
+    // the quantile into a function of the input *order* — reject it.
+    for (double v : values)
+        MMGEN_CHECK(!std::isnan(v),
+                    "percentile over a sample containing NaN");
     std::vector<double> sorted(values.begin(), values.end());
     std::sort(sorted.begin(), sorted.end());
     if (sorted.size() == 1)

@@ -3,47 +3,12 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace mmgen::verify {
 
-namespace {
-
-/** Escape a string for embedding in a JSON string literal. */
-std::string
-jsonEscape(const std::string& s)
-{
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace
+using json::escape;
 
 std::string
 severityName(Severity s)
@@ -179,12 +144,12 @@ DiagnosticReport::toJson() const
         if (i > 0)
             oss << ",";
         oss << "\n  {\"severity\": \"" << severityName(d.severity)
-            << "\", \"rule\": \"" << jsonEscape(d.rule)
-            << "\", \"model\": \"" << jsonEscape(d.model)
-            << "\", \"stage\": \"" << jsonEscape(d.stage)
-            << "\", \"scope\": \"" << jsonEscape(d.scope)
-            << "\", \"message\": \"" << jsonEscape(d.message)
-            << "\", \"hint\": \"" << jsonEscape(d.hint) << "\"}";
+            << "\", \"rule\": \"" << escape(d.rule)
+            << "\", \"model\": \"" << escape(d.model)
+            << "\", \"stage\": \"" << escape(d.stage)
+            << "\", \"scope\": \"" << escape(d.scope)
+            << "\", \"message\": \"" << escape(d.message)
+            << "\", \"hint\": \"" << escape(d.hint) << "\"}";
     }
     if (!diags.empty())
         oss << "\n";

@@ -48,6 +48,8 @@ allRules()
          "timeline events are monotone per stream and honor deps"},
         {rules::MakespanBound, Severity::Error, "physics",
          "makespan between the critical path and serialized work"},
+        {rules::TelemetryConsistency, Severity::Error, "physics",
+         "sampled telemetry series agree with final report aggregates"},
     };
     return registry;
 }

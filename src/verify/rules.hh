@@ -67,6 +67,8 @@ inline constexpr const char* FiniteResult = "P006";
 inline constexpr const char* TimelineConsistency = "P007";
 /** Makespan below its critical path or above total serialized work. */
 inline constexpr const char* MakespanBound = "P008";
+/** Sampled telemetry series inconsistent with final report aggregates. */
+inline constexpr const char* TelemetryConsistency = "P009";
 
 } // namespace rules
 

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the metrics registry: label canonicalization, typed
+ * instruments, histogram quantile error bounds versus exact sorting,
+ * time-series invariants, and deterministic export serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "telemetry/export.hh"
+#include "telemetry/metrics.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace mmgen::telemetry {
+namespace {
+
+TEST(Labels, SortedAndOrderInsensitive)
+{
+    const Labels a{{"replica", "0"}, {"domain", "1"}};
+    const Labels b{{"domain", "1"}, {"replica", "0"}};
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.str(), "domain=1,replica=0");
+}
+
+TEST(Labels, SetReplacesExistingKey)
+{
+    Labels l{{"replica", "0"}};
+    l.set("replica", "3");
+    l.set("gpu", "a100");
+    EXPECT_EQ(l.str(), "gpu=a100,replica=3");
+}
+
+TEST(Counter, MonotoneAndRejectsNegativeDeltas)
+{
+    Counter c;
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+    EXPECT_THROW(c.add(-1), FatalError);
+}
+
+TEST(Gauge, LastValueWinsAndRejectsNan)
+{
+    Gauge g;
+    g.set(1.5);
+    g.set(-2.0);
+    EXPECT_EQ(g.value(), -2.0);
+    EXPECT_THROW(g.set(std::numeric_limits<double>::quiet_NaN()),
+                 FatalError);
+}
+
+TEST(HistogramSpec, ValidatesShape)
+{
+    EXPECT_THROW(HistogramSpec::linear(1.0, 1.0, 4).validate(),
+                 FatalError);
+    EXPECT_THROW(HistogramSpec::linear(0.0, 1.0, 0).validate(),
+                 FatalError);
+    EXPECT_THROW(HistogramSpec::exponential(0.0, 1.0, 4).validate(),
+                 FatalError);
+    EXPECT_NO_THROW(HistogramSpec::linear(0.0, 1.0, 4).validate());
+    EXPECT_NO_THROW(
+        HistogramSpec::exponential(1e-3, 1e3, 24).validate());
+}
+
+TEST(Histogram, CountsUnderAndOverflow)
+{
+    Histogram h(HistogramSpec::linear(0.0, 10.0, 10));
+    h.observe(-1.0);
+    h.observe(0.0);
+    h.observe(9.99);
+    h.observe(10.0); // at hi -> overflow by the [lo, hi) convention
+    h.observe(25.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_THROW(
+        h.observe(std::numeric_limits<double>::quiet_NaN()),
+        FatalError);
+}
+
+/**
+ * The documented contract: a linear histogram's quantile is within
+ * half a bucket width of the exact (sorted) quantile.
+ */
+TEST(Histogram, LinearQuantileWithinHalfBucketOfExact)
+{
+    const double lo = 0.0, hi = 100.0;
+    const int buckets = 50;
+    const double halfWidth = 0.5 * (hi - lo) / buckets;
+    Histogram h(HistogramSpec::linear(lo, hi, buckets));
+    Rng rng(123);
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i) {
+        // Mixture: uniform bulk + a clustered mode, all inside range.
+        const double v = (i % 3 == 0)
+                             ? 40.0 + 5.0 * rng.uniform()
+                             : lo + (hi - lo - 1e-9) * rng.uniform();
+        values.push_back(v);
+        h.observe(v);
+    }
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+        const double exact = percentile(values, q * 100.0);
+        const double approx = h.quantile(q);
+        EXPECT_NEAR(approx, exact, halfWidth + 1e-9)
+            << "q=" << q;
+    }
+}
+
+/**
+ * Log-bucket histograms bound the *relative* error by the bucket
+ * growth factor: the reported quantile lies within one growth factor
+ * of the exact quantile.
+ */
+TEST(Histogram, LogQuantileWithinOneGrowthFactorOfExact)
+{
+    const double lo = 1e-3, hi = 1e3;
+    const int buckets = 60;
+    const double growth =
+        std::pow(hi / lo, 1.0 / static_cast<double>(buckets));
+    Histogram h(HistogramSpec::exponential(lo, hi, buckets));
+    Rng rng(7);
+    std::vector<double> values;
+    for (int i = 0; i < 5000; ++i) {
+        // Log-uniform over the full span, the histogram's home turf.
+        const double v =
+            lo * std::pow(hi / lo, rng.uniform() * (1.0 - 1e-12));
+        values.push_back(v);
+        h.observe(v);
+    }
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+        const double exact = percentile(values, q * 100.0);
+        const double approx = h.quantile(q);
+        EXPECT_GT(approx, exact / growth * (1.0 - 1e-9))
+            << "q=" << q;
+        EXPECT_LT(approx, exact * growth * (1.0 + 1e-9))
+            << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram h(HistogramSpec::linear(0.0, 8.0, 8));
+    EXPECT_EQ(h.quantile(0.5), 0.0); // empty
+    h.observe(3.2);
+    // Single observation: every quantile reports its bucket midpoint.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+}
+
+TEST(TimeSeries, EnforcesMonotoneTimeAndRejectsNan)
+{
+    TimeSeries s;
+    s.record(0.0, 1.0);
+    s.record(5.0, 2.0);
+    s.record(5.0, 3.0); // equal timestamps allowed
+    EXPECT_EQ(s.points().size(), 3u);
+    EXPECT_THROW(s.record(4.0, 0.0), FatalError);
+    EXPECT_THROW(
+        s.record(6.0, std::numeric_limits<double>::quiet_NaN()),
+        FatalError);
+}
+
+TEST(MetricsRegistry, AddressesByNameAndLabels)
+{
+    MetricsRegistry r;
+    r.counter("req", Labels{{"replica", "0"}}).add(3);
+    r.counter("req", Labels{{"replica", "1"}}).add(5);
+    r.counter("req").add(1);
+    EXPECT_EQ(r.findCounter("req", Labels{{"replica", "0"}})->value(),
+              3);
+    EXPECT_EQ(r.findCounter("req", Labels{{"replica", "1"}})->value(),
+              5);
+    EXPECT_EQ(r.findCounter("req")->value(), 1);
+    EXPECT_EQ(r.findCounter("missing"), nullptr);
+    EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(MetricsRegistry, HistogramSpecFixedByFirstRegistration)
+{
+    MetricsRegistry r;
+    r.histogram("lat", HistogramSpec::linear(0.0, 1.0, 4));
+    EXPECT_NO_THROW(
+        r.histogram("lat", HistogramSpec::linear(0.0, 1.0, 4)));
+    EXPECT_THROW(
+        r.histogram("lat", HistogramSpec::linear(0.0, 2.0, 4)),
+        FatalError);
+}
+
+/** Export order must be a function of names, not insertion order. */
+TEST(Exporters, SerializationIndependentOfRegistrationOrder)
+{
+    auto fill = [](MetricsRegistry& r, bool reversed) {
+        std::vector<std::pair<std::string, std::int64_t>> metrics = {
+            {"a.first", 1}, {"b.second", 2}, {"c.third", 3}};
+        if (reversed)
+            std::reverse(metrics.begin(), metrics.end());
+        for (const auto& [name, v] : metrics)
+            r.counter(name).add(v);
+        r.gauge("z.gauge").set(0.25);
+        r.series("s.series").record(1.0, 2.0);
+    };
+    MetricsRegistry fwd, rev;
+    fill(fwd, false);
+    fill(rev, true);
+    std::ostringstream a, b, pa, pb;
+    writeMetricsJsonLines(a, fwd);
+    writeMetricsJsonLines(b, rev);
+    writePrometheus(pa, fwd);
+    writePrometheus(pb, rev);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(pa.str(), pb.str());
+    EXPECT_NE(a.str().find("\"a.first\""), std::string::npos);
+}
+
+TEST(Exporters, PrometheusNamesSanitized)
+{
+    EXPECT_EQ(prometheusName("serving.queue_depth"),
+              "serving_queue_depth");
+    EXPECT_EQ(prometheusName("a-b c.d"), "a_b_c_d");
+}
+
+TEST(Exporters, PrometheusHistogramIsCumulativeWithInf)
+{
+    MetricsRegistry r;
+    auto& h =
+        r.histogram("lat", HistogramSpec::linear(0.0, 4.0, 4));
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(9.0); // overflow
+    std::ostringstream out;
+    writePrometheus(out, r);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_count 3"), std::string::npos);
+    // Cumulative: the le="2" bucket holds both finite observations.
+    EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace mmgen::telemetry

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the shared JSON utilities: string escaping semantics and
+ * the streaming writer's comma/nesting bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace mmgen {
+namespace {
+
+TEST(JsonEscape, PlainStringsPassThrough)
+{
+    EXPECT_EQ(json::escape("hello world_42"), "hello world_42");
+    EXPECT_EQ(json::escape(""), "");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes)
+{
+    EXPECT_EQ(json::escape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, NamedControlCharacters)
+{
+    EXPECT_EQ(json::escape("line1\nline2"), "line1\\nline2");
+    EXPECT_EQ(json::escape("col1\tcol2"), "col1\\tcol2");
+    EXPECT_EQ(json::escape("a\rb"), "a\\rb");
+}
+
+TEST(JsonEscape, OtherControlCharactersUseUnicodeEscapes)
+{
+    EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(json::escape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(json::escape(std::string("a\x02") + "b"), "a\\u0002b");
+    // NUL embedded in a std::string is a control character too.
+    EXPECT_EQ(json::escape(std::string("a\0b", 3)), "a\\u0000b");
+}
+
+TEST(JsonEscape, Utf8MultiByteSequencesPassThroughUntouched)
+{
+    const std::string snowman = "\xe2\x98\x83";      // U+2603
+    const std::string accent = "caf\xc3\xa9";        // café
+    EXPECT_EQ(json::escape(snowman), snowman);
+    EXPECT_EQ(json::escape(accent), accent);
+}
+
+TEST(JsonWriter, FlatObject)
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    w.beginObject();
+    w.field("name", "x");
+    w.field("n", std::int64_t{3});
+    w.field("ok", true);
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(out.str(), "{\"name\":\"x\",\"n\":3,\"ok\":true}");
+}
+
+TEST(JsonWriter, ArraysSeparateSiblingsWithCommas)
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    w.beginArray();
+    w.value(std::int64_t{1});
+    w.value(std::int64_t{2});
+    w.value("three");
+    w.endArray();
+    EXPECT_EQ(out.str(), "[1,2,\"three\"]");
+}
+
+/**
+ * Regression: a sibling following a *closed* nested container must
+ * still get its comma (the original bookkeeping lost track of the
+ * parent's child count when a child container popped).
+ */
+TEST(JsonWriter, SiblingAfterNestedContainerGetsComma)
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    w.beginObject();
+    w.key("labels").beginObject();
+    w.field("replica", "0");
+    w.endObject();
+    w.key("points").beginArray();
+    w.beginArray();
+    w.value(5.0);
+    w.value(0.0);
+    w.endArray();
+    w.beginArray();
+    w.value(10.0);
+    w.value(1.0);
+    w.endArray();
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(out.str(), "{\"labels\":{\"replica\":\"0\"},"
+                         "\"points\":[[5,0],[10,1]]}");
+}
+
+TEST(JsonWriter, RawValueEmitsTokenVerbatim)
+{
+    std::ostringstream out;
+    json::Writer w(out);
+    w.beginObject();
+    w.key("v").rawValue("1.250");
+    w.endObject();
+    EXPECT_EQ(out.str(), "{\"v\":1.250}");
+}
+
+TEST(JsonWriter, MisuseTripsFatalError)
+{
+    {
+        std::ostringstream out;
+        json::Writer w(out);
+        w.beginObject();
+        EXPECT_THROW(w.value(1.0), FatalError); // value without key
+    }
+    {
+        std::ostringstream out;
+        json::Writer w(out);
+        w.beginArray();
+        EXPECT_THROW(w.endObject(), FatalError); // mismatched end
+    }
+    {
+        std::ostringstream out;
+        json::Writer w(out);
+        w.beginObject();
+        w.key("k");
+        EXPECT_THROW(w.endObject(), FatalError); // dangling key
+    }
+}
+
+TEST(JsonNumber, RoundTripPrecision)
+{
+    EXPECT_EQ(json::number(0.5), "0.5");
+    EXPECT_EQ(json::number(3.0), "3");
+    // %.17g guarantees the parsed double equals the original.
+    const double v = 0.1 + 0.2;
+    EXPECT_EQ(std::stod(json::number(v)), v);
+}
+
+} // namespace
+} // namespace mmgen

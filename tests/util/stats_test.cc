@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "util/logging.hh"
@@ -64,6 +65,54 @@ TEST(Percentile, RejectsOutOfRange)
     const std::vector<double> v = {1.0};
     EXPECT_THROW(percentile(v, -1.0), FatalError);
     EXPECT_THROW(percentile(v, 101.0), FatalError);
+}
+
+TEST(Percentile, EmptySampleThrows)
+{
+    EXPECT_THROW(percentile({}, 50.0), FatalError);
+}
+
+TEST(Percentile, SingleElementIsEveryQuantile)
+{
+    const std::vector<double> v = {7.5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 37.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 7.5);
+}
+
+TEST(Percentile, DuplicatesInterpolateWithinRuns)
+{
+    // All-equal samples: every quantile is that value.
+    const std::vector<double> same = {3.0, 3.0, 3.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(same, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(same, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(same, 99.0), 3.0);
+    // A run of duplicates pins the quantiles inside it.
+    const std::vector<double> v = {1.0, 2.0, 2.0, 2.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 2.0);
+}
+
+TEST(Percentile, NanObservationsRejected)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(percentile(std::vector<double>{1.0, nan, 2.0}, 50.0),
+                 FatalError);
+    EXPECT_THROW(percentile(std::vector<double>{nan}, 0.0),
+                 FatalError);
+    // A NaN rank fails the [0, 100] range check.
+    EXPECT_THROW(percentile(std::vector<double>{1.0}, nan),
+                 FatalError);
+}
+
+TEST(Percentile, UnsortedInputMatchesSorted)
+{
+    const std::vector<double> shuffled = {9.0, 1.0, 5.0, 3.0, 7.0};
+    const std::vector<double> sorted = {1.0, 3.0, 5.0, 7.0, 9.0};
+    for (double pct : {0.0, 10.0, 25.0, 50.0, 90.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile(shuffled, pct),
+                         percentile(sorted, pct));
 }
 
 TEST(ValueHistogram, TracksDiscreteBuckets)

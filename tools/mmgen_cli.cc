@@ -28,9 +28,13 @@
 #include "core/taxonomy.hh"
 #include "models/stable_diffusion.hh"
 #include "profiler/chrome_trace.hh"
+#include "runtime/runtime_metrics.hh"
 #include "runtime/thread_pool.hh"
 #include "serving/cluster.hh"
 #include "serving/simulator.hh"
+#include "telemetry/consistency.hh"
+#include "telemetry/export.hh"
+#include "telemetry/telemetry.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 
@@ -51,6 +55,8 @@ usage()
         << "  footprint                   peak-memory report\n"
         << "  trace <model> <out.json>    Chrome trace export\n"
         << "  serve <model> [options]     fault-tolerant serving sim\n"
+        << "  stats [options]             run the suite, print runtime\n"
+        << "                              cache / thread-pool counters\n"
         << "  lint [--model X|--all]      graph & physics verifier\n"
         << "options:\n"
         << "  --gpu a100|v100|h100        (default a100)\n"
@@ -104,6 +110,15 @@ usage()
         << "                              (default 1: one per replica)\n"
         << "  --domain-mtbf S --domain-mttr S\n"
         << "                              correlated rack outages\n"
+        << "telemetry options (profile / serve / stats):\n"
+        << "  --metrics-out FILE          JSON-lines metrics dump\n"
+        << "  --prom-out FILE             Prometheus text metrics\n"
+        << "  --trace-out FILE            Chrome trace of serving\n"
+        << "                              spans merged with the exec\n"
+        << "                              timeline\n"
+        << "  --sample-interval S         sample serving state every\n"
+        << "                              S sim-seconds into time\n"
+        << "                              series (serve only)\n"
         << "lint options:\n"
         << "  --model X | --all           lint one model or the zoo\n"
         << "  --json                      machine-readable findings\n"
@@ -216,6 +231,19 @@ struct Options
     double ckptCost = 0.0;
     serving::ProbeModel probe;
     int domainSize = 1;
+
+    // telemetry knobs (profile / serve / stats)
+    std::string metricsOut;
+    std::string promOut;
+    std::string traceOut;
+    double sampleInterval = 0.0;
+
+    bool
+    wantsTelemetry() const
+    {
+        return !metricsOut.empty() || !promOut.empty() ||
+               !traceOut.empty() || sampleInterval > 0.0;
+    }
 };
 
 serving::RouterPolicy
@@ -343,6 +371,18 @@ parseOptions(int argc, char** argv, int first)
             opts.probe.intervalSeconds = nextDouble();
         else if (arg == "--domain-size")
             opts.domainSize = static_cast<int>(nextInt());
+        else if (arg == "--metrics-out")
+            opts.metricsOut = next();
+        else if (arg == "--prom-out")
+            opts.promOut = next();
+        else if (arg == "--trace-out")
+            opts.traceOut = next();
+        else if (arg == "--sample-interval") {
+            opts.sampleInterval = nextDouble();
+            MMGEN_CHECK(opts.sampleInterval > 0.0,
+                        "--sample-interval must be > 0, got "
+                            << opts.sampleInterval);
+        }
         else if (arg == "--domain-mtbf")
             opts.resilience.faults.domainMtbfSeconds = nextDouble();
         else if (arg == "--domain-mttr")
@@ -353,6 +393,57 @@ parseOptions(int argc, char** argv, int first)
             opts.positional.push_back(arg);
     }
     return opts;
+}
+
+/** Write the requested metric / trace artifacts, logging each path. */
+void
+writeTelemetryOutputs(const Options& opts,
+                      const telemetry::MetricsRegistry& registry,
+                      const telemetry::TraceSink& sink)
+{
+    auto open = [](const std::string& path) {
+        std::ofstream out(path);
+        MMGEN_CHECK(static_cast<bool>(out), "cannot open " << path);
+        return out;
+    };
+    if (!opts.metricsOut.empty()) {
+        std::ofstream out = open(opts.metricsOut);
+        telemetry::writeMetricsJsonLines(out, registry);
+        std::cout << "wrote " << registry.size() << " metrics to "
+                  << opts.metricsOut << "\n";
+    }
+    if (!opts.promOut.empty()) {
+        std::ofstream out = open(opts.promOut);
+        telemetry::writePrometheus(out, registry);
+        std::cout << "wrote Prometheus metrics to " << opts.promOut
+                  << "\n";
+    }
+    if (!opts.traceOut.empty()) {
+        std::ofstream out = open(opts.traceOut);
+        telemetry::writeChromeTrace(out, sink);
+        std::cout << "wrote " << sink.events().size()
+                  << " trace events to " << opts.traceOut << "\n";
+    }
+}
+
+/**
+ * Re-profile the pipeline with records kept and merge its exec
+ * timeline into `sink`, so the serving trace and the kernel-level
+ * schedule land in one Perfetto document.
+ */
+void
+mergeExecTimeline(telemetry::TraceSink& sink,
+                  const graph::Pipeline& pipeline, const Options& opts)
+{
+    profiler::ProfileOptions popts;
+    popts.gpu = opts.gpu;
+    popts.backend = opts.backend;
+    popts.lowering = opts.lowering;
+    popts.schedule = opts.schedule;
+    popts.keepOpRecords = true;
+    const profiler::ProfileResult res =
+        profiler::Profiler(popts).profile(pipeline);
+    telemetry::appendTimeline(sink, *res.plan, res.timeline);
 }
 
 int
@@ -383,8 +474,9 @@ cmdProfile(const Options& opts)
     popts.backend = opts.backend;
     popts.lowering = opts.lowering;
     popts.schedule = opts.schedule;
-    // The chrome-trace exporter reads the retained plan + timeline.
-    popts.keepOpRecords = !opts.traceFile.empty();
+    // The chrome-trace exporters read the retained plan + timeline.
+    popts.keepOpRecords =
+        !opts.traceFile.empty() || !opts.traceOut.empty();
     const profiler::ProfileResult res =
         profiler::Profiler(popts).profile(models::buildModel(id));
     std::cout << "GPU: " << opts.gpu.name << "\n\n";
@@ -397,6 +489,30 @@ cmdProfile(const Options& opts)
         std::cout << "\nwrote timeline ("
                   << res.timeline.events.size() << " events) to "
                   << opts.traceFile << "\n";
+    }
+    if (opts.wantsTelemetry()) {
+        telemetry::MetricsRegistry registry;
+        telemetry::TraceSink sink;
+        const telemetry::Labels labels{
+            {"model", res.model},
+            {"gpu", opts.gpu.name},
+            {"backend",
+             graph::attentionBackendName(opts.backend)}};
+        registry.gauge("profile.total_seconds", labels)
+            .set(res.totalSeconds);
+        registry.gauge("profile.total_flops", labels)
+            .set(res.totalFlops);
+        registry.gauge("profile.total_hbm_bytes", labels)
+            .set(res.totalHbmBytes);
+        registry.gauge("profile.launch_overhead_seconds", labels)
+            .set(res.launchOverheadSeconds);
+        registry
+            .counter("profile.kernel_launches", labels)
+            .add(res.totalLaunches);
+        runtime::publishRuntimeMetrics(registry);
+        if (!opts.traceOut.empty())
+            telemetry::appendTimeline(sink, *res.plan, res.timeline);
+        writeTelemetryOutputs(opts, registry, sink);
     }
     return 0;
 }
@@ -500,7 +616,15 @@ cmdServeCluster(const Options& opts, const graph::Pipeline& pipeline,
         cc.chaos = serving::namedChaosScenario(
             opts.chaosName, numReplicas, cc.horizonSeconds);
 
-    const serving::ClusterReport r = serving::simulateCluster(cc);
+    telemetry::MetricsRegistry registry;
+    telemetry::TraceSink sink;
+    telemetry::Telemetry tel;
+    tel.metrics = &registry;
+    tel.trace = &sink;
+    tel.sampleIntervalSeconds = opts.sampleInterval;
+
+    const serving::ClusterReport r = serving::simulateCluster(
+        cc, opts.wantsTelemetry() ? &tel : nullptr);
 
     std::cout << pipeline.name << " on " << numReplicas
               << " replica(s) x " << opts.serving.numGpus << " "
@@ -562,6 +686,29 @@ cmdServeCluster(const Options& opts, const graph::Pipeline& pipeline,
                      formatPercent(rs.availability)});
     }
     std::cout << reps.render();
+
+    if (opts.wantsTelemetry()) {
+        if (!opts.traceOut.empty())
+            mergeExecTimeline(sink, pipeline, opts);
+        writeTelemetryOutputs(opts, registry, sink);
+        if (opts.sampleInterval > 0.0) {
+            telemetry::SeriesExpectations expect;
+            expect.horizonSeconds = cc.horizonSeconds;
+            expect.totalGpus = cc.totalGpus();
+            expect.arrived = s.arrived;
+            expect.shed = s.shed;
+            expect.inHorizonCompleted =
+                s.completed - s.drainCompleted;
+            expect.retries = s.retries;
+            expect.hedgesIssued = s.hedgesIssued;
+            const verify::DiagnosticReport check =
+                telemetry::checkSeriesConsistency(registry, expect);
+            if (!check.diagnostics().empty())
+                std::cout << "\n" << check.render();
+            if (check.hasErrors())
+                return 1;
+        }
+    }
     return 0;
 }
 
@@ -603,8 +750,16 @@ cmdServe(const Options& opts)
     if (opts.replicas > 0 || !opts.chaosName.empty())
         return cmdServeCluster(opts, pipeline, latency, res);
 
-    const serving::ServingReport r =
-        serving::simulateServing(opts.serving, latency, res);
+    telemetry::MetricsRegistry registry;
+    telemetry::TraceSink sink;
+    telemetry::Telemetry tel;
+    tel.metrics = &registry;
+    tel.trace = &sink;
+    tel.sampleIntervalSeconds = opts.sampleInterval;
+
+    const serving::ServingReport r = serving::simulateServing(
+        opts.serving, latency, res,
+        opts.wantsTelemetry() ? &tel : nullptr);
 
     std::cout << pipeline.name << " on " << opts.serving.numGpus
               << "x " << opts.gpu.name << " (batch-1 latency "
@@ -638,6 +793,51 @@ cmdServe(const Options& opts)
     table.addRow({"lost GPU-seconds",
                   formatFixed(r.lostGpuSeconds, 1)});
     std::cout << table.render();
+
+    if (opts.wantsTelemetry()) {
+        if (!opts.traceOut.empty())
+            mergeExecTimeline(sink, pipeline, opts);
+        writeTelemetryOutputs(opts, registry, sink);
+        if (opts.sampleInterval > 0.0) {
+            telemetry::SeriesExpectations expect;
+            expect.horizonSeconds = opts.serving.horizonSeconds;
+            expect.totalGpus = opts.serving.numGpus;
+            expect.arrived = r.arrived;
+            expect.shed = r.shed;
+            expect.inHorizonCompleted =
+                r.completed - r.drainCompleted;
+            expect.retries = r.retries;
+            const verify::DiagnosticReport check =
+                telemetry::checkSeriesConsistency(registry, expect);
+            if (!check.diagnostics().empty())
+                std::cout << "\n" << check.render();
+            if (check.hasErrors())
+                return 1;
+        }
+    }
+    return 0;
+}
+
+int
+cmdStats(const Options& opts)
+{
+    MMGEN_CHECK(opts.positional.empty(),
+                "stats takes no positional arguments");
+    // Exercise the parallel harness + memo cache with a real
+    // workload: the full both-backend suite, run twice so repeated
+    // profiles show up as cache hits.
+    core::CharacterizationSuite suite(opts.gpu);
+    suite.runAll(models::allModels());
+    suite.runAll(models::allModels());
+    std::cout << "runtime counters after two suite runs on "
+              << opts.gpu.name << ":\n\n"
+              << runtime::runtimeStatsTable();
+    if (opts.wantsTelemetry()) {
+        telemetry::MetricsRegistry registry;
+        telemetry::TraceSink sink;
+        runtime::publishRuntimeMetrics(registry);
+        writeTelemetryOutputs(opts, registry, sink);
+    }
     return 0;
 }
 
@@ -731,6 +931,8 @@ main(int argc, char** argv)
             return cmdTrace(opts);
         if (cmd == "serve")
             return cmdServe(opts);
+        if (cmd == "stats")
+            return cmdStats(opts);
         if (cmd == "lint")
             return cmdLint(opts);
         std::cerr << "unknown command '" << cmd << "'\n";
