@@ -118,13 +118,19 @@ main(int argc, char** argv)
         return c;
     };
 
+    // Memory-aware admission: the static liveness analyzer's batch
+    // bound rides along with queue-length shedding, so the dispatcher
+    // can never form a batch the GPU cannot hold.
+    const serving::AdmissionPolicy memAdmission =
+        serving::memoryAwareAdmission(sd, gpu, /*maxQueueLength=*/64);
+
     auto makeResilient = [&](serving::ClusterConfig c) {
         c.router = serving::RouterPolicy::LeastLoaded;
         c.resilience.retry.maxRetries = 3;
         c.resilience.retry.backoffBaseSeconds = 0.5;
         // Shed past the point where a queued request could still
         // meet its deadline, so retried work displaces nothing.
-        c.resilience.admission.maxQueueLength = 64;
+        c.resilience.admission = memAdmission;
         c.breaker.failureThreshold = 3;
         c.breaker.openSeconds = 30.0;
         c.probe.intervalSeconds = 2.0;
@@ -188,6 +194,22 @@ main(int argc, char** argv)
                  "+ checkpoint) achieved\n goodput >= bare at "
               << dominated << "/" << grid.size()
               << " chaos grid points\n\n";
+
+    // OOM-safety gate: no resilient run may ever have dispatched a
+    // batch above the static memory bound, under any chaos scenario.
+    bool oomPass = true;
+    std::int64_t maxDispatched = 0;
+    for (const PointResult& r : results) {
+        const serving::ServingReport& b = r.resilient.serving;
+        maxDispatched = std::max(maxDispatched, b.maxBatchDispatched);
+        if (b.maxBatchDispatched > memAdmission.memoryFeasibleBatch ||
+            b.maxBatchDispatched > b.effectiveMaxBatch)
+            oomPass = false;
+    }
+    std::cout << "memory-aware admission: max batch dispatched "
+              << maxDispatched << " <= static feasible batch "
+              << memAdmission.memoryFeasibleBatch
+              << (oomPass ? "" : "  VIOLATED") << "\n\n";
 
     // -- telemetry identity gate + artifacts -----------------------
     // Re-run the first grid point's resilient config with full
@@ -275,6 +297,8 @@ main(int argc, char** argv)
     longCfg.resilience.faults.failureMttrSeconds = 0.5 * base;
     longCfg.resilience.retry.maxRetries = 10;
     longCfg.resilience.retry.backoffBaseSeconds = 1.0;
+    longCfg.resilience.admission =
+        serving::memoryAwareAdmission(ttv, gpu);
 
     serving::ClusterConfig longCkpt = longCfg;
     longCkpt.checkpoint = serving::checkpointFromPipeline(
@@ -308,6 +332,12 @@ main(int argc, char** argv)
     std::cout << ttvTable.render() << "\n";
     std::cout << "checkpointing cut wasted GPU-seconds by "
               << formatPercent(reduction) << " (target >= 30%)\n";
+
+    const std::int64_t ttvBound =
+        longCfg.resilience.admission.memoryFeasibleBatch;
+    if (noCkpt.serving.maxBatchDispatched > ttvBound ||
+        withCkpt.serving.maxBatchDispatched > ttvBound)
+        oomPass = false;
 
     const bool gridPass =
         dominated == static_cast<int>(grid.size());
@@ -348,6 +378,10 @@ main(int argc, char** argv)
         w.field("grid_points",
                 static_cast<std::int64_t>(grid.size()));
         w.field("telemetry_identical", telemetryPass);
+        w.field("memory_feasible_batch",
+                memAdmission.memoryFeasibleBatch);
+        w.field("max_batch_dispatched", maxDispatched);
+        w.field("memory_admission_safe", oomPass);
         w.key("long_ttv").beginObject();
         w.field("model", "MakeAVideo");
         w.key("request_seconds").rawValue(formatFixed(base, 3));
@@ -364,7 +398,8 @@ main(int argc, char** argv)
         w.field("resumes", withCkpt.serving.resumes);
         w.key("wasted_reduction").rawValue(formatFixed(reduction, 4));
         w.endObject();
-        w.field("pass", gridPass && ckptPass && telemetryPass);
+        w.field("pass",
+                gridPass && ckptPass && telemetryPass && oomPass);
         w.endObject();
         out << "\n";
         std::cout << "(wrote " << out_path << ")\n";
@@ -372,6 +407,11 @@ main(int argc, char** argv)
 
     if (!telemetryPass)
         return 1;
+    if (!oomPass) {
+        std::cerr << "FAIL: a dispatched batch exceeded the static "
+                     "memory-feasibility bound\n";
+        return 1;
+    }
     if (!gridPass) {
         std::cerr << "FAIL: resilient stack lost goodput on "
                   << (grid.size() - static_cast<std::size_t>(

@@ -6,6 +6,7 @@
 
 #include "cache/attention_study.hh"
 #include "profiler/engine.hh"
+#include "verify/memory.hh"
 #include "runtime/parallel.hh"
 #include "runtime/profile_cache.hh"
 #include "util/logging.hh"
@@ -169,12 +170,31 @@ probeCacheHitRates(const graph::Pipeline& p, const LintOptions& opts,
     }
 }
 
+/** Memory-liveness lints: S013 dataflow, P011 conservation, P010. */
+void
+lintMemory(const graph::Pipeline& p, const LintOptions& opts,
+           verify::DiagnosticReport& report)
+{
+    const kernels::CostModel model(
+        opts.gpu, graph::AttentionBackend::Flash,
+        kernels::EfficiencyParams::defaults());
+    const exec::ExecutionPlan plan = exec::lowerPipeline(p, model);
+    const exec::Timeline timeline =
+        exec::TimelineScheduler(opts.gpu).schedule(plan);
+    report.merge(verify::verifyMemory(
+        plan, timeline, opts.gpu, verify::PhysicsContext{p.name, ""},
+        verify::Severity::Error));
+}
+
 } // namespace
 
 verify::DiagnosticReport
 lintPipeline(const graph::Pipeline& pipeline, const LintOptions& opts)
 {
-    verify::DiagnosticReport report = verify::verifyPipeline(pipeline);
+    verify::DiagnosticReport report;
+    for (const std::string& rule : opts.suppressRules)
+        report.suppressRule(rule);
+    report.merge(verify::verifyPipeline(pipeline));
     // A structurally broken graph would only produce noise (or throw)
     // downstream; physics lints require a clean graph.
     if (report.hasErrors() || !opts.physics)
@@ -195,6 +215,9 @@ lintPipeline(const graph::Pipeline& pipeline, const LintOptions& opts)
         if (backend == graph::AttentionBackend::Flash)
             flash_seconds = res->totalSeconds;
     }
+
+    if (opts.memory)
+        lintMemory(pipeline, opts, report);
 
     if (opts.probes) {
         if (flash_seconds == 0.0) {

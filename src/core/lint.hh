@@ -37,6 +37,20 @@ struct LintOptions
      * pipeline a few extra times).
      */
     bool probes = true;
+
+    /**
+     * Run the memory-liveness pass (S013 dataflow, P011 byte
+     * conservation, P010 capacity at Error — lint is where exceeding
+     * the device is a failure, unlike the profiler's warning).
+     */
+    bool memory = true;
+
+    /**
+     * Rule ids to drop entirely (severity totals included), e.g.
+     * "P010" when auditing a model known not to fit the lint GPU.
+     * Suppressing one rule never masks findings of another.
+     */
+    std::vector<std::string> suppressRules;
 };
 
 /** Lint one pipeline (structural, then physics when clean). */

@@ -78,6 +78,12 @@ lowerTrace(const graph::Trace& trace, std::size_t stage_index,
             pop.seqKv = a.seqKv;
             pop.attnKind = a.kind;
         }
+        const kernels::OpMemoryDemand dem = model.memoryDemand(op);
+        pop.inputBytes = dem.inputBytes;
+        pop.outputBytes = dem.outputBytes;
+        pop.weightResidentBytes = dem.weightResidentBytes;
+        pop.weightReadBytes = dem.weightReadBytes;
+        pop.workspaceBytes = dem.workspaceBytes;
         pop.firstNode = plan.nodes.size();
 
         std::int32_t weight_node = -1;

@@ -78,6 +78,20 @@ struct PlanOp
     std::int64_t seqKv = -1;
     graph::AttentionKind attnKind = graph::AttentionKind::SelfSpatial;
 
+    // -- per-instance memory demand (kernels::OpMemoryDemand, captured
+    //    at lowering so liveness analysis needs only the plan) --
+
+    /** Activation operand bytes the op reads. */
+    double inputBytes = 0.0;
+    /** Activation result bytes the op writes. */
+    double outputBytes = 0.0;
+    /** Parameter bytes resident while the model is loaded. */
+    double weightResidentBytes = 0.0;
+    /** Parameter traffic floor (gathered rows for embeddings). */
+    double weightReadBytes = 0.0;
+    /** Transient scratch live only across this op's own kernels. */
+    double workspaceBytes = 0.0;
+
     /** Nodes [firstNode, firstNode + nodeCount) belong to this op. */
     std::size_t firstNode = 0;
     std::size_t nodeCount = 0;

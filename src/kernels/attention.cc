@@ -52,6 +52,27 @@ qkvoBytes(const graph::AttentionAttrs& a, std::size_t dtype_bytes)
 
 namespace {
 
+/**
+ * KV-sequence splits the flash-decode kernel uses to fill the device
+ * when batch * heads * query_tiles alone cannot.
+ */
+std::int64_t
+flashDecodeSplits(const hw::GpuSpec& gpu, const graph::AttentionAttrs& a)
+{
+    const std::int64_t bh = a.batch * a.heads;
+    const std::int64_t query_tiles = (a.seqQ + 127) / 128;
+    const std::int64_t fused_ctas = bh * query_tiles;
+    std::int64_t splits = 1;
+    const std::int64_t target =
+        2 * static_cast<std::int64_t>(gpu.numSms);
+    if (fused_ctas < target) {
+        splits = std::min<std::int64_t>(
+            (target + fused_ctas - 1) / fused_ctas,
+            std::max<std::int64_t>(1, a.seqKv / 256));
+    }
+    return splits;
+}
+
 /** Total roofline time of a lowered attention cost. */
 double
 costSeconds(const hw::GpuSpec& gpu, const OpCost& cost, DType dtype)
@@ -71,6 +92,29 @@ costSeconds(const hw::GpuSpec& gpu, const OpCost& cost, DType dtype)
 }
 
 } // namespace
+
+double
+attentionWorkspaceBytes(const hw::GpuSpec& gpu,
+                        const EfficiencyParams& p,
+                        const graph::AttentionAttrs& a, DType dtype,
+                        graph::AttentionBackend backend)
+{
+    if (backend == graph::AttentionBackend::Auto)
+        backend = selectAttentionBackend(gpu, p, a, dtype);
+    const std::size_t db = dtypeBytes(dtype);
+    if (backend == graph::AttentionBackend::Baseline)
+        return similarityMatrixBytes(a, db) * p.baselineSimilarityUpcast;
+    if (backend == graph::AttentionBackend::FlashDecode) {
+        const std::int64_t splits = flashDecodeSplits(gpu, a);
+        if (splits > 1) {
+            // One (headDim + running-max + running-sum) accumulator
+            // row per split, kept until the reduction pass drains it.
+            return d(splits) * d(a.batch) * d(a.heads) * d(a.seqQ) *
+                   (d(a.headDim) + 2.0) * d(db);
+        }
+    }
+    return 0.0;
+}
 
 graph::AttentionBackend
 selectAttentionBackend(const hw::GpuSpec& gpu, const EfficiencyParams& p,
@@ -146,14 +190,7 @@ lowerAttention(const hw::GpuSpec& gpu, const EfficiencyParams& p,
     if (backend == graph::AttentionBackend::FlashDecode) {
         // Split the KV sequence so the kernel fills the device even
         // when batch * heads * query_tiles is small.
-        std::int64_t splits = 1;
-        const std::int64_t target =
-            2 * static_cast<std::int64_t>(gpu.numSms);
-        if (fused_ctas < target) {
-            splits = std::min<std::int64_t>(
-                (target + fused_ctas - 1) / fused_ctas,
-                std::max<std::int64_t>(1, a.seqKv / 256));
-        }
+        const std::int64_t splits = flashDecodeSplits(gpu, a);
         const std::int64_t ctas = fused_ctas * splits;
         const double partial_bytes =
             splits > 1 ? 2.0 * d(splits) * d(bh) * d(a.seqQ) *

@@ -37,6 +37,19 @@ double qkvoBytes(const graph::AttentionAttrs& a,
                  std::size_t dtype_bytes);
 
 /**
+ * Transient scratch an attention op keeps resident while it runs,
+ * beyond its Q/K/V/O operands: the materialized (fp32-upcast)
+ * similarity matrix for the eager baseline, the split-KV partial
+ * accumulators for flash-decode, nothing for fused flash. Auto
+ * resolves to the backend the time model would pick for the shape.
+ */
+double attentionWorkspaceBytes(const hw::GpuSpec& gpu,
+                               const EfficiencyParams& p,
+                               const graph::AttentionAttrs& a,
+                               DType dtype,
+                               graph::AttentionBackend backend);
+
+/**
  * Lower one attention op to its device kernels under a backend.
  * AttentionBackend::Auto evaluates every concrete backend and lowers
  * with the one the time model predicts fastest for the shape.

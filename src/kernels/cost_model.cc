@@ -85,6 +85,100 @@ opWorkingSetBytes(const graph::Op& op, graph::AttentionBackend backend)
     MMGEN_ASSERT(false, "unknown op kind");
 }
 
+OpMemoryDemand
+CostModel::memoryDemand(const Op& op) const
+{
+    const double db = d(dtypeBytes(op.dtype));
+    OpMemoryDemand dem;
+    dem.weightResidentBytes =
+        static_cast<double>(graph::opParamCount(op)) * db;
+    dem.weightReadBytes = dem.weightResidentBytes;
+    switch (op.kind) {
+      case OpKind::Conv2D:
+      case OpKind::Conv3D: {
+        const auto& a = op.as<graph::ConvAttrs>();
+        dem.inputBytes =
+            d(a.batch * a.inChannels * a.inD * a.inH * a.inW) * db;
+        dem.outputBytes =
+            d(a.batch * a.outChannels * a.outD() * a.outH() *
+              a.outW()) *
+            db;
+        return dem;
+      }
+      case OpKind::Linear: {
+        const auto& a = op.as<graph::LinearAttrs>();
+        dem.inputBytes = d(a.rows * a.inFeatures) * db;
+        dem.outputBytes = d(a.rows * a.outFeatures) * db;
+        return dem;
+      }
+      case OpKind::Matmul: {
+        const auto& a = op.as<graph::MatmulAttrs>();
+        dem.inputBytes =
+            d(a.batch) * (d(a.m * a.k) + d(a.k * a.n)) * db;
+        dem.outputBytes = d(a.batch) * d(a.m * a.n) * db;
+        return dem;
+      }
+      case OpKind::Attention: {
+        const auto& a = op.as<graph::AttentionAttrs>();
+        const double q =
+            d(a.batch) * d(a.heads) * d(a.seqQ) * d(a.headDim) * db;
+        const double kv = 2.0 * d(a.batch) * d(a.heads) * d(a.seqKv) *
+                          d(a.headDim) * db;
+        dem.inputBytes = q + kv;
+        dem.outputBytes = q; // O has Q's shape
+        dem.workspaceBytes = attentionWorkspaceBytes(
+            gpu_, params_, a, op.dtype, backend_);
+        return dem;
+      }
+      case OpKind::GroupNorm:
+      case OpKind::LayerNorm: {
+        const auto& a = op.as<graph::NormAttrs>();
+        dem.inputBytes = d(a.numel) * db;
+        dem.outputBytes = d(a.numel) * db;
+        // The cost model folds the tiny affine read into its streamed
+        // 3 * numel traffic; charging it again here would claim more
+        // traffic than the kernels move for skinny tensors.
+        dem.weightReadBytes = 0.0;
+        return dem;
+      }
+      case OpKind::Softmax: {
+        const auto& a = op.as<graph::SoftmaxAttrs>();
+        dem.inputBytes = d(a.rows * a.cols) * db;
+        dem.outputBytes = d(a.rows * a.cols) * db;
+        return dem;
+      }
+      case OpKind::Elementwise: {
+        const auto& a = op.as<graph::ElemAttrs>();
+        dem.inputBytes = d(a.arity) * d(a.numel) * db;
+        dem.outputBytes = d(a.numel) * db;
+        return dem;
+      }
+      case OpKind::Embedding: {
+        const auto& a = op.as<graph::EmbeddingAttrs>();
+        // Token indices are negligible; the gather reads table rows
+        // (parameter traffic) and writes the embedded activations.
+        dem.inputBytes = 0.0;
+        dem.outputBytes = d(a.tokens * a.dim) * db;
+        dem.weightReadBytes = d(a.tokens * a.dim) * db;
+        return dem;
+      }
+      case OpKind::Upsample:
+      case OpKind::Downsample: {
+        const auto& a = op.as<graph::ResampleAttrs>();
+        dem.inputBytes = d(a.numelIn) * db;
+        dem.outputBytes = d(a.numelOut) * db;
+        return dem;
+      }
+      case OpKind::Copy: {
+        const auto& a = op.as<graph::CopyAttrs>();
+        dem.inputBytes = d(a.bytes);
+        dem.outputBytes = d(a.bytes);
+        return dem;
+      }
+    }
+    MMGEN_ASSERT(false, "unknown op kind");
+}
+
 CostModel::CostModel(const hw::GpuSpec& gpu,
                      graph::AttentionBackend backend,
                      const EfficiencyParams& params)

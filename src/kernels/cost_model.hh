@@ -41,6 +41,31 @@ double opWorkingSetBytes(const graph::Op& op,
                              graph::AttentionBackend::Baseline);
 
 /**
+ * Device-memory demand of one op instance, decomposed the way a
+ * liveness analysis consumes it: activation operands read, activation
+ * results written, resident parameters, the parameter *traffic* floor
+ * (differs from residency only for embedding gathers, which read rows
+ * but keep the whole table resident), and transient scratch that
+ * lives only while the op runs. By construction
+ * `inputBytes + outputBytes + weightReadBytes` never exceeds the sum
+ * of the op's lowered kernel HBM traffic — the invariant verify rule
+ * P011 enforces over every lowered plan.
+ */
+struct OpMemoryDemand
+{
+    /** Activation operand bytes read (excludes parameters). */
+    double inputBytes = 0.0;
+    /** Activation result bytes written. */
+    double outputBytes = 0.0;
+    /** Parameter bytes resident while the model is loaded. */
+    double weightResidentBytes = 0.0;
+    /** Parameter bytes the op's kernels must stream (traffic floor). */
+    double weightReadBytes = 0.0;
+    /** Transient scratch live only during the op's own kernels. */
+    double workspaceBytes = 0.0;
+};
+
+/**
  * Shape-driven performance model for all op kinds.
  */
 class CostModel
@@ -57,6 +82,9 @@ class CostModel
 
     /** Lower an op to its device kernels with work estimates. */
     OpCost cost(const graph::Op& op) const;
+
+    /** Memory demand of an op under this model's backend and GPU. */
+    OpMemoryDemand memoryDemand(const graph::Op& op) const;
 
     /** Execution-time estimate for an op (repeat count applied). */
     OpTime time(const graph::Op& op) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "verify/memory.hh"
 #include "verify/timeline.hh"
 #include "verify/verify.hh"
 
@@ -133,9 +134,20 @@ Profiler::profile(const graph::Pipeline& pipeline) const
 
     if (verify::runtimeChecksEnabled()) {
         verify::DiagnosticReport physics;
-        verify::checkTimeline(*plan, timeline,
-                              verify::PhysicsContext{result.model, ""},
-                              physics);
+        const verify::PhysicsContext ctx{result.model, ""};
+        verify::checkTimeline(*plan, timeline, ctx, physics);
+        // Memory pass: dataflow integrity and byte conservation are
+        // hard errors; capacity is a warning here because the profiler
+        // legitimately simulates models on GPUs they do not fit (the
+        // latency numbers stay valid — only serving admission cares).
+        verify::checkPlanDataflow(*plan, ctx, physics);
+        if (!physics.fired(verify::rules::DanglingDefUse)) {
+            const exec::MemoryProfile mem =
+                exec::analyzeMemory(*plan, timeline);
+            verify::checkMemoryProfile(*plan, mem, opts.gpu, ctx,
+                                       physics,
+                                       verify::Severity::Warn);
+        }
         // The aggregate roofline check only speaks about serialized
         // time; an overlapped schedule legitimately moves bytes on two
         // streams at once, so it runs for seed-equivalent runs only.

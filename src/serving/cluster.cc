@@ -472,12 +472,23 @@ simulateCluster(const ClusterConfig& cfg,
     cluster.domainAvailability = plan.domainAvailability(horizon);
     cluster.replicas.resize(static_cast<std::size_t>(numReplicas));
 
+    // Memory-aware batch ceiling (see simulateServing): the static
+    // liveness bound clamps dispatch; zero sheds every arrival.
+    const int effective_max_batch =
+        cfg.resilience.admission.hasMemoryBound()
+            ? static_cast<int>(std::min<std::int64_t>(
+                  cfg.maxBatch,
+                  cfg.resilience.admission.memoryFeasibleBatch))
+            : cfg.maxBatch;
+    report.effectiveMaxBatch = effective_max_batch;
+    const int rate_batch = std::max(effective_max_batch, 1);
+
     // Offered load versus full-batch fleet capacity.
     double capacity = 0.0;
     for (const ReplicaSpec& rep : cfg.replicas) {
         const double batch_rate =
-            static_cast<double>(cfg.maxBatch) /
-            rep.latency.batchSeconds(cfg.maxBatch);
+            static_cast<double>(rate_batch) /
+            rep.latency.batchSeconds(rate_batch);
         capacity += batch_rate * static_cast<double>(rep.numGpus);
     }
     report.offeredLoad = cfg.arrivalRate / capacity;
@@ -862,6 +873,8 @@ simulateCluster(const ClusterConfig& cfg,
     };
 
     auto dispatch = [&](double now) {
+        if (effective_max_batch == 0)
+            return; // memory-infeasible: nothing may be scheduled
         for (int r = 0; r < numReplicas; ++r) {
             const std::size_t ri = static_cast<std::size_t>(r);
             if (breakerOn && bstate[ri] == BreakerState::Open)
@@ -940,7 +953,7 @@ simulateCluster(const ClusterConfig& cfg,
                 const int batch = static_cast<int>(
                     std::min<std::size_t>(queue.size(),
                                           static_cast<std::size_t>(
-                                              cfg.maxBatch)));
+                                              effective_max_batch)));
                 double service = rep.latency.batchSeconds(batch) *
                                  slowdownAt(free_gpu, now);
                 if (degrade)
@@ -1127,9 +1140,17 @@ simulateCluster(const ClusterConfig& cfg,
             // Arrival event.
             const double now = next_arrival;
             ++report.arrived;
-            if (cfg.resilience.admission.enabled() &&
-                totalQueued() >=
-                    cfg.resilience.admission.maxQueueLength) {
+            if (effective_max_batch == 0) {
+                // Not even a batch of one fits any replica's GPU:
+                // shed with a memory rejection, never queue.
+                ++report.shed;
+                ++report.memoryShed;
+                if (trace != nullptr)
+                    trace->instant(lifecycle_track, "shed_memory", now,
+                                   "lifecycle");
+            } else if (cfg.resilience.admission.enabled() &&
+                       totalQueued() >=
+                           cfg.resilience.admission.maxQueueLength) {
                 ++report.shed;
                 if (trace != nullptr)
                     trace->instant(lifecycle_track, "shed", now,
@@ -1364,8 +1385,11 @@ simulateCluster(const ClusterConfig& cfg,
         report.p50Latency = percentile(latencies, 50.0);
         report.p95Latency = percentile(latencies, 95.0);
     }
-    if (!batch_sizes.empty())
+    if (!batch_sizes.empty()) {
         report.meanBatch = summarize(batch_sizes).mean;
+        report.maxBatchDispatched = static_cast<std::int64_t>(
+            *std::max_element(batch_sizes.begin(), batch_sizes.end()));
+    }
     report.throughput =
         static_cast<double>(report.completed - report.drainCompleted) /
         horizon;

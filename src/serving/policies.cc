@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/memory.hh"
 #include "serving/simulator.hh"
 #include "util/logging.hh"
 
@@ -54,12 +55,25 @@ degradationFromPipelines(const graph::Pipeline& full,
     return policy;
 }
 
+AdmissionPolicy
+memoryAwareAdmission(const graph::Pipeline& pipeline,
+                     const hw::GpuSpec& gpu,
+                     std::int64_t maxQueueLength)
+{
+    AdmissionPolicy policy;
+    policy.maxQueueLength = maxQueueLength;
+    policy.memoryFeasibleBatch =
+        exec::maxFeasibleBatch(pipeline, gpu);
+    return policy;
+}
+
 bool
 ResilienceConfig::trivial() const
 {
     return !faults.any() && retry.maxRetries == 0 &&
            !deadline.hasDeadline() && !deadline.hasTimeout() &&
-           !admission.enabled() && !degradation.enabled();
+           !admission.enabled() && !admission.hasMemoryBound() &&
+           !degradation.enabled();
 }
 
 void
@@ -86,6 +100,10 @@ ResilienceConfig::validate() const
     MMGEN_CHECK(admission.maxQueueLength >= 0,
                 "admission queue bound must be non-negative, got "
                     << admission.maxQueueLength);
+    MMGEN_CHECK(admission.memoryFeasibleBatch >= -1,
+                "memory-feasible batch must be -1 (unset) or "
+                "non-negative, got "
+                    << admission.memoryFeasibleBatch);
     MMGEN_CHECK(degradation.queueThreshold >= 0,
                 "degradation threshold must be non-negative, got "
                     << degradation.queueThreshold);

@@ -65,7 +65,18 @@ struct AdmissionPolicy
     /** Reject arrivals once this many requests wait (0 = admit all). */
     std::int64_t maxQueueLength = 0;
 
+    /**
+     * Static memory-feasibility bound from the liveness analyzer
+     * (`exec::maxFeasibleBatch`): the largest batch whose scheduled
+     * peak fits the GPU. -1 = unset (no memory awareness). 0 = not
+     * even one request fits, so every arrival is shed with a memory
+     * rejection rather than dispatched into certain OOM. Positive
+     * values clamp the dispatch batch below `ServingConfig::maxBatch`.
+     */
+    std::int64_t memoryFeasibleBatch = -1;
+
     bool enabled() const { return maxQueueLength > 0; }
+    bool hasMemoryBound() const { return memoryFeasibleBatch >= 0; }
 };
 
 /**
@@ -101,6 +112,18 @@ DegradationPolicy
 degradationFromPipelines(const graph::Pipeline& full,
                          const graph::Pipeline& degraded,
                          const hw::GpuSpec& gpu, double qualityCost);
+
+/**
+ * Build a memory-aware admission policy: the queue bound is the
+ * caller's, and `memoryFeasibleBatch` comes from the static liveness
+ * analyzer (`exec::maxFeasibleBatch` of the pipeline on the serving
+ * GPU), so the simulator never schedules a batch whose peak resident
+ * bytes exceed the device.
+ */
+AdmissionPolicy
+memoryAwareAdmission(const graph::Pipeline& pipeline,
+                     const hw::GpuSpec& gpu,
+                     std::int64_t maxQueueLength = 0);
 
 /** Everything the fault-tolerant simulator needs beyond the basics. */
 struct ResilienceConfig

@@ -182,10 +182,25 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
     ServingReport report;
     report.meanAvailability = plan.meanAvailability(horizon);
 
-    // Per-request max throughput of the pool at full batching.
+    // Memory-aware batch ceiling: the static liveness bound (when the
+    // admission policy carries one) clamps how large a batch may be
+    // dispatched; a bound of zero means not even one request fits and
+    // every arrival is shed below. Unset reproduces cfg.maxBatch, so
+    // the default path is unchanged.
+    const int effective_max_batch =
+        resilience.admission.hasMemoryBound()
+            ? static_cast<int>(std::min<std::int64_t>(
+                  cfg.maxBatch,
+                  resilience.admission.memoryFeasibleBatch))
+            : cfg.maxBatch;
+    report.effectiveMaxBatch = effective_max_batch;
+
+    // Per-request max throughput of the pool at full batching (the
+    // infeasible case rates a batch of one; everything is shed anyway).
+    const int rate_batch = std::max(effective_max_batch, 1);
     const double batch_rate =
-        static_cast<double>(cfg.maxBatch) /
-        latency.batchSeconds(cfg.maxBatch);
+        static_cast<double>(rate_batch) /
+        latency.batchSeconds(rate_batch);
     report.offeredLoad =
         cfg.arrivalRate / (batch_rate * cfg.numGpus);
 
@@ -338,6 +353,8 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
     };
 
     auto dispatch = [&](double now) {
+        if (effective_max_batch == 0)
+            return; // memory-infeasible: nothing may be scheduled
         while (!queue.empty()) {
             // Lazily expire queued requests whose deadline already
             // passed — serving them would be wasted work.
@@ -373,7 +390,7 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
             const int batch = static_cast<int>(
                 std::min<std::size_t>(queue.size(),
                                       static_cast<std::size_t>(
-                                          cfg.maxBatch)));
+                                          effective_max_batch)));
             double service = latency.batchSeconds(batch) *
                              plan.gpus[gi].slowdown;
             if (degrade)
@@ -432,9 +449,18 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
             // Arrival event.
             const double now = next_arrival;
             ++report.arrived;
-            if (resilience.admission.enabled() &&
-                static_cast<std::int64_t>(queue.size()) >=
-                    resilience.admission.maxQueueLength) {
+            if (effective_max_batch == 0) {
+                // Not even a batch of one fits the GPU: admitting the
+                // request could only ever OOM, so it is shed with a
+                // memory rejection rather than queued.
+                ++report.shed;
+                ++report.memoryShed;
+                if (trace != nullptr)
+                    trace->instant(lifecycle_track, "shed_memory", now,
+                                   "lifecycle");
+            } else if (resilience.admission.enabled() &&
+                       static_cast<std::int64_t>(queue.size()) >=
+                           resilience.admission.maxQueueLength) {
                 ++report.shed;
                 if (trace != nullptr)
                     trace->instant(lifecycle_track, "shed", now,
@@ -549,8 +575,11 @@ simulateServing(const ServingConfig& cfg, const LatencyModel& latency,
         report.p50Latency = percentile(latencies, 50.0);
         report.p95Latency = percentile(latencies, 95.0);
     }
-    if (!batch_sizes.empty())
+    if (!batch_sizes.empty()) {
         report.meanBatch = summarize(batch_sizes).mean;
+        report.maxBatchDispatched = static_cast<std::int64_t>(
+            *std::max_element(batch_sizes.begin(), batch_sizes.end()));
+    }
     report.throughput =
         static_cast<double>(report.completed - report.drainCompleted) /
         horizon;

@@ -125,6 +125,12 @@ struct ServingReport
     std::int64_t degraded = 0;
     /** `degraded` as a fraction of completions. */
     double degradedFraction = 0.0;
+    /** Of `shed`, arrivals rejected because no batch fits the GPU. */
+    std::int64_t memoryShed = 0;
+    /** Dispatch batch ceiling after the memory-feasibility clamp. */
+    std::int64_t effectiveMaxBatch = 0;
+    /** Largest batch actually dispatched (0 when none formed). */
+    std::int64_t maxBatchDispatched = 0;
     /** GPU busy-seconds destroyed by faults and batch timeouts. */
     double lostGpuSeconds = 0.0;
     /** Mean per-GPU availability under the injected fault plan. */

@@ -39,6 +39,7 @@ publishServingMetrics(telemetry::MetricsRegistry& registry,
     count("serving.requests_expired", report.expired);
     count("serving.requests_dropped", report.dropped);
     count("serving.requests_degraded", report.degraded);
+    count("serving.requests_shed_memory", report.memoryShed);
     count("serving.retries", report.retries);
     count("serving.drain_completed", report.drainCompleted);
     count("serving.hedges_issued", report.hedgesIssued);
@@ -57,6 +58,10 @@ publishServingMetrics(telemetry::MetricsRegistry& registry,
     gauge("serving.backlog", static_cast<double>(report.backlog));
     gauge("serving.deadline_miss_rate", report.deadlineMissRate);
     gauge("serving.shed_fraction", report.shedFraction);
+    gauge("serving.effective_max_batch",
+          static_cast<double>(report.effectiveMaxBatch));
+    gauge("serving.max_batch_dispatched",
+          static_cast<double>(report.maxBatchDispatched));
     gauge("serving.mean_latency_seconds", report.meanLatency);
     gauge("serving.p95_latency_seconds", report.p95Latency);
     gauge("serving.hedge_wasted_seconds", report.hedgeWastedSeconds);
@@ -98,6 +103,9 @@ reportsBitIdentical(const ServingReport& a, const ServingReport& b)
            a.expired == b.expired && a.dropped == b.dropped &&
            a.degraded == b.degraded &&
            a.degradedFraction == b.degradedFraction &&
+           a.memoryShed == b.memoryShed &&
+           a.effectiveMaxBatch == b.effectiveMaxBatch &&
+           a.maxBatchDispatched == b.maxBatchDispatched &&
            a.lostGpuSeconds == b.lostGpuSeconds &&
            a.meanAvailability == b.meanAvailability &&
            a.hedgesIssued == b.hedgesIssued &&

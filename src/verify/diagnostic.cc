@@ -45,6 +45,10 @@ Diagnostic::str() const
 void
 DiagnosticReport::add(Diagnostic d)
 {
+    if (isSuppressed(d.rule)) {
+        ++ruleSuppressed;
+        return;
+    }
     switch (d.severity) {
       case Severity::Error:
         ++errors;
@@ -74,6 +78,21 @@ DiagnosticReport::merge(const DiagnosticReport& other)
     for (const Diagnostic& d : other.diags)
         add(d);
     suppressed += other.suppressed;
+    ruleSuppressed += other.ruleSuppressed;
+}
+
+void
+DiagnosticReport::suppressRule(const std::string& rule)
+{
+    if (!isSuppressed(rule))
+        suppressedRules.push_back(rule);
+}
+
+bool
+DiagnosticReport::isSuppressed(const std::string& rule) const
+{
+    return std::find(suppressedRules.begin(), suppressedRules.end(),
+                     rule) != suppressedRules.end();
 }
 
 std::int64_t
@@ -138,22 +157,21 @@ std::string
 DiagnosticReport::toJson() const
 {
     std::ostringstream oss;
-    oss << "[";
-    for (std::size_t i = 0; i < diags.size(); ++i) {
-        const Diagnostic& d = diags[i];
-        if (i > 0)
-            oss << ",";
-        oss << "\n  {\"severity\": \"" << severityName(d.severity)
-            << "\", \"rule\": \"" << escape(d.rule)
-            << "\", \"model\": \"" << escape(d.model)
-            << "\", \"stage\": \"" << escape(d.stage)
-            << "\", \"scope\": \"" << escape(d.scope)
-            << "\", \"message\": \"" << escape(d.message)
-            << "\", \"hint\": \"" << escape(d.hint) << "\"}";
+    json::Writer w(oss);
+    w.beginArray();
+    for (const Diagnostic& d : diags) {
+        w.beginObject()
+            .field("severity", severityName(d.severity))
+            .field("rule", d.rule)
+            .field("model", d.model)
+            .field("stage", d.stage)
+            .field("scope", d.scope)
+            .field("message", d.message)
+            .field("hint", d.hint)
+            .endObject();
     }
-    if (!diags.empty())
-        oss << "\n";
-    oss << "]";
+    w.endArray();
+    MMGEN_ASSERT(w.complete(), "diagnostic JSON left containers open");
     return oss.str();
 }
 

@@ -68,6 +68,21 @@ class DiagnosticReport
     /** Append every finding of another report. */
     void merge(const DiagnosticReport& other);
 
+    /**
+     * Drop all future findings of one rule id. Unlike the per-stage
+     * noise cap, rule suppression removes the findings from the
+     * severity totals too, so suppressing a noisy rule cannot hide
+     * errors other rules report (e.g. suppressing P010 never masks
+     * S013). Already-recorded findings are unaffected.
+     */
+    void suppressRule(const std::string& rule);
+
+    /** True when findings of this rule are being dropped. */
+    bool isSuppressed(const std::string& rule) const;
+
+    /** Findings dropped by `suppressRule` (not the noise cap). */
+    std::int64_t ruleSuppressedCount() const { return ruleSuppressed; }
+
     const std::vector<Diagnostic>& diagnostics() const { return diags; }
 
     /** Total findings counted at a severity, including suppressed. */
@@ -96,10 +111,12 @@ class DiagnosticReport
 
   private:
     std::vector<Diagnostic> diags;
+    std::vector<std::string> suppressedRules;
     std::int64_t errors = 0;
     std::int64_t warnings = 0;
     std::int64_t infos = 0;
     std::int64_t suppressed = 0;
+    std::int64_t ruleSuppressed = 0;
 };
 
 } // namespace mmgen::verify

@@ -1,0 +1,293 @@
+#include "memory.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mmgen::verify {
+
+namespace {
+
+/** Relative slack for floating-point bound comparisons. */
+constexpr double kRelTol = 1e-6;
+
+/** a <= b up to relative rounding slack on either magnitude. */
+bool
+atMost(double a, double b)
+{
+    return a <= b + kRelTol * std::max({std::fabs(a), std::fabs(b), 1.0});
+}
+
+std::string
+gib(double bytes)
+{
+    std::ostringstream oss;
+    oss.precision(3);
+    oss << std::fixed << bytes / (1024.0 * 1024.0 * 1024.0) << " GiB";
+    return oss.str();
+}
+
+void
+addFinding(DiagnosticReport& report, Severity sev, const char* rule,
+           const PhysicsContext& ctx, const std::string& scope,
+           std::string msg, std::string hint = "")
+{
+    report.add(Diagnostic{sev, rule, ctx.model, ctx.stage, scope,
+                          std::move(msg), std::move(hint)});
+}
+
+/** P011: a byte quantity of the memory model must be sane. */
+bool
+finiteBytes(DiagnosticReport& report, const PhysicsContext& ctx,
+            const std::string& scope, const char* what, double value)
+{
+    if (std::isfinite(value) && value >= 0.0)
+        return true;
+    std::ostringstream oss;
+    oss << what << " = " << value << " is not finite and non-negative";
+    addFinding(report, Severity::Error, rules::MemoryConservation, ctx,
+               scope, oss.str());
+    return false;
+}
+
+} // namespace
+
+void
+checkPlanDataflow(const exec::ExecutionPlan& plan,
+                  const PhysicsContext& ctx, DiagnosticReport& report)
+{
+    // ---- op ranges must tile the node list contiguously --------------
+    std::size_t expect_first = 0;
+    for (std::size_t oi = 0; oi < plan.ops.size(); ++oi) {
+        const exec::PlanOp& op = plan.ops[oi];
+        if (op.nodeCount == 0) {
+            addFinding(report, Severity::Error, rules::DanglingDefUse,
+                       ctx, op.scope, "op lowered to zero kernels",
+                       "every traced op must own at least one node");
+            continue;
+        }
+        if (op.firstNode != expect_first ||
+            op.firstNode + op.nodeCount > plan.nodes.size()) {
+            std::ostringstream oss;
+            oss << "op node range [" << op.firstNode << ", "
+                << op.firstNode + op.nodeCount << ") does not tile the "
+                << plan.nodes.size() << "-node plan (expected start "
+                << expect_first << ")";
+            addFinding(report, Severity::Error, rules::DanglingDefUse,
+                       ctx, op.scope, oss.str());
+            return; // ranges unusable; later checks would cascade
+        }
+        for (std::size_t n = op.firstNode;
+             n < op.firstNode + op.nodeCount; ++n) {
+            if (plan.nodes[n].opIndex != oi) {
+                std::ostringstream oss;
+                oss << "node " << n << " claims op "
+                    << plan.nodes[n].opIndex << " but lies in the range "
+                    << "of op " << oi;
+                addFinding(report, Severity::Error,
+                           rules::DanglingDefUse, ctx, op.scope,
+                           oss.str());
+            }
+        }
+        expect_first = op.firstNode + op.nodeCount;
+    }
+    if (expect_first != plan.nodes.size()) {
+        std::ostringstream oss;
+        oss << "op ranges cover " << expect_first << " of "
+            << plan.nodes.size() << " nodes";
+        addFinding(report, Severity::Error, rules::DanglingDefUse, ctx,
+                   "plan", oss.str());
+    }
+
+    // ---- dependency edges point strictly backwards -------------------
+    for (std::size_t n = 0; n < plan.nodes.size(); ++n) {
+        const exec::PlanNode& node = plan.nodes[n];
+        for (std::int32_t d : node.deps) {
+            if (d < 0 || static_cast<std::size_t>(d) >= n) {
+                std::ostringstream oss;
+                oss << "node " << n << " (" << node.label
+                    << ") depends on node " << d
+                    << ", which no predecessor defines";
+                addFinding(report, Severity::Error,
+                           rules::DanglingDefUse, ctx,
+                           plan.ops[node.opIndex].scope, oss.str(),
+                           "dependency edges must point at lower "
+                           "node indices");
+            }
+        }
+    }
+
+    // ---- staged weights sit on the copy lane and are consumed --------
+    for (std::size_t n = 0; n < plan.nodes.size(); ++n) {
+        const exec::PlanNode& node = plan.nodes[n];
+        if (!node.weightStream)
+            continue;
+        const exec::PlanOp& op = plan.ops[node.opIndex];
+        if (node.lane != exec::Lane::Copy) {
+            std::ostringstream oss;
+            oss << "weight-stream node " << n
+                << " runs on the compute lane";
+            addFinding(report, Severity::Error, rules::DanglingDefUse,
+                       ctx, op.scope, oss.str());
+        }
+        bool consumed = false;
+        for (std::size_t j = n + 1;
+             j < op.firstNode + op.nodeCount && !consumed; ++j) {
+            const exec::PlanNode& reader = plan.nodes[j];
+            if (reader.lane != exec::Lane::Compute)
+                continue;
+            consumed = std::find(reader.deps.begin(), reader.deps.end(),
+                                 static_cast<std::int32_t>(n)) !=
+                       reader.deps.end();
+        }
+        if (!consumed) {
+            std::ostringstream oss;
+            oss << "weight-stream node " << n
+                << " stages bytes no compute kernel of its op reads";
+            addFinding(report, Severity::Error, rules::DanglingDefUse,
+                       ctx, op.scope, oss.str(),
+                       "the consumer's first compute kernel must "
+                       "depend on the prefetch");
+        }
+    }
+
+    // ---- the compute chain is serial: each compute node depends on
+    //      its compute predecessor, so activations flow op to op ------
+    std::size_t prev_compute = plan.nodes.size();
+    for (std::size_t n = 0; n < plan.nodes.size(); ++n) {
+        const exec::PlanNode& node = plan.nodes[n];
+        if (node.lane != exec::Lane::Compute)
+            continue;
+        if (prev_compute < plan.nodes.size()) {
+            const bool chained =
+                std::find(node.deps.begin(), node.deps.end(),
+                          static_cast<std::int32_t>(prev_compute)) !=
+                node.deps.end();
+            if (!chained) {
+                std::ostringstream oss;
+                oss << "compute node " << n << " (" << node.label
+                    << ") is not chained to compute predecessor "
+                    << prev_compute
+                    << "; its input activation has no defining edge";
+                addFinding(report, Severity::Error,
+                           rules::DanglingDefUse, ctx,
+                           plan.ops[node.opIndex].scope, oss.str());
+            }
+        }
+        prev_compute = n;
+    }
+}
+
+void
+checkMemoryProfile(const exec::ExecutionPlan& plan,
+                   const exec::MemoryProfile& profile,
+                   const hw::GpuSpec& gpu, const PhysicsContext& ctx,
+                   DiagnosticReport& report, Severity capacitySeverity)
+{
+    // ---- P011: profile quantities are sane and ordered ---------------
+    bool sane = true;
+    sane &= finiteBytes(report, ctx, "profile", "weightBytes",
+                        profile.weightBytes);
+    sane &= finiteBytes(report, ctx, "profile", "programPeakBytes",
+                        profile.programPeakBytes);
+    sane &= finiteBytes(report, ctx, "profile", "scheduledPeakBytes",
+                        profile.scheduledPeakBytes);
+    sane &= finiteBytes(report, ctx, "profile", "noReuseBytes",
+                        profile.noReuseBytes);
+    sane &= finiteBytes(report, ctx, "profile", "scheduledPeakSeconds",
+                        profile.scheduledPeakSeconds);
+    if (sane) {
+        const struct
+        {
+            const char* lo;
+            double loBytes;
+            const char* hi;
+            double hiBytes;
+        } bounds[] = {
+            {"weightBytes", profile.weightBytes, "programPeakBytes",
+             profile.programPeakBytes},
+            {"programPeakBytes", profile.programPeakBytes,
+             "scheduledPeakBytes", profile.scheduledPeakBytes},
+            {"scheduledPeakBytes", profile.scheduledPeakBytes,
+             "noReuseBytes", profile.noReuseBytes},
+        };
+        for (const auto& b : bounds) {
+            if (atMost(b.loBytes, b.hiBytes))
+                continue;
+            std::ostringstream oss;
+            oss << b.lo << " = " << gib(b.loBytes) << " exceeds "
+                << b.hi << " = " << gib(b.hiBytes);
+            addFinding(report, Severity::Error,
+                       rules::MemoryConservation, ctx, "profile",
+                       oss.str(),
+                       "peak bounds must order weights <= program <= "
+                       "scheduled <= no-reuse");
+        }
+    }
+
+    // ---- P011: per-op demand conserved against cost-model traffic ----
+    for (const exec::PlanOp& op : plan.ops) {
+        bool op_sane = true;
+        op_sane &= finiteBytes(report, ctx, op.scope, "inputBytes",
+                               op.inputBytes);
+        op_sane &= finiteBytes(report, ctx, op.scope, "outputBytes",
+                               op.outputBytes);
+        op_sane &= finiteBytes(report, ctx, op.scope,
+                               "weightResidentBytes",
+                               op.weightResidentBytes);
+        op_sane &= finiteBytes(report, ctx, op.scope, "weightReadBytes",
+                               op.weightReadBytes);
+        op_sane &= finiteBytes(report, ctx, op.scope, "workspaceBytes",
+                               op.workspaceBytes);
+        if (!op_sane || op.firstNode + op.nodeCount > plan.nodes.size())
+            continue;
+        double traffic = 0.0;
+        for (std::size_t n = op.firstNode;
+             n < op.firstNode + op.nodeCount; ++n)
+            traffic += plan.nodes[n].hbmBytes;
+        const double demand =
+            op.inputBytes + op.outputBytes + op.weightReadBytes;
+        if (!atMost(demand, traffic)) {
+            std::ostringstream oss;
+            oss << "liveness demand " << demand
+                << " B (in + out + weight reads) exceeds the "
+                << traffic << " B of HBM traffic the cost model "
+                << "charged";
+            addFinding(report, Severity::Error,
+                       rules::MemoryConservation, ctx, op.scope,
+                       oss.str(),
+                       "every live byte must be moved at least once "
+                       "by some kernel of the op");
+        }
+    }
+
+    // ---- P010: the scheduled peak fits the device --------------------
+    if (sane && !atMost(profile.scheduledPeakBytes, gpu.hbmBytes)) {
+        std::ostringstream oss;
+        oss << "peak resident memory " << gib(profile.scheduledPeakBytes)
+            << " (weights " << gib(profile.weightBytes)
+            << ") exceeds the " << gib(gpu.hbmBytes) << " of "
+            << gpu.name;
+        addFinding(report, capacitySeverity, rules::CapacityFeasible,
+                   ctx, "profile", oss.str(),
+                   "shrink the batch or resolution, or simulate a "
+                   "larger-memory GPU");
+    }
+}
+
+DiagnosticReport
+verifyMemory(const exec::ExecutionPlan& plan,
+             const exec::Timeline& timeline, const hw::GpuSpec& gpu,
+             const PhysicsContext& ctx, Severity capacitySeverity)
+{
+    DiagnosticReport report;
+    checkPlanDataflow(plan, ctx, report);
+    if (report.fired(rules::DanglingDefUse))
+        return report; // sweeping a corrupt plan would assert
+    const exec::MemoryProfile profile = analyzeMemory(plan, timeline);
+    checkMemoryProfile(plan, profile, gpu, ctx, report,
+                       capacitySeverity);
+    return report;
+}
+
+} // namespace mmgen::verify

@@ -32,6 +32,8 @@ allRules()
          "causal self-attention masks multi-token queries"},
         {rules::TraceFailure, Severity::Error, "structural",
          "every stage emitter traces without throwing"},
+        {rules::DanglingDefUse, Severity::Error, "structural",
+         "every plan node reads only buffers a predecessor defines"},
         {rules::AbovePeakFlops, Severity::Error, "physics",
          "achieved FLOP/s never exceeds the dtype peak"},
         {rules::BelowCompulsoryBytes, Severity::Error, "physics",
@@ -50,6 +52,10 @@ allRules()
          "makespan between the critical path and serialized work"},
         {rules::TelemetryConsistency, Severity::Error, "physics",
          "sampled telemetry series agree with final report aggregates"},
+        {rules::CapacityFeasible, Severity::Error, "physics",
+         "static peak memory fits the VRAM of the simulated GPU"},
+        {rules::MemoryConservation, Severity::Error, "physics",
+         "liveness byte demand reconciles with cost-model traffic"},
     };
     return registry;
 }

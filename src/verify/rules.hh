@@ -48,6 +48,8 @@ inline constexpr const char* ParamCount = "S010";
 inline constexpr const char* CausalAttention = "S011";
 /** A stage emitter threw while tracing. */
 inline constexpr const char* TraceFailure = "S012";
+/** Plan dataflow broken: a node uses a buffer no predecessor defines. */
+inline constexpr const char* DanglingDefUse = "S013";
 
 // ----- physics rules (simulated-result-level) -------------------------
 
@@ -69,6 +71,10 @@ inline constexpr const char* TimelineConsistency = "P007";
 inline constexpr const char* MakespanBound = "P008";
 /** Sampled telemetry series inconsistent with final report aggregates. */
 inline constexpr const char* TelemetryConsistency = "P009";
+/** Static peak memory exceeds the VRAM of the simulated GPU. */
+inline constexpr const char* CapacityFeasible = "P010";
+/** Liveness byte accounting inconsistent with cost-model traffic. */
+inline constexpr const char* MemoryConservation = "P011";
 
 } // namespace rules
 

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Static memory analysis over lowered plans: liveness interval
+ * sanity, the reuse-bound ordering weights <= programPeak <=
+ * scheduledPeak <= noReuse across the whole zoo and every attention
+ * backend, byte-identical profiles at any --jobs count, and the
+ * monotonicity + capacity contracts of the feasibility bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exec/liveness.hh"
+#include "exec/memory.hh"
+#include "exec/schedule.hh"
+#include "kernels/cost_model.hh"
+#include "models/model_suite.hh"
+#include "models/stable_diffusion.hh"
+#include "runtime/parallel.hh"
+#include "runtime/thread_pool.hh"
+
+namespace mmgen::exec {
+namespace {
+
+MemoryProfile
+profileModel(models::ModelId id, graph::AttentionBackend backend)
+{
+    const graph::Pipeline p = models::buildModel(id);
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    const kernels::CostModel model(gpu, backend,
+                                   kernels::EfficiencyParams::defaults());
+    const ExecutionPlan plan = lowerPipeline(p, model);
+    const Timeline timeline = TimelineScheduler(gpu).schedule(plan);
+    return analyzeMemory(plan, timeline);
+}
+
+TEST(Liveness, IntervalsAreClosedAndOrdered)
+{
+    const graph::Pipeline p =
+        models::buildModel(models::ModelId::StableDiffusion);
+    const kernels::CostModel model(
+        hw::GpuSpec::a100_80gb(), graph::AttentionBackend::Flash,
+        kernels::EfficiencyParams::defaults());
+    const ExecutionPlan plan = lowerPipeline(p, model);
+    const Liveness live = deriveLiveness(plan);
+
+    EXPECT_GT(live.weightBytes, 0.0);
+    EXPECT_FALSE(live.buffers.empty());
+    std::size_t prev_def = 0;
+    for (const LiveBuffer& b : live.buffers) {
+        EXPECT_LE(b.defNode, b.lastUseNode);
+        EXPECT_LT(b.lastUseNode, plan.nodes.size());
+        EXPECT_LT(b.opIndex, plan.ops.size());
+        EXPECT_GE(b.bytes, 0.0);
+        EXPECT_GE(b.defNode, prev_def) << "buffers not in def order";
+        prev_def = b.defNode;
+    }
+}
+
+TEST(MemoryProfile, BoundsOrderedForWholeZooEveryBackend)
+{
+    for (models::ModelId id : models::allModels()) {
+        for (graph::AttentionBackend backend :
+             {graph::AttentionBackend::Baseline,
+              graph::AttentionBackend::Flash,
+              graph::AttentionBackend::FlashDecode}) {
+            const MemoryProfile m = profileModel(id, backend);
+            const std::string what =
+                models::buildModel(id).name + "/" +
+                graph::attentionBackendName(backend);
+            EXPECT_GT(m.weightBytes, 0.0) << what;
+            EXPECT_LE(m.weightBytes, m.programPeakBytes) << what;
+            EXPECT_LE(m.programPeakBytes, m.scheduledPeakBytes)
+                << what;
+            EXPECT_LE(m.scheduledPeakBytes, m.noReuseBytes) << what;
+            EXPECT_GE(m.scheduledPeakSeconds, 0.0) << what;
+            EXPECT_FALSE(m.peakNodes.empty()) << what;
+            EXPECT_FALSE(m.stageResidency.empty()) << what;
+            // Stage residency peaks are bounded by the global
+            // program-order peak, and every stage holds the weights.
+            for (const StageResidency& s : m.stageResidency) {
+                EXPECT_GE(s.peakBytes, m.weightBytes) << what;
+                EXPECT_LE(s.peakBytes, m.programPeakBytes) << what;
+            }
+        }
+    }
+}
+
+std::vector<MemoryProfile>
+sweepZoo()
+{
+    const std::vector<models::ModelId> ids = models::allModels();
+    return runtime::parallelMap(
+        static_cast<std::int64_t>(ids.size()), [&](std::int64_t i) {
+            return profileModel(ids[static_cast<std::size_t>(i)],
+                                graph::AttentionBackend::Flash);
+        });
+}
+
+TEST(MemoryProfile, BitIdenticalAcrossJobs)
+{
+    runtime::ThreadPool::setGlobalJobs(1);
+    const std::vector<MemoryProfile> serial = sweepZoo();
+    for (const int jobs : {2, 8}) {
+        runtime::ThreadPool::setGlobalJobs(jobs);
+        const std::vector<MemoryProfile> parallel = sweepZoo();
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            // Bitwise equality, not NEAR: determinism is the contract.
+            EXPECT_EQ(parallel[i].weightBytes, serial[i].weightBytes);
+            EXPECT_EQ(parallel[i].programPeakBytes,
+                      serial[i].programPeakBytes);
+            EXPECT_EQ(parallel[i].scheduledPeakBytes,
+                      serial[i].scheduledPeakBytes);
+            EXPECT_EQ(parallel[i].scheduledPeakSeconds,
+                      serial[i].scheduledPeakSeconds);
+            EXPECT_EQ(parallel[i].noReuseBytes,
+                      serial[i].noReuseBytes);
+            EXPECT_EQ(parallel[i].peakNodes, serial[i].peakNodes);
+            EXPECT_EQ(parallel[i].bufferCount,
+                      serial[i].bufferCount);
+        }
+    }
+    runtime::ThreadPool::setGlobalJobs(0);
+}
+
+TEST(Feasibility, BatchBoundMonotoneInImageSize)
+{
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    std::int64_t prev = -1;
+    for (std::int64_t image : {256, 512, 768}) {
+        models::StableDiffusionConfig cfg;
+        cfg.imageSize = image;
+        const std::int64_t batch =
+            maxFeasibleBatch(models::buildStableDiffusion(cfg), gpu);
+        EXPECT_GT(batch, 0) << "image " << image;
+        if (prev >= 0)
+            EXPECT_LE(batch, prev)
+                << "batch bound grew with image size " << image;
+        prev = batch;
+    }
+}
+
+TEST(Feasibility, PartiDoesNotFitV100)
+{
+    const graph::Pipeline parti =
+        models::buildModel(models::ModelId::Parti);
+    // 20B f16 parameters are ~41 GiB: infeasible at any batch on a
+    // 32 GB V100, comfortably feasible on an 80 GB A100.
+    EXPECT_EQ(maxFeasibleBatch(parti, hw::GpuSpec::v100_32gb()), 0);
+    EXPECT_GE(maxFeasibleBatch(parti, hw::GpuSpec::a100_80gb()), 1);
+}
+
+TEST(Feasibility, ReportIsInternallyConsistent)
+{
+    const FeasibilityReport rep = analyzeFeasibility(
+        models::buildModel(models::ModelId::StableDiffusion),
+        hw::GpuSpec::a100_80gb());
+    EXPECT_EQ(rep.weightBytes, rep.profile.weightBytes);
+    EXPECT_GT(rep.dynamicBytes, 0.0);
+    EXPECT_EQ(rep.capacityBytes, hw::GpuSpec::a100_80gb().hbmBytes);
+    // The bound is exactly the floor of remaining capacity over the
+    // per-request dynamic demand.
+    const double room = rep.capacityBytes - rep.weightBytes;
+    EXPECT_LE(static_cast<double>(rep.maxBatch) * rep.dynamicBytes,
+              room);
+    EXPECT_GT(static_cast<double>(rep.maxBatch + 1) *
+                  rep.dynamicBytes,
+              room);
+}
+
+} // namespace
+} // namespace mmgen::exec

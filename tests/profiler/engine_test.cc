@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "models/model_suite.hh"
 #include "models/stable_diffusion.hh"
 #include "profiler/engine.hh"
 #include "util/logging.hh"
+#include "verify/verify.hh"
 
 namespace mmgen::profiler {
 namespace {
@@ -241,6 +243,51 @@ TEST(SequenceLengthTrace, MinMaxAndValidation)
     EXPECT_EQ(trace.maxSeqLen(), 4096);
     EXPECT_EQ(trace.histogram().totalWeight(), 11u);
     EXPECT_THROW(trace.record(0), FatalError);
+}
+
+TEST(Profiler, RuntimeChecksDoNotPerturbResults)
+{
+    // The verify passes (timeline, dataflow, memory) only ever read
+    // the profile; toggling them must leave every reported number
+    // bit-identical, and a capacity-infeasible model must still
+    // profile (P010 is a warning inside the profiler, not a gate).
+    ProfileOptions opts;
+    opts.gpu = hw::GpuSpec::v100_32gb(); // SD fits; checks all run
+    const Pipeline sd = models::buildStableDiffusion();
+
+    const bool saved = verify::setRuntimeChecks(true);
+    const ProfileResult checked = Profiler(opts).profile(sd);
+    verify::setRuntimeChecks(false);
+    const ProfileResult unchecked = Profiler(opts).profile(sd);
+    verify::setRuntimeChecks(saved);
+
+    // Exact double equality: the memory pass must be observation-only.
+    EXPECT_EQ(checked.totalSeconds, unchecked.totalSeconds);
+    EXPECT_EQ(checked.totalFlops, unchecked.totalFlops);
+    EXPECT_EQ(checked.totalHbmBytes, unchecked.totalHbmBytes);
+    EXPECT_EQ(checked.totalLaunches, unchecked.totalLaunches);
+    EXPECT_EQ(checked.launchOverheadSeconds,
+              unchecked.launchOverheadSeconds);
+    EXPECT_EQ(checked.weightBytesRead, unchecked.weightBytesRead);
+    EXPECT_EQ(checked.params, unchecked.params);
+}
+
+TEST(Profiler, CapacityInfeasibleModelStillProfiles)
+{
+    // Shrink the GPU until SD's ~2.2 GiB scheduled peak cannot fit
+    // (the paper-scale analogue: Parti's 41 GiB of f16 weights on a
+    // 32 GB V100). The memory pass reports P010 at Warn severity, so
+    // profiling must succeed rather than throw.
+    ProfileOptions opts;
+    opts.gpu = hw::GpuSpec::a100_80gb();
+    opts.gpu.name = "tiny-1GB";
+    opts.gpu.hbmBytes = 1e9;
+    const bool saved = verify::setRuntimeChecks(true);
+    ProfileResult r;
+    EXPECT_NO_THROW(
+        r = Profiler(opts).profile(models::buildStableDiffusion()));
+    verify::setRuntimeChecks(saved);
+    EXPECT_GT(r.totalSeconds, 0.0);
 }
 
 TEST(AttentionKindStats, AccumulatesPerKind)

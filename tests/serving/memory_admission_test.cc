@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Memory-aware admission: the static liveness bound wired into the
+ * serving simulators. A zero bound sheds every arrival before
+ * dispatch, a positive bound clamps the batch below the configured
+ * maximum, an unset or generous bound leaves the default path
+ * bit-identical, and the policy constructor agrees with the analyzer
+ * it wraps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/memory.hh"
+#include "models/model_suite.hh"
+#include "serving/cluster.hh"
+#include "serving/simulator.hh"
+#include "serving/telemetry_hooks.hh"
+#include "util/logging.hh"
+
+namespace mmgen::serving {
+namespace {
+
+LatencyModel
+unitModel()
+{
+    LatencyModel m;
+    m.baseSeconds = 1.0;
+    m.overheadFraction = 0.0;
+    return m;
+}
+
+TEST(MemoryAdmission, ZeroBoundShedsEverything)
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 0.5;
+    cfg.horizonSeconds = 200.0;
+    ResilienceConfig res;
+    res.admission.memoryFeasibleBatch = 0;
+    const ServingReport r = simulateServing(cfg, unitModel(), res);
+    EXPECT_GT(r.arrived, 0);
+    EXPECT_EQ(r.completed, 0);
+    EXPECT_EQ(r.shed, r.arrived);
+    EXPECT_EQ(r.memoryShed, r.arrived);
+    EXPECT_EQ(r.effectiveMaxBatch, 0);
+    EXPECT_EQ(r.maxBatchDispatched, 0);
+    EXPECT_EQ(r.gpuUtilization, 0.0);
+}
+
+TEST(MemoryAdmission, PositiveBoundClampsBatch)
+{
+    // Saturating load so the batcher would fill maxBatch = 4 if the
+    // memory bound did not cap it at 2.
+    ServingConfig cfg;
+    cfg.arrivalRate = 3.0;
+    cfg.maxBatch = 4;
+    cfg.horizonSeconds = 300.0;
+    ResilienceConfig res;
+    res.admission.memoryFeasibleBatch = 2;
+    const ServingReport r = simulateServing(cfg, unitModel(), res);
+    EXPECT_EQ(r.effectiveMaxBatch, 2);
+    EXPECT_GT(r.maxBatchDispatched, 0);
+    EXPECT_LE(r.maxBatchDispatched, 2);
+    EXPECT_LE(r.meanBatch, 2.0);
+
+    ResilienceConfig unbounded;
+    const ServingReport free_run =
+        simulateServing(cfg, unitModel(), unbounded);
+    EXPECT_EQ(free_run.maxBatchDispatched, 4);
+}
+
+TEST(MemoryAdmission, GenerousBoundIsBitIdentical)
+{
+    // A bound at or above maxBatch never alters a dispatch decision,
+    // so the whole report must be byte-for-byte the default one.
+    ServingConfig cfg;
+    cfg.arrivalRate = 1.5;
+    cfg.horizonSeconds = 400.0;
+    ResilienceConfig plain;
+    ResilienceConfig bounded;
+    bounded.admission.memoryFeasibleBatch = exec::kUnboundedBatch;
+    const ServingReport a = simulateServing(cfg, unitModel(), plain);
+    const ServingReport b = simulateServing(cfg, unitModel(), bounded);
+    EXPECT_TRUE(reportsBitIdentical(a, b));
+}
+
+TEST(MemoryAdmission, PolicyMatchesAnalyzer)
+{
+    const graph::Pipeline sd =
+        models::buildModel(models::ModelId::StableDiffusion);
+    const hw::GpuSpec gpu = hw::GpuSpec::a100_80gb();
+    const AdmissionPolicy policy = memoryAwareAdmission(sd, gpu, 64);
+    EXPECT_EQ(policy.maxQueueLength, 64);
+    EXPECT_TRUE(policy.hasMemoryBound());
+    EXPECT_EQ(policy.memoryFeasibleBatch,
+              exec::maxFeasibleBatch(sd, gpu));
+    EXPECT_GT(policy.memoryFeasibleBatch, 0);
+
+    ResilienceConfig res;
+    res.admission = policy;
+    EXPECT_FALSE(res.trivial());
+    EXPECT_NO_THROW(res.validate());
+}
+
+TEST(MemoryAdmission, ValidateRejectsBelowUnset)
+{
+    ResilienceConfig res;
+    res.admission.memoryFeasibleBatch = -2;
+    EXPECT_THROW(res.validate(), FatalError);
+}
+
+TEST(MemoryAdmission, ClusterShedsOnZeroBound)
+{
+    ClusterConfig cfg;
+    cfg.arrivalRate = 0.5;
+    cfg.horizonSeconds = 200.0;
+    cfg.replicas = {ReplicaSpec{unitModel(), 1, 0}};
+    cfg.resilience.admission.memoryFeasibleBatch = 0;
+    const ClusterReport r = simulateCluster(cfg);
+    EXPECT_GT(r.serving.arrived, 0);
+    EXPECT_EQ(r.serving.completed, 0);
+    EXPECT_EQ(r.serving.memoryShed, r.serving.arrived);
+    EXPECT_EQ(r.serving.maxBatchDispatched, 0);
+}
+
+TEST(MemoryAdmission, ClusterClampMirrorsSimulator)
+{
+    ClusterConfig cfg;
+    cfg.arrivalRate = 3.0;
+    cfg.maxBatch = 4;
+    cfg.horizonSeconds = 300.0;
+    cfg.replicas = {ReplicaSpec{unitModel(), 1, 0}};
+    cfg.resilience.admission.memoryFeasibleBatch = 2;
+    const ClusterReport r = simulateCluster(cfg);
+    EXPECT_EQ(r.serving.effectiveMaxBatch, 2);
+    EXPECT_GT(r.serving.maxBatchDispatched, 0);
+    EXPECT_LE(r.serving.maxBatchDispatched, 2);
+}
+
+} // namespace
+} // namespace mmgen::serving

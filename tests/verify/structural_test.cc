@@ -344,7 +344,7 @@ TEST(DiagnosticReport, JsonEscapesAndListsFindings)
     report.add(Diagnostic{Severity::Warn, "S001", "m\"x", "s", "op",
                           "line\nbreak", "hint"});
     const std::string json = report.toJson();
-    EXPECT_NE(json.find("\"severity\": \"warn\""), std::string::npos);
+    EXPECT_NE(json.find("\"severity\":\"warn\""), std::string::npos);
     EXPECT_NE(json.find("m\\\"x"), std::string::npos);
     EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
 }

@@ -23,6 +23,7 @@
 
 #include "analytics/inference_footprint.hh"
 #include "core/lint.hh"
+#include "exec/memory.hh"
 #include "core/reports.hh"
 #include "core/suite.hh"
 #include "core/taxonomy.hh"
@@ -36,6 +37,7 @@
 #include "telemetry/export.hh"
 #include "telemetry/telemetry.hh"
 #include "util/format.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -58,6 +60,9 @@ usage()
         << "  stats [options]             run the suite, print runtime\n"
         << "                              cache / thread-pool counters\n"
         << "  lint [--model X|--all]      graph & physics verifier\n"
+        << "  analyze --memory [--model X|--all]\n"
+        << "                              static memory-liveness\n"
+        << "                              analysis & admission bound\n"
         << "options:\n"
         << "  --gpu a100|v100|h100        (default a100)\n"
         << "  --backend baseline|flash|flash_decode\n"
@@ -123,7 +128,16 @@ usage()
         << "  --model X | --all           lint one model or the zoo\n"
         << "  --json                      machine-readable findings\n"
         << "  --rules                     list the rule registry\n"
-        << "  --no-physics --no-probes    structural checks only\n";
+        << "  --no-physics --no-probes    structural checks only\n"
+        << "  --no-memory                 skip the memory-liveness\n"
+        << "                              pass (S013/P010/P011)\n"
+        << "  --suppress RULE             drop one rule's findings\n"
+        << "                              (repeatable)\n"
+        << "analyze options:\n"
+        << "  --memory                    the liveness analysis (peak\n"
+        << "                              residency, reuse bounds,\n"
+        << "                              max feasible batch)\n"
+        << "  --model X | --all --json    as for lint\n";
     return 2;
 }
 
@@ -212,6 +226,11 @@ struct Options
     bool lintRules = false;
     bool lintPhysics = true;
     bool lintProbes = true;
+    bool lintMemory = true;
+    std::vector<std::string> suppressRules;
+
+    // analyze subcommand knobs
+    bool memoryAnalysis = false;
 
     // serve subcommand knobs
     serving::ServingConfig serving;
@@ -344,6 +363,12 @@ parseOptions(int argc, char** argv, int first)
             opts.lintPhysics = false;
         else if (arg == "--no-probes")
             opts.lintProbes = false;
+        else if (arg == "--no-memory")
+            opts.lintMemory = false;
+        else if (arg == "--suppress")
+            opts.suppressRules.push_back(next());
+        else if (arg == "--memory")
+            opts.memoryAnalysis = true;
         else if (arg == "--degrade-threshold")
             opts.degradeThreshold = nextInt();
         else if (arg == "--degrade-steps")
@@ -842,6 +867,95 @@ cmdStats(const Options& opts)
 }
 
 int
+cmdAnalyze(const Options& opts)
+{
+    MMGEN_CHECK(opts.memoryAnalysis,
+                "analyze needs --memory (the only analysis so far)");
+    std::vector<models::ModelId> targets;
+    if (opts.lintAll) {
+        MMGEN_CHECK(opts.positional.empty(),
+                    "--all and --model are mutually exclusive");
+        targets = models::allModels();
+    } else {
+        MMGEN_CHECK(opts.positional.size() == 1,
+                    "analyze needs --model <name> or --all");
+        targets = {parseModel(opts.positional[0])};
+    }
+
+    bool all_feasible = true;
+    json::Writer w(std::cout);
+    if (opts.lintJson)
+        w.beginArray();
+    for (models::ModelId id : targets) {
+        const graph::Pipeline pipeline = models::buildModel(id);
+        const exec::FeasibilityReport rep =
+            exec::analyzeFeasibility(pipeline, opts.gpu, opts.backend);
+        const exec::MemoryProfile& mp = rep.profile;
+        const bool feasible = rep.maxBatch >= 1;
+        all_feasible = all_feasible && feasible;
+        if (opts.lintJson) {
+            w.beginObject()
+                .field("model", pipeline.name)
+                .field("gpu", opts.gpu.name)
+                .field("backend",
+                       graph::attentionBackendName(opts.backend))
+                .field("weight_bytes", mp.weightBytes)
+                .field("program_peak_bytes", mp.programPeakBytes)
+                .field("scheduled_peak_bytes", mp.scheduledPeakBytes)
+                .field("scheduled_peak_seconds",
+                       mp.scheduledPeakSeconds)
+                .field("no_reuse_bytes", mp.noReuseBytes)
+                .field("reuse_savings_bytes", mp.reuseSavingsBytes())
+                .field("dynamic_bytes", rep.dynamicBytes)
+                .field("capacity_bytes", rep.capacityBytes)
+                .field("max_feasible_batch", rep.maxBatch)
+                .field("feasible", feasible);
+            w.key("stage_residency").beginArray();
+            for (const exec::StageResidency& sr : mp.stageResidency) {
+                w.beginObject()
+                    .field("stage", sr.stage)
+                    .field("peak_bytes", sr.peakBytes)
+                    .endObject();
+            }
+            w.endArray().endObject();
+            continue;
+        }
+        std::cout << "== " << pipeline.name << " on " << opts.gpu.name
+                  << " (" << graph::attentionBackendName(opts.backend)
+                  << ") ==\n"
+                  << "  weights          "
+                  << formatBytes(mp.weightBytes) << "\n"
+                  << "  program peak     "
+                  << formatBytes(mp.programPeakBytes)
+                  << "  (interval-reuse lower bound)\n"
+                  << "  scheduled peak   "
+                  << formatBytes(mp.scheduledPeakBytes) << "  at "
+                  << formatTime(mp.scheduledPeakSeconds) << "\n"
+                  << "  no-reuse bound   "
+                  << formatBytes(mp.noReuseBytes)
+                  << "  (reuse saves "
+                  << formatBytes(mp.reuseSavingsBytes()) << ")\n"
+                  << "  dynamic / req    "
+                  << formatBytes(rep.dynamicBytes) << "\n"
+                  << "  max batch        ";
+        if (rep.maxBatch >= exec::kUnboundedBatch)
+            std::cout << "unbounded";
+        else
+            std::cout << rep.maxBatch;
+        std::cout << (feasible ? "" : "  (DOES NOT FIT)") << "\n";
+        TextTable table({"Stage", "Peak residency"});
+        for (const exec::StageResidency& sr : mp.stageResidency)
+            table.addRow({sr.stage, formatBytes(sr.peakBytes)});
+        std::cout << table.render() << "\n";
+    }
+    if (opts.lintJson) {
+        w.endArray();
+        std::cout << "\n";
+    }
+    return all_feasible ? 0 : 1;
+}
+
+int
 cmdLint(const Options& opts)
 {
     if (opts.lintRules) {
@@ -857,6 +971,8 @@ cmdLint(const Options& opts)
     lopts.gpu = opts.gpu;
     lopts.physics = opts.lintPhysics;
     lopts.probes = opts.lintProbes;
+    lopts.memory = opts.lintMemory;
+    lopts.suppressRules = opts.suppressRules;
 
     std::vector<models::ModelId> targets;
     if (opts.lintAll) {
@@ -935,6 +1051,8 @@ main(int argc, char** argv)
             return cmdStats(opts);
         if (cmd == "lint")
             return cmdLint(opts);
+        if (cmd == "analyze")
+            return cmdAnalyze(opts);
         std::cerr << "unknown command '" << cmd << "'\n";
         return usage();
     } catch (const mmgen::FatalError& e) {
